@@ -1,0 +1,103 @@
+// §II reproduction: FLBooster's encoding-quantization vs a BatchCrypt-style
+// fixed-headroom encoding under growing participant counts.
+//
+// Sweeps p and measures the decoded-aggregate error of each scheme on (a) a
+// benign zero-centered workload and (b) a same-sign workload (a consistent
+// bias gradient). Shape target: BatchCrypt matches FLBooster while p <=
+// 2^headroom, then fails catastrophically on (b); FLBooster stays at
+// quantization-noise level throughout because its headroom tracks
+// ceil(log2 p).
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "src/codec/batch_compressor.h"
+#include "src/codec/batchcrypt_codec.h"
+#include "src/codec/quantizer.h"
+#include "src/common/rng.h"
+
+namespace {
+
+using flb::Rng;
+using flb::mpint::BigInt;
+
+// Aggregates p parties' packed vectors by integer addition and returns the
+// max abs decode error vs the true sums.
+template <typename PackFn, typename UnpackFn>
+double MaxError(int p, bool same_sign, PackFn pack, UnpackFn unpack) {
+  Rng rng(500 + p);
+  const size_t count = 64;
+  std::vector<double> sums(count, 0.0);
+  std::vector<BigInt> agg;
+  for (int party = 0; party < p; ++party) {
+    std::vector<double> vals(count);
+    for (size_t i = 0; i < count; ++i) {
+      vals[i] = same_sign ? 0.5 + 0.4 * rng.NextDouble()
+                          : (rng.NextDouble() - 0.5) * 0.5;
+    }
+    for (size_t i = 0; i < count; ++i) sums[i] += vals[i];
+    std::vector<BigInt> packed = pack(vals);
+    if (agg.empty()) {
+      agg = std::move(packed);
+    } else {
+      for (size_t i = 0; i < agg.size(); ++i) {
+        agg[i] = BigInt::Add(agg[i], packed[i]);
+      }
+    }
+  }
+  std::vector<double> decoded = unpack(agg, count, p);
+  double worst = 0;
+  for (size_t i = 0; i < count; ++i) {
+    worst = std::max(worst, std::fabs(decoded[i] - sums[i]));
+  }
+  return worst;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "==== §II claim — fixed headroom (BatchCrypt-style) vs ceil(log2 p) "
+      "(FLBooster) ====\n");
+  std::printf("%4s %18s %18s %18s %18s\n", "p", "BCrypt benign",
+              "BCrypt same-sign", "FLB benign", "FLB same-sign");
+  for (int p : {2, 4, 8, 16, 32}) {
+    flb::codec::BatchCryptConfig bcfg;
+    bcfg.value_bits = 14;
+    bcfg.headroom_bits = 2;
+    auto bcrypt = flb::codec::BatchCryptCodec::Create(bcfg).value();
+
+    flb::codec::QuantizerConfig qcfg;
+    qcfg.r_bits = 14;
+    qcfg.participants = p;
+    auto quantizer = flb::codec::Quantizer::Create(qcfg).value();
+    auto flb_bc =
+        flb::codec::BatchCompressor::Create(quantizer, 1024).value();
+
+    auto bcrypt_pack = [&](const std::vector<double>& v) {
+      return bcrypt.Pack(v).value();
+    };
+    auto bcrypt_unpack = [&](const std::vector<BigInt>& a, size_t c, int k) {
+      return bcrypt.Unpack(a, c, k).value();
+    };
+    auto flb_pack = [&](const std::vector<double>& v) {
+      return flb_bc.Pack(v).value();
+    };
+    auto flb_unpack = [&](const std::vector<BigInt>& a, size_t c, int k) {
+      return flb_bc.Unpack(a, c, k).value();
+    };
+
+    std::printf("%4d %18.6f %18.6f %18.6f %18.6f%s\n", p,
+                MaxError(p, false, bcrypt_pack, bcrypt_unpack),
+                MaxError(p, true, bcrypt_pack, bcrypt_unpack),
+                MaxError(p, false, flb_pack, flb_unpack),
+                MaxError(p, true, flb_pack, flb_unpack),
+                bcrypt.GuaranteesNoOverflow(p) ? "" : "   <- BCrypt unsafe");
+  }
+  std::printf(
+      "\nShape: both schemes sit at quantization noise until p exceeds the "
+      "fixed headroom (4); then the BatchCrypt-style same-sign error "
+      "explodes while FLBooster stays at noise level (paper §II).\n");
+  return 0;
+}

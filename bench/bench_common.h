@@ -1,0 +1,106 @@
+// Shared workload definitions and table formatting for the experiment
+// regenerators (one binary per paper table/figure; see DESIGN.md §3).
+//
+// Shapes are container-scale versions of the paper's corpora (Table II);
+// the *ratios* between engines, models, datasets, and key sizes are the
+// reproduction target, not the absolute seconds (DESIGN.md §1).
+
+#ifndef FLB_BENCH_BENCH_COMMON_H_
+#define FLB_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/core/platform.h"
+
+namespace flb::bench {
+
+using core::EngineKind;
+using core::FlModelKind;
+using core::PlatformConfig;
+using fl::DatasetKind;
+
+inline const std::vector<FlModelKind> kAllModels = {
+    FlModelKind::kHomoLr, FlModelKind::kHeteroLr, FlModelKind::kHeteroSbt,
+    FlModelKind::kHeteroNn};
+inline const std::vector<DatasetKind> kAllDatasets = {
+    DatasetKind::kRcv1, DatasetKind::kAvazu, DatasetKind::kSynthetic};
+inline const std::vector<int> kKeySizes = {1024, 2048, 4096};
+
+// A platform config for (model, dataset) at container scale: modeled HE,
+// one epoch, the paper's batch size where the shape allows it.
+inline PlatformConfig WorkloadFor(FlModelKind model, DatasetKind dataset,
+                                  EngineKind engine, int key_bits) {
+  PlatformConfig cfg;
+  cfg.engine = engine;
+  cfg.model = model;
+  cfg.key_bits = key_bits;
+  cfg.modeled = true;
+  cfg.num_parties = 4;
+  cfg.train.max_epochs = 1;
+  cfg.train.batch_size = 1024;
+  cfg.dataset = fl::DefaultScaleSpec(dataset);
+  switch (model) {
+    case FlModelKind::kHomoLr:
+    case FlModelKind::kHeteroLr:
+      break;  // default shapes
+    case FlModelKind::kHeteroSbt:
+      // Tree building is node x feature x instance heavy; keep the shape
+      // modest so the full grid completes. Histogram bucket sums are small
+      // (|g| <= 1, <= rows contributions), so narrow fixed-point slots give
+      // the BC cipher compression its full ratio.
+      cfg.dataset.rows = std::min<size_t>(cfg.dataset.rows, 1024);
+      cfg.dataset.cols = std::min<size_t>(cfg.dataset.cols, 256);
+      cfg.dataset.nnz_per_row =
+          std::min<size_t>(cfg.dataset.nnz_per_row, cfg.dataset.cols);
+      cfg.sbt.max_depth = 4;
+      cfg.sbt.num_bins = 32;
+      cfg.train.learning_rate = 0.3;
+      cfg.frac_bits = 20;
+      cfg.fp_compress_slot_bits = 32;
+      break;
+    case FlModelKind::kHeteroNn:
+      cfg.dataset.rows = std::min<size_t>(cfg.dataset.rows, 512);
+      cfg.dataset.cols = std::min<size_t>(cfg.dataset.cols, 256);
+      cfg.dataset.nnz_per_row =
+          std::min<size_t>(cfg.dataset.nnz_per_row, cfg.dataset.cols);
+      cfg.train.batch_size = 256;
+      cfg.nn.bottom_dim = 8;
+      cfg.nn.interactive_dim = 8;
+      break;
+  }
+  return cfg;
+}
+
+inline core::RunReport MustRun(const PlatformConfig& cfg) {
+  auto report = core::Platform::Run(cfg);
+  if (!report.ok()) {
+    std::fprintf(stderr, "platform run failed: %s\n",
+                 report.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(report).value();
+}
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n==== %s ====\n", title.c_str());
+}
+
+inline std::string Short(FlModelKind model) {
+  switch (model) {
+    case FlModelKind::kHomoLr:
+      return "Homo LR";
+    case FlModelKind::kHeteroLr:
+      return "Hetero LR";
+    case FlModelKind::kHeteroSbt:
+      return "Hetero SBT";
+    case FlModelKind::kHeteroNn:
+      return "Hetero NN";
+  }
+  return "?";
+}
+
+}  // namespace flb::bench
+
+#endif  // FLB_BENCH_BENCH_COMMON_H_

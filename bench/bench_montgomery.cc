@@ -1,0 +1,114 @@
+// Microbenchmarks for the modular-arithmetic substrate (paper Algorithms
+// 1 & 2 and the §IV-A3 design choices):
+//   * basic Montgomery (Alg. 1) vs word-scanning CIOS vs the thread-
+//     decomposed parallel CIOS (Alg. 2) at each key size;
+//   * sliding-window width sweep for modular exponentiation.
+
+#include <benchmark/benchmark.h>
+
+#include "src/common/rng.h"
+#include "src/crypto/montgomery.h"
+#include "src/ghe/parallel_montgomery.h"
+
+namespace {
+
+using flb::Rng;
+using flb::crypto::MontgomeryContext;
+using flb::mpint::BigInt;
+
+BigInt OddModulus(int bits, Rng& rng) {
+  BigInt n = BigInt::Random(rng, bits);
+  auto w = n.ToFixedWords(bits / 32);
+  w[0] |= 1u;
+  w.back() |= 0x80000000u;
+  return BigInt::FromWords(std::move(w));
+}
+
+void BM_MontMulBasic(benchmark::State& state) {
+  Rng rng(1);
+  const int bits = static_cast<int>(state.range(0));
+  auto ctx = MontgomeryContext::Create(OddModulus(bits, rng)).value();
+  BigInt a = BigInt::RandomBelow(rng, ctx.modulus());
+  BigInt b = BigInt::RandomBelow(rng, ctx.modulus());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ctx.MontMulBasic(a, b));
+  }
+}
+BENCHMARK(BM_MontMulBasic)->Arg(1024)->Arg(2048)->Arg(4096);
+
+void BM_MontMulCios(benchmark::State& state) {
+  Rng rng(1);
+  const int bits = static_cast<int>(state.range(0));
+  auto ctx = MontgomeryContext::Create(OddModulus(bits, rng)).value();
+  BigInt a = BigInt::RandomBelow(rng, ctx.modulus());
+  BigInt b = BigInt::RandomBelow(rng, ctx.modulus());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ctx.MontMul(a, b));
+  }
+}
+BENCHMARK(BM_MontMulCios)->Arg(1024)->Arg(2048)->Arg(4096);
+
+// Host-side execution of the Algorithm 2 decomposition. Thread count is the
+// second argument; on real hardware the threads run concurrently — here the
+// interest is the limb-op and communication accounting.
+void BM_MontMulParallelCios(benchmark::State& state) {
+  Rng rng(1);
+  const int bits = static_cast<int>(state.range(0));
+  const int threads = static_cast<int>(state.range(1));
+  auto ctx = MontgomeryContext::Create(OddModulus(bits, rng)).value();
+  const size_t s = ctx.num_limbs();
+  const auto aw = BigInt::RandomBelow(rng, ctx.modulus()).ToFixedWords(s);
+  const auto bw = BigInt::RandomBelow(rng, ctx.modulus()).ToFixedWords(s);
+  std::vector<uint32_t> out(s);
+  uint64_t comms = 0;
+  for (auto _ : state) {
+    auto stats = flb::ghe::ParallelMontMul(aw.data(), bw.data(),
+                                           ctx.modulus().words().data(),
+                                           ctx.n0_inv(), s, threads,
+                                           out.data())
+                     .value();
+    comms += stats.inter_thread_comms;
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.counters["inter_thread_comms"] =
+      benchmark::Counter(static_cast<double>(comms),
+                         benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_MontMulParallelCios)
+    ->Args({1024, 1})
+    ->Args({1024, 8})
+    ->Args({1024, 32})
+    ->Args({2048, 16})
+    ->Args({4096, 32});
+
+void BM_ModPowWindowSweep(benchmark::State& state) {
+  Rng rng(2);
+  const int window = static_cast<int>(state.range(0));
+  auto ctx = MontgomeryContext::Create(OddModulus(1024, rng)).value();
+  BigInt base = BigInt::RandomBelow(rng, ctx.modulus());
+  BigInt exp = BigInt::Random(rng, 1024);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ctx.ModPow(base, exp, window));
+  }
+  ctx.ResetCounters();
+  ctx.ModPow(base, exp, window);
+  state.counters["mont_muls"] =
+      static_cast<double>(ctx.mont_mul_count());
+}
+BENCHMARK(BM_ModPowWindowSweep)->DenseRange(1, 7);
+
+void BM_ModPowAuto(benchmark::State& state) {
+  Rng rng(3);
+  const int bits = static_cast<int>(state.range(0));
+  auto ctx = MontgomeryContext::Create(OddModulus(bits, rng)).value();
+  BigInt base = BigInt::RandomBelow(rng, ctx.modulus());
+  BigInt exp = BigInt::Random(rng, bits);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ctx.ModPow(base, exp));
+  }
+}
+BENCHMARK(BM_ModPowAuto)->Arg(512)->Arg(1024)->Arg(2048)->Arg(4096);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,109 @@
+// Microbenchmarks for the Paillier implementation and its ablations
+// (DESIGN.md §3): g = n+1 fast path vs random g, CRT vs plain decryption,
+// and the raw op costs that the cost model (Eq. 10) prices.
+
+#include <benchmark/benchmark.h>
+
+#include "src/common/rng.h"
+#include "src/crypto/paillier.h"
+
+namespace {
+
+using flb::Rng;
+using flb::crypto::PaillierContext;
+using flb::crypto::PaillierKeyGen;
+using flb::crypto::PaillierOptions;
+using flb::mpint::BigInt;
+
+// Key material is expensive; cache one key pair per (bits, options) cell.
+const PaillierContext& CachedContext(int bits, bool g_n_plus_1, bool crt) {
+  static std::map<std::tuple<int, bool, bool>, PaillierContext> cache;
+  auto key = std::make_tuple(bits, g_n_plus_1, crt);
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    Rng rng(1000 + bits + 2 * g_n_plus_1 + crt);
+    PaillierOptions opts;
+    opts.use_g_n_plus_1 = g_n_plus_1;
+    opts.use_crt_decryption = crt;
+    auto keys = PaillierKeyGen(bits, rng, opts).value();
+    it = cache.emplace(key, PaillierContext::Create(keys, opts).value()).first;
+  }
+  return it->second;
+}
+
+void BM_Encrypt(benchmark::State& state) {
+  const int bits = static_cast<int>(state.range(0));
+  const bool fast_g = state.range(1) != 0;
+  const auto& ctx = CachedContext(bits, fast_g, true);
+  Rng rng(7);
+  BigInt m = BigInt::RandomBelow(rng, ctx.pub().n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ctx.Encrypt(m, rng).value());
+  }
+  state.SetLabel(fast_g ? "g=n+1" : "random g");
+}
+BENCHMARK(BM_Encrypt)
+    ->Args({1024, 1})
+    ->Args({1024, 0})
+    ->Args({2048, 1})
+    ->Args({2048, 0});
+
+void BM_Decrypt(benchmark::State& state) {
+  const int bits = static_cast<int>(state.range(0));
+  const bool crt = state.range(1) != 0;
+  const auto& ctx = CachedContext(bits, true, crt);
+  Rng rng(8);
+  BigInt c = ctx.Encrypt(BigInt(123456789), rng).value();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ctx.Decrypt(c).value());
+  }
+  state.SetLabel(crt ? "CRT" : "plain");
+}
+BENCHMARK(BM_Decrypt)
+    ->Args({1024, 1})
+    ->Args({1024, 0})
+    ->Args({2048, 1})
+    ->Args({2048, 0});
+
+void BM_HomomorphicAdd(benchmark::State& state) {
+  const int bits = static_cast<int>(state.range(0));
+  const auto& ctx = CachedContext(bits, true, true);
+  Rng rng(9);
+  BigInt c1 = ctx.Encrypt(BigInt(1), rng).value();
+  BigInt c2 = ctx.Encrypt(BigInt(2), rng).value();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ctx.Add(c1, c2).value());
+  }
+}
+BENCHMARK(BM_HomomorphicAdd)->Arg(1024)->Arg(2048)->Arg(4096);
+
+void BM_ScalarMulSmallVsNegative(benchmark::State& state) {
+  // The ciphertext-inverse path keeps negative fixed-point scalars as cheap
+  // as positive ones (without it the exponent would be |n| bits).
+  const auto& ctx = CachedContext(1024, true, true);
+  Rng rng(10);
+  BigInt c = ctx.Encrypt(BigInt(777), rng).value();
+  const bool negative = state.range(0) != 0;
+  const BigInt k = negative
+                       ? BigInt::Sub(ctx.pub().n, BigInt(1 << 20))  // -2^20
+                       : BigInt(1 << 20);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ctx.ScalarMul(c, k).value());
+  }
+  state.SetLabel(negative ? "negative scalar" : "positive scalar");
+}
+BENCHMARK(BM_ScalarMulSmallVsNegative)->Arg(0)->Arg(1);
+
+void BM_KeyGen(benchmark::State& state) {
+  const int bits = static_cast<int>(state.range(0));
+  uint64_t seed = 42;
+  for (auto _ : state) {
+    Rng rng(seed++);
+    benchmark::DoNotOptimize(PaillierKeyGen(bits, rng).value());
+  }
+}
+BENCHMARK(BM_KeyGen)->Arg(256)->Arg(512)->Arg(1024)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

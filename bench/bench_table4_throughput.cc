@@ -1,0 +1,39 @@
+// Table IV: throughput in HE operations (instances per second) — how many
+// gradient values per second flow through encryption/aggregation/decryption
+// under each engine.
+//
+// Shape targets: FATE in the hundreds, HAFLO orders of magnitude above it,
+// FLBooster above HAFLO (packing multiplies value throughput); throughput
+// falls roughly with the cube of the key size.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace flb::bench;
+  PrintHeader("Table IV — HE-op throughput (values per second)");
+  std::printf("%-12s %-10s %5s %12s %12s %12s\n", "Model", "Dataset", "key",
+              "FATE", "HAFLO", "FLBooster");
+  for (auto model : kAllModels) {
+    for (auto dataset : kAllDatasets) {
+      for (int key : kKeySizes) {
+        double tp[3];
+        const EngineKind engines[] = {EngineKind::kFate, EngineKind::kHaflo,
+                                      EngineKind::kFlBooster};
+        for (int e = 0; e < 3; ++e) {
+          tp[e] = MustRun(WorkloadFor(model, dataset, engines[e], key))
+                      .he_throughput;
+        }
+        std::printf("%-12s %-10s %5d %12.0f %12.0f %12.0f\n",
+                    Short(model).c_str(),
+                    flb::fl::DatasetName(dataset).c_str(), key, tp[0], tp[1],
+                    tp[2]);
+      }
+    }
+  }
+  std::printf(
+      "\nShape: FLBooster > HAFLO >> FATE; throughput decays steeply with "
+      "key size (paper Table IV).\n");
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Table VI: component running-time shares (Others / HE operations /
+// Communication) for Homo LR at 1024-bit keys under FATE, HAFLO, and
+// FLBooster.
+//
+// Shape targets (paper §VI-F): FATE splits ~52/48 between HE and comm with
+// <1% other; HAFLO's HE share collapses below 1% while comm approaches 99%;
+// FLBooster rebalances — comm still the largest share but "others" becomes
+// visible (tens of percent) because both bottlenecks shrank.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace flb::bench;
+  PrintHeader("Table VI — component shares, Homo LR @ 1024-bit keys");
+  std::printf("%-10s %-10s %9s %9s %9s %14s\n", "Dataset", "Method", "Others",
+              "HE ops", "Comm", "epoch (s)");
+  for (auto dataset : kAllDatasets) {
+    const EngineKind engines[] = {EngineKind::kFate, EngineKind::kHaflo,
+                                  EngineKind::kFlBooster};
+    for (EngineKind engine : engines) {
+      auto report =
+          MustRun(WorkloadFor(FlModelKind::kHomoLr, dataset, engine, 1024));
+      const double total = report.total_seconds;
+      std::printf("%-10s %-10s %8.1f%% %8.1f%% %8.1f%% %14.3f\n",
+                  flb::fl::DatasetName(dataset).c_str(),
+                  flb::core::EngineName(engine).c_str(),
+                  100.0 * report.other_seconds / total,
+                  100.0 * report.he_seconds / total,
+                  100.0 * report.comm_seconds / total, total);
+    }
+  }
+  std::printf(
+      "\nShape: FATE ~half HE/half comm; HAFLO ~all comm; FLBooster "
+      "rebalanced with visible 'others' (paper Table VI).\n");
+  return 0;
+}

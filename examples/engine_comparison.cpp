@@ -1,0 +1,53 @@
+// Engine comparison: the same Hetero LR workload under FATE, HAFLO, and
+// FLBooster (plus the two ablations) — a one-command rendition of the
+// paper's headline experiment.
+//
+//   $ ./example_engine_comparison
+
+#include <cstdio>
+
+#include "src/core/platform.h"
+
+int main() {
+  using namespace flb;
+
+  core::PlatformConfig cfg;
+  cfg.model = core::FlModelKind::kHeteroLr;
+  cfg.dataset = fl::DatasetSpec{fl::DatasetKind::kRcv1, 2048, 512, 40, 7};
+  cfg.num_parties = 3;
+  cfg.key_bits = 1024;
+  cfg.modeled = true;  // plaintext-shadow HE: full-size keys, instant demo
+  cfg.train.max_epochs = 2;
+  cfg.train.batch_size = 512;
+
+  std::printf("Hetero LR, RCV1-like 2048x512, 3 parties, 1024-bit keys\n\n");
+  std::printf("%-10s %12s %10s %10s %10s %12s %10s\n", "Engine", "epoch (s)",
+              "HE %", "comm %", "loss", "wire MB", "SM util");
+
+  const core::EngineKind engines[] = {
+      core::EngineKind::kFate, core::EngineKind::kHaflo,
+      core::EngineKind::kFlBooster, core::EngineKind::kFlBoosterNoGhe,
+      core::EngineKind::kFlBoosterNoBc};
+  double fate_time = 0;
+  for (auto engine : engines) {
+    cfg.engine = engine;
+    auto report = core::Platform::Run(cfg).value();
+    const double per_epoch = report.SecondsPerEpoch();
+    if (engine == core::EngineKind::kFate) fate_time = per_epoch;
+    std::printf("%-10s %12.2f %9.1f%% %9.1f%% %10.4f %12.2f %9.1f%%\n",
+                core::EngineName(engine).c_str(), per_epoch,
+                100.0 * report.he_seconds / report.total_seconds,
+                100.0 * report.comm_seconds / report.total_seconds,
+                report.train.final_loss, report.comm_bytes / 1048576.0,
+                100.0 * report.sm_utilization);
+    if (engine == core::EngineKind::kFlBooster) {
+      std::printf("%-10s -> %.0fx faster than FATE, same loss\n", "",
+                  fate_time / per_epoch);
+    }
+  }
+  std::printf(
+      "\nAll five engines run the identical protocol and reach the identical "
+      "loss;\nonly where HE executes and whether ciphertexts are "
+      "batch-compressed differ.\n");
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Vertical SecureBoost between a bank and an e-commerce platform.
+//
+// The classic cross-silo scenario (paper §I, finance): a bank holds credit
+// labels and financial features; a partner holds behavioural features for
+// the SAME customers. SecureBoost grows gradient-boosted trees where the
+// partner aggregates encrypted gradient histograms and never learns labels,
+// while the bank never sees the partner's raw features. Runs real Paillier.
+//
+//   $ ./example_hetero_sbt_credit
+
+#include <cstdio>
+#include <memory>
+
+#include "src/core/he_service.h"
+#include "src/fl/hetero_sbt.h"
+#include "src/fl/partition.h"
+
+int main() {
+  using namespace flb;
+
+  // Shared customers: sparse behavioural + financial features.
+  fl::DatasetSpec spec;
+  spec.kind = fl::DatasetKind::kRcv1;  // sparse, heavy-tailed features
+  spec.rows = 300;
+  spec.cols = 40;
+  spec.nnz_per_row = 12;
+  fl::Dataset customers = fl::GenerateDataset(spec).value();
+  auto partition = fl::VerticalSplit(customers, 2).value();
+  std::printf(
+      "Customers: %zu, bank features: %zu (+labels), partner features: %zu\n",
+      customers.rows(), partition.shards[0].x.cols(),
+      partition.shards[1].x.cols());
+
+  SimClock clock;
+  auto device = std::make_shared<gpusim::Device>(
+      gpusim::DeviceSpec::Rtx3090(), &clock);
+  net::Network network(net::LinkSpec::GigabitEthernet(), &clock);
+  core::HeServiceOptions he_opts;
+  he_opts.engine = core::EngineKind::kFlBooster;
+  he_opts.key_bits = 256;
+  he_opts.frac_bits = 16;
+  he_opts.fp_compress_slot_bits = 40;
+  he_opts.participants = 2;
+  auto he = core::HeService::Create(he_opts, &clock, device).value();
+
+  fl::TrainConfig cfg;
+  cfg.max_epochs = 5;  // five boosting rounds = five trees
+  cfg.learning_rate = 0.5;
+  fl::SbtParams params;
+  params.max_depth = 3;
+  params.num_bins = 8;
+
+  fl::FlSession session{he.get(), &network, &clock};
+  fl::HeteroSbtTrainer trainer(partition, session, cfg, params);
+  auto result = trainer.Train().value();
+
+  std::printf("\n%6s %10s %10s %12s\n", "tree", "logloss", "accuracy",
+              "sim secs");
+  for (const auto& round : result.epochs) {
+    std::printf("%6d %10.4f %9.1f%% %12.2f\n", round.epoch, round.loss,
+                100.0 * round.accuracy, round.sim_seconds_cum);
+  }
+
+  // Who contributed splits?
+  int bank_splits = 0, partner_splits = 0;
+  for (const auto& tree : trainer.trees()) {
+    for (const auto& node : tree.nodes) {
+      if (node.is_leaf) continue;
+      (node.split_party == 0 ? bank_splits : partner_splits) += 1;
+    }
+  }
+  std::printf(
+      "\nSplits: %d on bank features, %d on partner features — the partner's "
+      "data mattered\nwithout its features or the bank's labels ever being "
+      "shared.\n",
+      bank_splits, partner_splits);
+  std::printf("Histogram ciphertexts were shift-and-add compressed before "
+              "every transfer (BC module).\n");
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Split neural network across two organizations (Hetero NN).
+//
+// An advertiser (guest: clicks + its own user features) and a publisher
+// (host: page/context features) train a shared click model. Each keeps a
+// private bottom network; the interactive layer couples them through
+// encrypted weights (GELU-net style): the publisher computes on E(W) with
+// its plaintext activations, so neither raw activations nor interactive
+// weights cross the trust boundary in the clear.
+//
+//   $ ./example_nn_split_training
+
+#include <cstdio>
+#include <memory>
+
+#include "src/core/he_service.h"
+#include "src/fl/hetero_nn.h"
+#include "src/fl/partition.h"
+
+int main() {
+  using namespace flb;
+
+  fl::DatasetSpec spec;
+  spec.kind = fl::DatasetKind::kAvazu;  // one-hot CTR features
+  spec.rows = 240;
+  spec.cols = 64;
+  spec.nnz_per_row = 8;
+  fl::Dataset impressions = fl::GenerateDataset(spec).value();
+  auto partition = fl::VerticalSplit(impressions, 2).value();
+  std::printf(
+      "Impressions: %zu; advertiser features: %zu (+labels), publisher "
+      "features: %zu\n",
+      impressions.rows(), partition.shards[0].x.cols(),
+      partition.shards[1].x.cols());
+
+  SimClock clock;
+  auto device = std::make_shared<gpusim::Device>(
+      gpusim::DeviceSpec::Rtx3090(), &clock);
+  net::Network network(net::LinkSpec::GigabitEthernet(), &clock);
+  core::HeServiceOptions he_opts;
+  he_opts.engine = core::EngineKind::kFlBooster;
+  he_opts.key_bits = 256;
+  he_opts.r_bits = 14;
+  he_opts.frac_bits = 16;
+  he_opts.fp_compress_slot_bits = 40;
+  he_opts.participants = 2;
+  auto he = core::HeService::Create(he_opts, &clock, device).value();
+
+  fl::TrainConfig cfg;
+  cfg.max_epochs = 8;
+  cfg.batch_size = 60;
+  cfg.learning_rate = 1.0;
+  fl::NnParams params;
+  params.bottom_dim = 6;
+  params.interactive_dim = 6;
+
+  fl::FlSession session{he.get(), &network, &clock};
+  fl::HeteroNnTrainer trainer(partition, session, cfg, params);
+  auto result = trainer.Train().value();
+
+  std::printf("\n%6s %10s %10s %12s %10s\n", "epoch", "logloss", "accuracy",
+              "sim secs", "HE secs");
+  for (const auto& epoch : result.epochs) {
+    std::printf("%6d %10.4f %9.1f%% %12.2f %10.2f\n", epoch.epoch, epoch.loss,
+                100.0 * epoch.accuracy, epoch.sim_seconds_cum,
+                epoch.he_seconds);
+  }
+  std::printf(
+      "\nHE ops: %llu encrypts, %llu scalar muls (encrypted interactive "
+      "layer), %llu decrypts.\n",
+      static_cast<unsigned long long>(he->op_counts().encrypts),
+      static_cast<unsigned long long>(he->op_counts().scalar_muls),
+      static_cast<unsigned long long>(he->op_counts().decrypts));
+  return 0;
+}

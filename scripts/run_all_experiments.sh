@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Regenerates every paper table/figure plus the extension benches into
+# results/, then runs the test suite. Usage:
+#   ./scripts/run_all_experiments.sh [build-dir]
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+RESULTS="$REPO_ROOT/results"
+mkdir -p "$RESULTS"
+
+if [ ! -d "$REPO_ROOT/$BUILD_DIR" ]; then
+  cmake -S "$REPO_ROOT" -B "$REPO_ROOT/$BUILD_DIR" -G Ninja
+fi
+cmake --build "$REPO_ROOT/$BUILD_DIR"
+
+echo "== tests =="
+ctest --test-dir "$REPO_ROOT/$BUILD_DIR" | tee "$RESULTS/tests.txt" | tail -3
+
+for bench in "$REPO_ROOT/$BUILD_DIR"/bench/bench_*; do
+  name="$(basename "$bench")"
+  echo "== $name =="
+  "$bench" | tee "$RESULTS/$name.txt" | tail -3
+done
+
+echo
+echo "All outputs in $RESULTS/."

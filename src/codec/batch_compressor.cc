@@ -1,0 +1,123 @@
+#include "src/codec/batch_compressor.h"
+
+#include <cmath>
+
+#include "src/common/check.h"
+
+namespace flb::codec {
+
+BatchCompressor::BatchCompressor(Quantizer quantizer, int key_bits, int slots)
+    : quantizer_(std::move(quantizer)), key_bits_(key_bits), slots_(slots) {}
+
+Result<BatchCompressor> BatchCompressor::Create(Quantizer quantizer,
+                                                int key_bits) {
+  if (key_bits < 64) {
+    return Status::InvalidArgument("BatchCompressor: key_bits must be >= 64");
+  }
+  // Reserve the top bit so packed plaintexts are strictly below 2^(k-1) <= n
+  // (n has its top bit set by key generation).
+  const int usable_bits = key_bits - 1;
+  const int slots = usable_bits / quantizer.slot_bits();
+  if (slots < 1) {
+    return Status::InvalidArgument(
+        "BatchCompressor: slot width exceeds the plaintext space");
+  }
+  return BatchCompressor(std::move(quantizer), key_bits, slots);
+}
+
+Result<std::vector<BigInt>> BatchCompressor::PackSlots(
+    const std::vector<uint64_t>& slots) const {
+  const int slot_bits = quantizer_.slot_bits();
+  const uint64_t slot_max = (uint64_t{1} << slot_bits) - 1;
+  std::vector<BigInt> out;
+  out.reserve(PlaintextsFor(slots.size()));
+
+  const size_t words_per_plaintext =
+      (static_cast<size_t>(slots_) * slot_bits + 31) / 32;
+  std::vector<uint32_t> words(words_per_plaintext, 0);
+  int filled = 0;
+  for (size_t i = 0; i < slots.size(); ++i) {
+    if (slots[i] > slot_max) {
+      return Status::OutOfRange("PackSlots: slot value exceeds slot width");
+    }
+    // OR the slot into the word buffer at bit offset filled * slot_bits.
+    const size_t bit = static_cast<size_t>(filled) * slot_bits;
+    size_t word = bit / 32;
+    const int shift = static_cast<int>(bit % 32);
+    words[word] |= static_cast<uint32_t>(slots[i] << shift);
+    uint64_t rest = shift == 0 ? slots[i] >> 32 : slots[i] >> (32 - shift);
+    while (rest != 0) {
+      ++word;
+      FLB_DCHECK(word < words.size());
+      words[word] |= static_cast<uint32_t>(rest);
+      rest >>= 32;
+    }
+    if (++filled == slots_ || i + 1 == slots.size()) {
+      out.push_back(BigInt::FromWords(words));
+      std::fill(words.begin(), words.end(), 0);
+      filled = 0;
+    }
+  }
+  return out;
+}
+
+Result<std::vector<BigInt>> BatchCompressor::Pack(
+    const std::vector<double>& values) const {
+  FLB_ASSIGN_OR_RETURN(std::vector<uint64_t> slots,
+                       quantizer_.EncodeBatch(values));
+  return PackSlots(slots);
+}
+
+Result<std::vector<uint64_t>> BatchCompressor::UnpackSlots(
+    const std::vector<BigInt>& packed, size_t count) const {
+  if (count > packed.size() * static_cast<size_t>(slots_)) {
+    return Status::InvalidArgument(
+        "UnpackSlots: fewer packed plaintexts than requested slots");
+  }
+  const int slot_bits = quantizer_.slot_bits();
+  std::vector<uint64_t> out;
+  out.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    const BigInt& z = packed[i / slots_];
+    const size_t bit = (i % slots_) * static_cast<size_t>(slot_bits);
+    // Assemble up to 62 bits starting at `bit` from 32-bit limbs.
+    const size_t word = bit / 32;
+    const int shift = static_cast<int>(bit % 32);
+    uint64_t v = (static_cast<uint64_t>(z.word(word)) |
+                  (static_cast<uint64_t>(z.word(word + 1)) << 32)) >>
+                 shift;
+    if (shift != 0) {
+      v |= static_cast<uint64_t>(z.word(word + 2)) << (64 - shift);
+    }
+    v &= (uint64_t{1} << slot_bits) - 1;
+    out.push_back(v);
+  }
+  return out;
+}
+
+Result<std::vector<double>> BatchCompressor::Unpack(
+    const std::vector<BigInt>& packed, size_t count,
+    int num_contributors) const {
+  FLB_ASSIGN_OR_RETURN(std::vector<uint64_t> slots,
+                       UnpackSlots(packed, count));
+  return quantizer_.DecodeAggregateBatch(slots, num_contributors);
+}
+
+double BatchCompressor::CompressionRatio(size_t count) const {
+  if (count == 0) return 1.0;
+  return static_cast<double>(count) /
+         static_cast<double>(PlaintextsFor(count));  // Eq. 11
+}
+
+double BatchCompressor::PlaintextSpaceUtilization(size_t count) const {
+  if (count == 0) return 0.0;
+  return static_cast<double>(count) * quantizer_.slot_bits() /
+         (static_cast<double>(key_bits_) *
+          static_cast<double>(PlaintextsFor(count)));  // Eq. 12
+}
+
+double BatchCompressor::TheoreticalCompressionRatio() const {
+  return static_cast<double>(key_bits_) / quantizer_.slot_bits();
+}
+
+}  // namespace flb::codec

@@ -1,0 +1,81 @@
+// Batch Compression (paper §IV-C).
+//
+// Packs n = floor(k / (r + b)) quantized gradients into one k-bit Paillier
+// plaintext (Eq. 9):
+//
+//   Z = [0..0][q_0] [0..0][q_1] ... [0..0][q_{n-1}]
+//        b     r     b     r          b     r
+//
+// One encryption then covers n gradients, shrinking both the ciphertext
+// count on the wire and the number of HE operations by the same factor
+// (Eqs. 11-13). Because Paillier addition is plain integer addition of the
+// packed words and each slot reserves b = ceil(log2 p) headroom bits,
+// slot-wise sums of up to p participants never carry into the next slot —
+// so aggregation happens directly on packed ciphertexts.
+
+#ifndef FLB_CODEC_BATCH_COMPRESSOR_H_
+#define FLB_CODEC_BATCH_COMPRESSOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/codec/quantizer.h"
+#include "src/common/result.h"
+#include "src/mpint/bigint.h"
+
+namespace flb::codec {
+
+using mpint::BigInt;
+
+class BatchCompressor {
+ public:
+  // key_bits is the Paillier |n|; packed plaintexts use at most key_bits-1
+  // bits so they always stay below n. Requires at least one slot to fit.
+  static Result<BatchCompressor> Create(Quantizer quantizer, int key_bits);
+
+  const Quantizer& quantizer() const { return quantizer_; }
+  int key_bits() const { return key_bits_; }
+  // n: quantized values per packed plaintext.
+  int slots_per_plaintext() const { return slots_; }
+
+  // ---- packing ---------------------------------------------------------------
+  // Quantizes and packs `values`; the last plaintext is partially filled
+  // when values.size() % n != 0.
+  Result<std::vector<BigInt>> Pack(const std::vector<double>& values) const;
+  // Packs pre-quantized slot values (each < 2^(r+b)).
+  Result<std::vector<BigInt>> PackSlots(
+      const std::vector<uint64_t>& slots) const;
+
+  // ---- unpacking -------------------------------------------------------------
+  // Extracts `count` slots from packed plaintexts (raw slot values).
+  Result<std::vector<uint64_t>> UnpackSlots(const std::vector<BigInt>& packed,
+                                            size_t count) const;
+  // Unpacks and decodes an aggregate of `num_contributors` participants.
+  Result<std::vector<double>> Unpack(const std::vector<BigInt>& packed,
+                                     size_t count, int num_contributors) const;
+
+  // ---- analytics (Eqs. 11-13) -------------------------------------------------
+  // Ciphertexts without packing / ciphertexts with packing, for a batch of
+  // `count` values (Eq. 11).
+  double CompressionRatio(size_t count) const;
+  // Fraction of the plaintext space carrying payload bits (Eq. 12).
+  double PlaintextSpaceUtilization(size_t count) const;
+  // The paper's upper bound k / (r + b) on both quantities.
+  double TheoreticalCompressionRatio() const;
+
+  // Plaintexts needed for `count` values.
+  size_t PlaintextsFor(size_t count) const {
+    return (count + slots_ - 1) / slots_;
+  }
+
+ private:
+  BatchCompressor(Quantizer quantizer, int key_bits, int slots);
+
+  Quantizer quantizer_;
+  int key_bits_;
+  int slots_;
+};
+
+}  // namespace flb::codec
+
+#endif  // FLB_CODEC_BATCH_COMPRESSOR_H_

@@ -1,0 +1,40 @@
+// Invariant-checking macros. FLB_CHECK is always on (cheap conditions only);
+// FLB_DCHECK compiles out in NDEBUG builds. Failures print the condition and
+// abort — these guard programming errors, not recoverable conditions (use
+// Status for those).
+
+#ifndef FLB_COMMON_CHECK_H_
+#define FLB_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace flb::internal {
+
+[[noreturn]] inline void CheckFailed(const char* cond, const char* file,
+                                     int line, const std::string& msg) {
+  std::fprintf(stderr, "FLB_CHECK failed: %s at %s:%d%s%s\n", cond, file, line,
+               msg.empty() ? "" : " — ", msg.c_str());
+  std::abort();
+}
+
+}  // namespace flb::internal
+
+#define FLB_CHECK(cond, ...)                                    \
+  do {                                                          \
+    if (!(cond)) {                                              \
+      ::flb::internal::CheckFailed(#cond, __FILE__, __LINE__,   \
+                                   ::std::string{__VA_ARGS__}); \
+    }                                                           \
+  } while (false)
+
+#ifdef NDEBUG
+#define FLB_DCHECK(cond, ...) \
+  do {                        \
+  } while (false)
+#else
+#define FLB_DCHECK(cond, ...) FLB_CHECK(cond, ##__VA_ARGS__)
+#endif
+
+#endif  // FLB_COMMON_CHECK_H_

@@ -1,0 +1,71 @@
+// Result<T>: a value-or-Status holder, the Arrow idiom for fallible
+// value-returning functions.
+//
+//   Result<PaillierKeyPair> KeyGen(int bits);
+//   ...
+//   FLB_ASSIGN_OR_RETURN(auto keys, KeyGen(2048));
+
+#ifndef FLB_COMMON_RESULT_H_
+#define FLB_COMMON_RESULT_H_
+
+#include <optional>
+#include <utility>
+
+#include "src/common/check.h"
+#include "src/common/status.h"
+
+namespace flb {
+
+template <typename T>
+class Result {
+ public:
+  // Implicit construction from a value or from a non-OK Status keeps call
+  // sites terse: `return value;` / `return Status::InvalidArgument(...)`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    FLB_CHECK(!status_.ok(), "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  // Accessing the value of a failed Result is a programming error.
+  const T& value() const& {
+    FLB_CHECK(ok(), "Result::value() on error: " + status_.ToString());
+    return *value_;
+  }
+  T& value() & {
+    FLB_CHECK(ok(), "Result::value() on error: " + status_.ToString());
+    return *value_;
+  }
+  T&& value() && {
+    FLB_CHECK(ok(), "Result::value() on error: " + status_.ToString());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;  // OK iff value_ holds a value.
+  std::optional<T> value_;
+};
+
+// Token-pasting helpers for unique temporary names inside the macro.
+#define FLB_CONCAT_IMPL(a, b) a##b
+#define FLB_CONCAT(a, b) FLB_CONCAT_IMPL(a, b)
+
+// Evaluates `rexpr` (a Result<T>); on error returns its Status, otherwise
+// move-assigns the value into `lhs` (which may be a declaration).
+#define FLB_ASSIGN_OR_RETURN(lhs, rexpr)                        \
+  auto FLB_CONCAT(_flb_result_, __LINE__) = (rexpr);            \
+  if (!FLB_CONCAT(_flb_result_, __LINE__).ok())                 \
+    return FLB_CONCAT(_flb_result_, __LINE__).status();         \
+  lhs = std::move(FLB_CONCAT(_flb_result_, __LINE__)).value()
+
+}  // namespace flb
+
+#endif  // FLB_COMMON_RESULT_H_

@@ -1,0 +1,119 @@
+// Status: error propagation without exceptions, in the RocksDB/Arrow idiom.
+//
+// Every fallible public API in FLBooster returns either a Status or a
+// Result<T> (see result.h). Statuses carry a coarse machine-readable code
+// plus a human-readable message. Construction of non-OK statuses is via the
+// named factory functions (Status::InvalidArgument(...) etc.).
+
+#ifndef FLB_COMMON_STATUS_H_
+#define FLB_COMMON_STATUS_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace flb {
+
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kOutOfRange = 2,
+  kNotFound = 3,
+  kAlreadyExists = 4,
+  kResourceExhausted = 5,
+  kFailedPrecondition = 6,
+  kInternal = 7,
+  kNotSupported = 8,
+  kArithmeticError = 9,
+  kCryptoError = 10,
+  kIoError = 11,
+};
+
+// Returns a stable, human-readable name for a status code ("InvalidArgument").
+std::string_view StatusCodeToString(StatusCode code);
+
+class Status {
+ public:
+  // Default-constructed status is OK.
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status ArithmeticError(std::string msg) {
+    return Status(StatusCode::kArithmeticError, std::move(msg));
+  }
+  static Status CryptoError(std::string msg) {
+    return Status(StatusCode::kCryptoError, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
+  bool IsOutOfRange() const { return code_ == StatusCode::kOutOfRange; }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsResourceExhausted() const {
+    return code_ == StatusCode::kResourceExhausted;
+  }
+  bool IsFailedPrecondition() const {
+    return code_ == StatusCode::kFailedPrecondition;
+  }
+  bool IsInternal() const { return code_ == StatusCode::kInternal; }
+  bool IsNotSupported() const { return code_ == StatusCode::kNotSupported; }
+  bool IsArithmeticError() const {
+    return code_ == StatusCode::kArithmeticError;
+  }
+  bool IsCryptoError() const { return code_ == StatusCode::kCryptoError; }
+  bool IsIoError() const { return code_ == StatusCode::kIoError; }
+
+  // "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), msg_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string msg_;
+};
+
+// Propagates a non-OK status to the caller. Usage:
+//   FLB_RETURN_IF_ERROR(DoThing());
+#define FLB_RETURN_IF_ERROR(expr)                  \
+  do {                                             \
+    ::flb::Status _flb_status = (expr);            \
+    if (!_flb_status.ok()) return _flb_status;     \
+  } while (false)
+
+}  // namespace flb
+
+#endif  // FLB_COMMON_STATUS_H_

@@ -1,0 +1,45 @@
+// CPU-side HE cost model (the beta_cpu term of the paper's Eq. 10).
+//
+// The GPU path's time comes from the device simulator; the CPU path charges
+// analytic per-op costs derived from the same limb-operation counts, divided
+// by a calibrated scalar limb-op rate. The default rate is chosen so the
+// FATE baseline's HE throughput at 1024-bit keys lands where the paper
+// measured it (~360 encryptions/second, Table IV); the growth across key
+// sizes then follows from the arithmetic itself.
+
+#ifndef FLB_CORE_COST_MODEL_H_
+#define FLB_CORE_COST_MODEL_H_
+
+#include <cstdint>
+
+#include "src/common/sim_clock.h"
+
+namespace flb::core {
+
+struct CpuCostModel {
+  // 32-bit multiply-accumulate limb operations per second for a tuned
+  // single-threaded bignum implementation on the paper's Xeon E5-2650 v4.
+  double limb_ops_per_sec = 3.9e9;
+  // Per-HE-op dispatch overhead on the CPU path. FATE drives Paillier from
+  // Python: every encrypt/add/decrypt crosses the interpreter and object
+  // layer, which dominates cheap ops (homomorphic adds) and is why the
+  // paper's FATE baseline is slow even on small ciphertext batches.
+  double per_op_overhead_sec = 60e-6;
+
+  double SecondsFor(uint64_t ops, uint64_t limb_ops_per_op) const {
+    return static_cast<double>(ops) *
+           (limb_ops_per_op / limb_ops_per_sec + per_op_overhead_sec);
+  }
+
+  // Charges `ops` CPU HE operations of `limb_ops_per_op` each (no-op when
+  // clock is null).
+  void Charge(SimClock* clock, uint64_t ops, uint64_t limb_ops_per_op) const {
+    if (clock != nullptr && ops > 0) {
+      clock->Charge(CostKind::kCpuHe, SecondsFor(ops, limb_ops_per_op));
+    }
+  }
+};
+
+}  // namespace flb::core
+
+#endif  // FLB_CORE_COST_MODEL_H_

@@ -1,0 +1,203 @@
+// HeService: the FLBooster platform's HE facade, binding together the key
+// material, the execution engine (CPU vs simulated GPU), the
+// Encoding-Quantization module, and Batch Compression.
+//
+// Two encrypted-vector layouts are supported:
+//
+//  * Packed-sum (Quantizer + BatchCompressor): the transport layout for
+//    vectors that only ever get added slot-wise across parties — gradient
+//    aggregation (Homo LR), forward-score aggregation. Under BC, n values
+//    share one ciphertext; otherwise one value per ciphertext.
+//
+//  * Fixed-point (FixedPointCodec): per-value ciphertexts hetero protocols
+//    scalar-multiply and selectively sum (SecureBoost histograms, Hetero LR
+//    gradient legs, the Hetero NN interactive layer). Under BC, *computed*
+//    fixed-point ciphertext vectors are compressed before transmission by
+//    cipher-space packing (SecureBoost+-style shift-and-add: each ciphertext
+//    is scalar-multiplied by 2^(slot offset) and offset-shifted to make the
+//    value non-negative, then all are homomorphically summed into one
+//    ciphertext) — so BC applies even to ciphertexts the sender cannot
+//    re-encrypt.
+//
+// Execution modes:
+//  * Real (default): genuine Paillier over the configured key size; results
+//    are cryptographically exact. Tests, examples, and small benches.
+//  * Modeled: the arithmetic runs on the *encoded plaintexts* (the
+//    quantize/pack/fixed-point math is still real, so model convergence is
+//    identical), while time, op counts, and bytes are charged exactly as the
+//    real engine would. Epoch-scale benches use this (DESIGN.md §1).
+
+#ifndef FLB_CORE_HE_SERVICE_H_
+#define FLB_CORE_HE_SERVICE_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "src/codec/batch_compressor.h"
+#include "src/codec/fixed_point.h"
+#include "src/codec/quantizer.h"
+#include "src/common/result.h"
+#include "src/common/rng.h"
+#include "src/common/sim_clock.h"
+#include "src/core/cost_model.h"
+#include "src/core/engine_config.h"
+#include "src/crypto/paillier.h"
+#include "src/ghe/ghe_engine.h"
+#include "src/mpint/bigint.h"
+
+namespace flb::core {
+
+using mpint::BigInt;
+
+enum class EncLayout : int {
+  kPackedSum = 0,   // quantized slots, additive aggregation only
+  kFixedPoint = 1,  // signed fixed-point residues, per-value homomorphic math
+};
+
+// An encrypted (or, in modeled mode, plaintext-shadowed) vector.
+struct EncVec {
+  EncLayout layout = EncLayout::kPackedSum;
+  size_t count = 0;           // logical double values represented
+  int slots_per_cipher = 1;   // >1 means packed/compressed
+  int contributors = 1;       // packed-sum: additive contributions per slot
+  int scale_muls = 0;         // fixed-point: accumulated scale multiplications
+  int fp_slot_bits = 0;       // fixed-point compressed: slot width (0 = not)
+  bool modeled = false;       // data holds encoded plaintexts, not ciphertexts
+  std::vector<BigInt> data;
+
+  size_t num_ciphertexts() const { return data.size(); }
+};
+
+struct HeServiceOptions {
+  EngineKind engine = EngineKind::kFlBooster;
+  int key_bits = 1024;
+  // Encoding-Quantization parameters (paper defaults: r + b = 32).
+  int r_bits = 30;
+  int participants = 4;
+  double alpha = 1.0;
+  // Fixed-point fractional bits for per-value legs.
+  int frac_bits = 24;
+  // Cipher-space compression slot width (0 = derive: 2*frac_bits + 16).
+  int fp_compress_slot_bits = 0;
+  // Plaintext-shadow execution (see header comment).
+  bool modeled = false;
+  uint64_t seed = 20230401;
+  CpuCostModel cpu_cost;
+};
+
+struct HeOpCounts {
+  uint64_t encrypts = 0;
+  uint64_t decrypts = 0;
+  uint64_t hom_adds = 0;
+  uint64_t scalar_muls = 0;
+  // Logical double values that passed through Encrypt/Decrypt (the paper's
+  // "instances" for Table IV throughput).
+  uint64_t values_encrypted = 0;
+  uint64_t values_decrypted = 0;
+};
+
+class HeService {
+ public:
+  // Generates fresh keys (real mode) or a synthetic modulus (modeled mode).
+  // `clock` may be null; `device` is required when the engine runs on GPU.
+  static Result<std::unique_ptr<HeService>> Create(
+      const HeServiceOptions& options, SimClock* clock,
+      std::shared_ptr<gpusim::Device> device);
+
+  const HeServiceOptions& options() const { return options_; }
+  EngineKind engine() const { return options_.engine; }
+  const EngineTraits& traits() const { return traits_; }
+  bool modeled() const { return options_.modeled; }
+  const codec::Quantizer& quantizer() const { return quantizer_; }
+  const codec::FixedPointCodec& fixed_point() const { return *fp_codec_; }
+  // Slots per ciphertext on the packed-sum path (1 when BC is off).
+  int pack_slots() const;
+  // Serialized ciphertext width in 32-bit words.
+  size_t CiphertextWords() const;
+  // The modulus n (plaintext space).
+  const BigInt& modulus() const { return n_; }
+
+  // ---- Packed-sum path -------------------------------------------------------
+  Result<EncVec> EncryptValues(const std::vector<double>& values);
+  Result<EncVec> AddCipher(const EncVec& a, const EncVec& b);
+  // Slot-wise addition of the caller's own plaintext values (one
+  // "contribution"): used when a party folds its share into a received
+  // ciphertext without encrypting separately.
+  Result<EncVec> AddPlainValues(const EncVec& c,
+                                const std::vector<double>& values);
+  // Decrypts and decodes; `c.contributors` slot contributions are assumed.
+  Result<std::vector<double>> DecryptValues(const EncVec& c);
+
+  // ---- Fixed-point path ------------------------------------------------------
+  Result<EncVec> EncryptFixedPoint(const std::vector<double>& values);
+  Result<EncVec> AddFixedPoint(const EncVec& a, const EncVec& b);
+  // Elementwise E(v_i) * w_i for signed double weights.
+  Result<EncVec> ScalarMulFixedPoint(const EncVec& c,
+                                     const std::vector<double>& weights);
+  // out_j = sum over (index, weight) terms of E(v_index) * weight — the
+  // encrypted-gradient / encrypted-histogram primitive. All outputs must
+  // draw from the same EncVec.
+  struct WeightedTerm {
+    uint32_t index;
+    double weight;
+  };
+  Result<EncVec> WeightedSums(
+      const EncVec& c, const std::vector<std::vector<WeightedTerm>>& groups);
+  // Pure selective sums (SecureBoost buckets): weights implicitly 1.
+  Result<EncVec> SelectiveSums(
+      const EncVec& c, const std::vector<std::vector<uint32_t>>& groups);
+  Result<std::vector<double>> DecryptFixedPoint(const EncVec& c);
+
+  // ---- Batch compression, cipher-space (BC module, part 2) -------------------
+  // Packs an unpacked fixed-point EncVec into ~count/slots ciphertexts by
+  // homomorphic shift-and-add. Values must satisfy
+  // |v| * 2^(f*(1+scale_muls)) < 2^(slot_bits-1). No-op (returns a copy)
+  // when BC is disabled for this engine.
+  Result<EncVec> CompressForTransmission(const EncVec& c);
+
+  // Wire size of an EncVec in bytes (what Network::Send will carry).
+  size_t WireBytes(const EncVec& c) const;
+
+  const HeOpCounts& op_counts() const { return op_counts_; }
+  void ResetOpCounts() { op_counts_ = HeOpCounts{}; }
+
+ private:
+  HeService(const HeServiceOptions& options, SimClock* clock,
+            std::shared_ptr<gpusim::Device> device, codec::Quantizer quantizer);
+
+  // Charges CPU or GPU time for a batch of ops described by total limb work.
+  void ChargeBatch(const char* kind, int64_t count, uint64_t limb_ops_per_elt,
+                   size_t bytes_in, size_t bytes_out);
+  Status CheckLayout(const EncVec& v, EncLayout expected,
+                     const char* op) const;
+  int fp_compress_slot_bits() const;
+  // Exponent width of a fixed-point scalar multiplication. Weights are
+  // O(1) after clipping, so |round(w * 2^f)| has ~frac_bits+10 bits;
+  // negative scalars cost the same via the ciphertext-inverse path (see
+  // crypto::PaillierContext::ScalarMul).
+  int EffectiveScalarBits() const { return options_.frac_bits + 10; }
+
+  HeServiceOptions options_;
+  EngineTraits traits_;
+  SimClock* clock_;
+  std::shared_ptr<gpusim::Device> device_;
+  std::unique_ptr<ghe::GheEngine> ghe_;
+
+  codec::Quantizer quantizer_;
+  std::optional<codec::BatchCompressor> compressor_;
+  std::unique_ptr<codec::FixedPointCodec> fp_codec_;
+
+  // Real mode only.
+  std::optional<crypto::PaillierContext> paillier_;
+  BigInt n_;
+  BigInt n_squared_;
+  Rng rng_;
+
+  HeOpCounts op_counts_;
+};
+
+}  // namespace flb::core
+
+#endif  // FLB_CORE_HE_SERVICE_H_

@@ -1,0 +1,127 @@
+#include "src/core/pipeline.h"
+
+#include <algorithm>
+
+#include "src/gpusim/device.h"
+
+namespace flb::core {
+
+namespace {
+
+Status ValidateStages(const std::vector<PipelineStage>& stages, int chunks) {
+  if (stages.empty()) {
+    return Status::InvalidArgument("pipeline: no stages");
+  }
+  if (chunks < 1) {
+    return Status::InvalidArgument("pipeline: chunks must be >= 1");
+  }
+  for (const auto& stage : stages) {
+    if (stage.seconds < 0) {
+      return Status::InvalidArgument("pipeline: negative stage time '" +
+                                     stage.name + "'");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<double> PipelineSchedule::OverlappedSeconds(
+    const std::vector<PipelineStage>& stages, int chunks) {
+  FLB_RETURN_IF_ERROR(ValidateStages(stages, chunks));
+  double fill = 0.0, bottleneck = 0.0;
+  for (const auto& stage : stages) {
+    fill += stage.seconds;
+    bottleneck = std::max(bottleneck, stage.seconds);
+  }
+  return fill + (chunks - 1) * bottleneck;
+}
+
+Result<double> PipelineSchedule::SerialSeconds(
+    const std::vector<PipelineStage>& stages, int chunks) {
+  FLB_RETURN_IF_ERROR(ValidateStages(stages, chunks));
+  double per_chunk = 0.0;
+  for (const auto& stage : stages) per_chunk += stage.seconds;
+  return per_chunk * chunks;
+}
+
+Result<PipelineStage> PipelineSchedule::Bottleneck(
+    const std::vector<PipelineStage>& stages) {
+  FLB_RETURN_IF_ERROR(ValidateStages(stages, 1));
+  const PipelineStage* worst = &stages[0];
+  for (const auto& stage : stages) {
+    if (stage.seconds > worst->seconds) worst = &stage;
+  }
+  return *worst;
+}
+
+namespace {
+
+// Builds the Fig. 4 stage chain for one chunk of a batched op.
+Result<PipelinedModelResult> BuildChain(ghe::GheEngine& engine, int key_bits,
+                                        int64_t count, int chunks,
+                                        bool encrypt) {
+  if (count < 1) {
+    return Status::InvalidArgument("PipelinedModel: empty batch");
+  }
+  chunks = std::max(1, std::min<int>(chunks, static_cast<int>(count)));
+  const int64_t chunk = (count + chunks - 1) / chunks;
+  const gpusim::DeviceSpec& spec = engine.device().spec();
+  const size_t s2 = static_cast<size_t>(key_bits) * 2 / 32;
+
+  PipelinedModelResult result;
+  result.chunks = chunks;
+  const double host_rate = 2.0e9;  // host-side limb/copy ops per second
+  // Encryption stages half-width plaintexts in; addition moves two
+  // full-width ciphertexts in and one out.
+  const size_t in_bytes = encrypt ? chunk * (s2 / 2) * 4 : chunk * s2 * 8;
+  const size_t out_bytes = chunk * s2 * 4;
+
+  // Kernel time for one chunk via the device model (stats only; the reset
+  // keeps this modeling pass out of the engine's cumulative telemetry).
+  engine.device().ResetStats();
+  gpusim::LaunchResult launch;
+  if (encrypt) {
+    FLB_ASSIGN_OR_RETURN(launch, engine.ModelPaillierEncrypt(key_bits, chunk));
+  } else {
+    FLB_ASSIGN_OR_RETURN(launch, engine.ModelPaillierAdd(key_bits, chunk));
+  }
+  engine.device().ResetStats();
+
+  result.stages_per_chunk = {
+      {"convert", chunk * 8.0 / host_rate},
+      {"encode+pack", encrypt ? chunk * (s2 / 2.0) / host_rate : 0.0},
+      {"h2d", spec.pcie_latency_sec +
+                  in_bytes / spec.pcie_bandwidth_bytes_per_sec},
+      {"kernel", launch.sim_seconds},
+      {"d2h", spec.pcie_latency_sec +
+                  out_bytes / spec.pcie_bandwidth_bytes_per_sec},
+      {"unconvert", chunk * 8.0 / host_rate},
+  };
+  FLB_ASSIGN_OR_RETURN(result.serial_seconds,
+                       PipelineSchedule::SerialSeconds(
+                           result.stages_per_chunk, chunks));
+  FLB_ASSIGN_OR_RETURN(result.overlapped_seconds,
+                       PipelineSchedule::OverlappedSeconds(
+                           result.stages_per_chunk, chunks));
+  result.speedup = result.serial_seconds / result.overlapped_seconds;
+  return result;
+}
+
+}  // namespace
+
+Result<PipelinedModelResult> PipelinedModel::Encrypt(ghe::GheEngine& engine,
+                                                     int key_bits,
+                                                     int64_t count,
+                                                     int chunks) {
+  return BuildChain(engine, key_bits, count, chunks, /*encrypt=*/true);
+}
+
+Result<PipelinedModelResult> PipelinedModel::HomAdd(ghe::GheEngine& engine,
+                                                    int key_bits,
+                                                    int64_t count,
+                                                    int chunks) {
+  return BuildChain(engine, key_bits, count, chunks, /*encrypt=*/false);
+}
+
+}  // namespace flb::core

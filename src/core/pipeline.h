@@ -1,0 +1,82 @@
+// Pipelined data processing (paper §V, Fig. 4).
+//
+// FLBooster moves every HE batch through a fixed stage chain:
+//
+//   (1) data conversion        (host)   — FL-framework objects -> raw arrays
+//   (2) processing/compression (host)   — encode, quantize, pad, pack
+//   (3) H2D copy               (PCIe)
+//   (4) kernel                 (device) — the HE computation
+//   (5) D2H copy               (PCIe)
+//   (6) unpack/decode          (host)
+//   (7) data conversion back   (host)
+//
+// Large batches are cut into chunks so stage i of chunk c overlaps stage
+// i-1 of chunk c+1 (host preprocessing, the two PCIe directions, and the
+// kernel run on different engines). Total latency follows the classic
+// pipeline formula:
+//
+//   T = sum(stage times of one chunk) + (chunks - 1) * max(stage time)
+//
+// PipelineSchedule is the pure math (unit-testable); PipelinedModel applies
+// it to the HE op shapes so benches can quantify what §V's pipelining buys
+// over serial staging.
+
+#ifndef FLB_CORE_PIPELINE_H_
+#define FLB_CORE_PIPELINE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/ghe/ghe_engine.h"
+
+namespace flb::core {
+
+struct PipelineStage {
+  std::string name;
+  double seconds = 0.0;  // duration for ONE chunk
+};
+
+class PipelineSchedule {
+ public:
+  // Total time when the stages of consecutive chunks overlap.
+  // chunks >= 1; stage list must be non-empty.
+  static Result<double> OverlappedSeconds(
+      const std::vector<PipelineStage>& stages, int chunks);
+  // Total time with no overlap (every chunk runs every stage serially).
+  static Result<double> SerialSeconds(const std::vector<PipelineStage>& stages,
+                                      int chunks);
+  // The stage that bounds steady-state throughput.
+  static Result<PipelineStage> Bottleneck(
+      const std::vector<PipelineStage>& stages);
+};
+
+// The Fig. 4 stage chain for one Paillier batch operation, built from the
+// same cost formulas the engine charges.
+struct PipelinedModelResult {
+  std::vector<PipelineStage> stages_per_chunk;
+  double serial_seconds = 0.0;
+  double overlapped_seconds = 0.0;
+  double speedup = 1.0;
+  int chunks = 1;
+};
+
+class PipelinedModel {
+ public:
+  // Models a batched encryption of `count` plaintexts at `key_bits`,
+  // chunked `chunks` ways, on the given engine configuration. Encryption is
+  // kernel-bound, so overlap buys little — included for honesty.
+  static Result<PipelinedModelResult> Encrypt(ghe::GheEngine& engine,
+                                              int key_bits, int64_t count,
+                                              int chunks);
+  // Models a batched homomorphic addition — cheap kernels moving full-width
+  // ciphertexts, so the PCIe stages dominate and pipelining overlaps the
+  // two copy directions with compute (where Fig. 4's chunking pays off).
+  static Result<PipelinedModelResult> HomAdd(ghe::GheEngine& engine,
+                                             int key_bits, int64_t count,
+                                             int chunks);
+};
+
+}  // namespace flb::core
+
+#endif  // FLB_CORE_PIPELINE_H_

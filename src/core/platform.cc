@@ -1,0 +1,130 @@
+#include "src/core/platform.h"
+
+#include <memory>
+#include <utility>
+
+#include "src/fl/hetero_lr.h"
+#include "src/fl/homo_lr.h"
+#include "src/fl/partition.h"
+
+namespace flb::core {
+
+std::string ModelName(FlModelKind kind) {
+  switch (kind) {
+    case FlModelKind::kHomoLr:
+      return "Homo LR";
+    case FlModelKind::kHeteroLr:
+      return "Hetero LR";
+    case FlModelKind::kHeteroSbt:
+      return "Hetero SBT";
+    case FlModelKind::kHeteroNn:
+      return "Hetero NN";
+    case FlModelKind::kHomoNn:
+      return "Homo NN";
+  }
+  return "unknown";
+}
+
+Result<RunReport> Platform::Run(const PlatformConfig& config) {
+  if (config.num_parties < 1) {
+    return Status::InvalidArgument("Platform: num_parties must be >= 1");
+  }
+  const EngineTraits traits = TraitsFor(config.engine);
+
+  auto clock = std::make_unique<SimClock>();
+  std::shared_ptr<gpusim::Device> device;
+  if (traits.gpu_he) {
+    device = std::make_shared<gpusim::Device>(gpusim::DeviceSpec::Rtx3090(),
+                                              clock.get(),
+                                              traits.branch_combining);
+  }
+  net::Network network(config.link, clock.get());
+
+  const int parties =
+      config.model == FlModelKind::kHeteroNn ? 2 : config.num_parties;
+
+  HeServiceOptions he_opts;
+  he_opts.engine = config.engine;
+  he_opts.key_bits = config.key_bits;
+  he_opts.r_bits = config.r_bits;
+  he_opts.participants = parties;
+  he_opts.alpha = config.alpha;
+  he_opts.frac_bits = config.frac_bits;
+  he_opts.fp_compress_slot_bits = config.fp_compress_slot_bits;
+  he_opts.modeled = config.modeled;
+  he_opts.seed = config.seed;
+  FLB_ASSIGN_OR_RETURN(auto he,
+                       HeService::Create(he_opts, clock.get(), device));
+
+  FLB_ASSIGN_OR_RETURN(fl::Dataset dataset,
+                       fl::GenerateDataset(config.dataset));
+
+  fl::FlSession session;
+  session.he = he.get();
+  session.network = &network;
+  session.clock = clock.get();
+
+  RunReport report;
+  switch (config.model) {
+    case FlModelKind::kHomoLr: {
+      FLB_ASSIGN_OR_RETURN(auto shards,
+                           fl::HorizontalSplit(dataset, parties));
+      fl::HomoLrTrainer trainer(std::move(shards), session, config.train);
+      FLB_ASSIGN_OR_RETURN(report.train, trainer.Train());
+      break;
+    }
+    case FlModelKind::kHeteroLr: {
+      FLB_ASSIGN_OR_RETURN(auto partition,
+                           fl::VerticalSplit(dataset, parties));
+      fl::HeteroLrTrainer trainer(std::move(partition), session,
+                                  config.train);
+      FLB_ASSIGN_OR_RETURN(report.train, trainer.Train());
+      break;
+    }
+    case FlModelKind::kHeteroSbt: {
+      FLB_ASSIGN_OR_RETURN(auto partition,
+                           fl::VerticalSplit(dataset, parties));
+      fl::HeteroSbtTrainer trainer(std::move(partition), session,
+                                   config.train, config.sbt);
+      FLB_ASSIGN_OR_RETURN(report.train, trainer.Train());
+      break;
+    }
+    case FlModelKind::kHeteroNn: {
+      FLB_ASSIGN_OR_RETURN(auto partition, fl::VerticalSplit(dataset, 2));
+      fl::HeteroNnTrainer trainer(std::move(partition), session,
+                                  config.train, config.nn);
+      FLB_ASSIGN_OR_RETURN(report.train, trainer.Train());
+      break;
+    }
+    case FlModelKind::kHomoNn: {
+      FLB_ASSIGN_OR_RETURN(auto shards,
+                           fl::HorizontalSplit(dataset, parties));
+      fl::HomoNnTrainer trainer(std::move(shards), session, config.train,
+                                config.homo_nn);
+      FLB_ASSIGN_OR_RETURN(report.train, trainer.Train());
+      break;
+    }
+  }
+
+  report.total_seconds = clock->Now();
+  report.he_seconds = clock->HeSeconds();
+  report.comm_seconds = clock->CommSeconds();
+  report.other_seconds = clock->OtherSeconds();
+  report.comm_bytes = network.stats().bytes;
+  report.comm_messages = network.stats().messages;
+  report.he_ops = he->op_counts();
+  const uint64_t he_values =
+      report.he_ops.values_encrypted + report.he_ops.values_decrypted;
+  report.he_throughput =
+      report.he_seconds > 0 ? he_values / report.he_seconds : 0.0;
+  if (device != nullptr) {
+    report.sm_utilization = device->stats().MeanSmUtilization();
+  }
+  if (report.he_ops.encrypts > 0) {
+    report.pack_ratio = static_cast<double>(report.he_ops.values_encrypted) /
+                        report.he_ops.encrypts;
+  }
+  return report;
+}
+
+}  // namespace flb::core

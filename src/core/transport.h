@@ -1,0 +1,36 @@
+// EncVec transport: ships encrypted vectors over the simulated network.
+//
+// Wire size is always the *real* ciphertext footprint (count x 2k-bit
+// ciphertexts), even in modeled execution where the in-memory shadow values
+// are small — so communication accounting is identical across execution
+// modes (DESIGN.md §1).
+
+#ifndef FLB_CORE_TRANSPORT_H_
+#define FLB_CORE_TRANSPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/he_service.h"
+#include "src/net/network.h"
+
+namespace flb::core {
+
+Status SendEncVec(net::Network* network, const HeService& he,
+                  const std::string& from, const std::string& to,
+                  const std::string& topic, const EncVec& vec);
+
+Result<EncVec> RecvEncVec(net::Network* network, const std::string& to,
+                          const std::string& topic);
+
+// Plaintext payloads (post-decryption scalars/vectors).
+Status SendDoubles(net::Network* network, const std::string& from,
+                   const std::string& to, const std::string& topic,
+                   const std::vector<double>& values);
+Result<std::vector<double>> RecvDoubles(net::Network* network,
+                                        const std::string& to,
+                                        const std::string& topic);
+
+}  // namespace flb::core
+
+#endif  // FLB_CORE_TRANSPORT_H_

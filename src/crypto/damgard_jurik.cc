@@ -1,0 +1,152 @@
+#include "src/crypto/damgard_jurik.h"
+
+#include <utility>
+
+#include "src/common/check.h"
+
+namespace flb::crypto {
+
+namespace {
+
+// Draws r uniform in [1, n) with gcd(r, n) = 1.
+BigInt DrawUnit(const BigInt& n, Rng& rng) {
+  for (;;) {
+    BigInt r = BigInt::RandomBelow(rng, n);
+    if (r.IsZero()) continue;
+    if (BigInt::Gcd(r, n).IsOne()) return r;
+  }
+}
+
+}  // namespace
+
+Result<DamgardJurikContext> DamgardJurikContext::Create(
+    const PaillierKeyPair& keys, int s) {
+  if (s < 1 || s > 8) {
+    return Status::InvalidArgument("DamgardJurik: degree s must be in [1, 8]");
+  }
+  if (keys.pub.n.IsZero() || keys.priv.lambda.IsZero()) {
+    return Status::InvalidArgument("DamgardJurik: incomplete key material");
+  }
+  DamgardJurikContext ctx;
+  ctx.s_ = s;
+  ctx.n_ = keys.pub.n;
+  ctx.n_pow_.reserve(s + 1);
+  BigInt power = keys.pub.n;
+  for (int j = 0; j <= s; ++j) {
+    ctx.n_pow_.push_back(power);
+    power = BigInt::Mul(power, keys.pub.n);
+  }
+  // d ≡ 1 (mod n^s), d ≡ 0 (mod lambda):
+  //   d = lambda * (lambda^{-1} mod n^s).
+  const BigInt& ns = ctx.n_pow_[s - 1];
+  FLB_ASSIGN_OR_RETURN(BigInt lambda_inv,
+                       BigInt::ModInverse(keys.priv.lambda % ns, ns));
+  ctx.d_ = BigInt::Mul(keys.priv.lambda, lambda_inv);
+  FLB_ASSIGN_OR_RETURN(auto top, MontgomeryContext::Create(ctx.n_pow_[s]));
+  ctx.top_ctx_ = std::make_shared<MontgomeryContext>(std::move(top));
+  return ctx;
+}
+
+size_t DamgardJurikContext::CiphertextWords() const {
+  return (static_cast<size_t>(ciphertext_modulus().BitLength()) + 31) / 32;
+}
+
+Result<BigInt> DamgardJurikContext::Encrypt(const BigInt& m, Rng& rng) const {
+  if (m >= plaintext_modulus()) {
+    return Status::OutOfRange("DamgardJurik: plaintext must be < n^s");
+  }
+  const BigInt& top = ciphertext_modulus();
+  // (1+n)^m via the binomial expansion: only the first s+1 terms survive
+  // mod n^(s+1): sum_{i=0..s} C(m, i) * n^i.
+  BigInt gm(1);
+  BigInt term(1);  // C(m, i) mod n^(s+1), iteratively
+  for (int i = 1; i <= s_; ++i) {
+    // term *= (m - (i-1)) / i  (division exact in Z_{n^(s+1)}: i ⊥ n)
+    BigInt factor = m;
+    const BigInt dec(static_cast<uint64_t>(i - 1));
+    if (factor >= dec) {
+      factor = BigInt::Sub(factor, dec);
+    } else {
+      factor = BigInt::Sub(BigInt::Add(factor, top), dec);
+    }
+    term = BigInt::Mul(term, factor) % top;
+    FLB_ASSIGN_OR_RETURN(BigInt inv_i,
+                         BigInt::ModInverse(BigInt(static_cast<uint64_t>(i)),
+                                            top));
+    term = BigInt::Mul(term, inv_i) % top;
+    gm = BigInt::Add(gm, BigInt::Mul(term, n_pow_[i - 1])) % top;
+  }
+  // r^(n^s) mod n^(s+1).
+  const BigInt r = DrawUnit(n_, rng);
+  const BigInt rn = top_ctx_->ModPow(r, plaintext_modulus());
+  return top_ctx_->ModMul(gm, rn);
+}
+
+Result<BigInt> DamgardJurikContext::LogBase1PlusN(const BigInt& a) const {
+  // Damgård–Jurik's iterative extraction of x from a = (1+n)^x mod n^(s+1).
+  BigInt i;  // x mod n^j, refined per round
+  for (int j = 1; j <= s_; ++j) {
+    const BigInt& nj = n_pow_[j - 1];       // n^j
+    const BigInt& nj1 = n_pow_[j];          // n^(j+1)
+    const BigInt a_mod = a % nj1;
+    if (a_mod.IsZero()) {
+      return Status::CryptoError("DamgardJurik: malformed decryption input");
+    }
+    // t1 = L(a mod n^(j+1)) = (a_mod - 1) / n.
+    FLB_ASSIGN_OR_RETURN(BigInt t1,
+                         BigInt::Div(BigInt::Sub(a_mod, BigInt(1)), n_));
+    t1 = t1 % nj;
+    BigInt t2 = i % nj;
+    BigInt i_run = i % nj;
+    BigInt k_factorial(1);
+    for (int k = 2; k <= j; ++k) {
+      // i_run -= 1 (mod n^j)
+      if (i_run.IsZero()) {
+        i_run = BigInt::Sub(nj, BigInt(1));
+      } else {
+        i_run = BigInt::Sub(i_run, BigInt(1));
+      }
+      t2 = BigInt::Mul(t2, i_run) % nj;
+      k_factorial = BigInt::Mul(k_factorial, BigInt(static_cast<uint64_t>(k)));
+      FLB_ASSIGN_OR_RETURN(BigInt inv_fact,
+                           BigInt::ModInverse(k_factorial % nj, nj));
+      const BigInt sub =
+          BigInt::Mul(BigInt::Mul(t2, n_pow_[k - 2]) % nj, inv_fact) % nj;
+      if (t1 >= sub) {
+        t1 = BigInt::Sub(t1, sub);
+      } else {
+        t1 = BigInt::Sub(BigInt::Add(t1, nj), sub);
+      }
+    }
+    i = t1;
+  }
+  return i;
+}
+
+Result<BigInt> DamgardJurikContext::Decrypt(const BigInt& c) const {
+  if (c >= ciphertext_modulus()) {
+    return Status::OutOfRange("DamgardJurik: ciphertext must be < n^(s+1)");
+  }
+  // c^d = (1+n)^m since d kills the randomizer (d ≡ 0 mod lambda) and fixes
+  // the message (d ≡ 1 mod n^s).
+  const BigInt a = top_ctx_->ModPow(c, d_);
+  return LogBase1PlusN(a);
+}
+
+Result<BigInt> DamgardJurikContext::Add(const BigInt& c1,
+                                        const BigInt& c2) const {
+  if (c1 >= ciphertext_modulus() || c2 >= ciphertext_modulus()) {
+    return Status::OutOfRange("DamgardJurik: ciphertext must be < n^(s+1)");
+  }
+  return top_ctx_->ModMul(c1, c2);
+}
+
+Result<BigInt> DamgardJurikContext::ScalarMul(const BigInt& c,
+                                              const BigInt& k) const {
+  if (c >= ciphertext_modulus()) {
+    return Status::OutOfRange("DamgardJurik: ciphertext must be < n^(s+1)");
+  }
+  return top_ctx_->ModPow(c, k);
+}
+
+}  // namespace flb::crypto

@@ -1,0 +1,90 @@
+// Montgomery modular arithmetic.
+//
+// Implements the paper's Algorithm 1 (basic Montgomery multiplication) and
+// the CIOS (Coarsely Integrated Operand Scanning) word-level form that
+// Algorithm 2 parallelizes on the GPU. A MontgomeryContext is bound to one
+// odd modulus n and precomputes:
+//   * s       — the limb width of n (all operands are fixed to s limbs),
+//   * n0'     — -n^{-1} mod 2^32 (the per-word Montgomery factor),
+//   * R^2 mod n — for converting into the Montgomery domain.
+//
+// ModPow uses sliding-window exponentiation (paper §IV-A3: complexity drops
+// from e to log_{2^b} e multiplications for window width b).
+//
+// The simulated-GPU kernel in src/ghe runs this exact CIOS recurrence with
+// limbs distributed across device threads; tests assert bit-exact agreement.
+
+#ifndef FLB_CRYPTO_MONTGOMERY_H_
+#define FLB_CRYPTO_MONTGOMERY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/mpint/bigint.h"
+
+namespace flb::crypto {
+
+using mpint::BigInt;
+
+class MontgomeryContext {
+ public:
+  // The modulus must be odd and >= 3 (Montgomery's method requires
+  // gcd(n, R) = 1 with R a power of two).
+  static Result<MontgomeryContext> Create(const BigInt& modulus);
+
+  const BigInt& modulus() const { return n_; }
+  // Limb width s: every Montgomery-domain value is exactly s limbs.
+  size_t num_limbs() const { return s_; }
+  // -n^{-1} mod 2^32.
+  uint32_t n0_inv() const { return n0_inv_; }
+
+  // Montgomery-domain conversions. Inputs must be < n.
+  BigInt ToMont(const BigInt& a) const;
+  BigInt FromMont(const BigInt& a) const;
+
+  // Computes a*b*R^{-1} mod n for Montgomery-domain a, b (each < n).
+  BigInt MontMul(const BigInt& a, const BigInt& b) const;
+
+  // Fixed-width limb-vector form of MontMul — the exact CIOS loop that the
+  // GPU kernel parallelizes. a, b are s-limb little-endian arrays; the
+  // result is written to out (s limbs). Exposed so src/ghe and the tests
+  // can drive it directly.
+  void MontMulWords(const uint32_t* a, const uint32_t* b, uint32_t* out) const;
+
+  // Algorithm 1 from the paper: the "basic" (non-word-scanning) Montgomery
+  // product A*B*R^{-1} mod n computed with full-width BigInt ops. Kept as a
+  // differential-testing oracle and for bench_montgomery.
+  BigInt MontMulBasic(const BigInt& a, const BigInt& b) const;
+
+  // (a * b) mod n for ordinary-domain values.
+  BigInt ModMul(const BigInt& a, const BigInt& b) const;
+
+  // a^e mod n by sliding-window exponentiation over MontMul.
+  // `window_bits` in [1, 8]; 0 selects a width based on e's size.
+  BigInt ModPow(const BigInt& base, const BigInt& exp,
+                int window_bits = 0) const;
+
+  // Number of MontMul invocations since construction (mutable counter used
+  // by the cost model and the GPU simulator's instruction accounting).
+  uint64_t mont_mul_count() const { return mont_mul_count_; }
+  void ResetCounters() const { mont_mul_count_ = 0; }
+
+ private:
+  MontgomeryContext() = default;
+
+  BigInt n_;
+  size_t s_ = 0;
+  uint32_t n0_inv_ = 0;
+  BigInt r_mod_n_;   // R mod n    (Montgomery form of 1)
+  BigInt r2_mod_n_;  // R^2 mod n
+  mutable uint64_t mont_mul_count_ = 0;
+};
+
+// Picks the sliding-window width the way HAC 14.85's table does: wider
+// windows for longer exponents.
+int ChooseWindowBits(int exp_bits);
+
+}  // namespace flb::crypto
+
+#endif  // FLB_CRYPTO_MONTGOMERY_H_

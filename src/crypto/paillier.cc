@@ -1,0 +1,246 @@
+#include "src/crypto/paillier.h"
+
+#include <utility>
+
+#include "src/common/check.h"
+#include "src/crypto/prime.h"
+
+namespace flb::crypto {
+
+namespace {
+
+// L(x) = (x - 1) / d, defined for x ≡ 1 (mod d).
+Result<BigInt> LFunction(const BigInt& x, const BigInt& d) {
+  if (x.IsZero()) {
+    return Status::CryptoError("L function: x must be >= 1");
+  }
+  return BigInt::Div(BigInt::Sub(x, BigInt(1)), d);
+}
+
+// Draws r uniform in [1, n) with gcd(r, n) = 1. For n = p*q with large
+// primes a random r is coprime with overwhelming probability, so the loop
+// almost never repeats.
+BigInt DrawUnit(const BigInt& n, Rng& rng) {
+  for (;;) {
+    BigInt r = BigInt::RandomBelow(rng, n);
+    if (r.IsZero()) continue;
+    if (BigInt::Gcd(r, n).IsOne()) return r;
+  }
+}
+
+}  // namespace
+
+Result<PaillierKeyPair> PaillierKeyGen(int key_bits, Rng& rng,
+                                       const PaillierOptions& options) {
+  if (key_bits < 64 || key_bits % 2 != 0) {
+    return Status::InvalidArgument(
+        "Paillier key size must be even and >= 64 bits");
+  }
+  const int prime_bits = key_bits / 2;
+
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    FLB_ASSIGN_OR_RETURN(BigInt p, GeneratePrime(prime_bits, rng));
+    FLB_ASSIGN_OR_RETURN(BigInt q, GenerateDistinctPrime(prime_bits, p, rng));
+    BigInt n = BigInt::Mul(p, q);
+    if (n.BitLength() != key_bits) continue;  // product fell one bit short
+    const BigInt p_minus_1 = BigInt::Sub(p, BigInt(1));
+    const BigInt q_minus_1 = BigInt::Sub(q, BigInt(1));
+    // gcd(n, phi) == 1 is guaranteed when p, q are distinct same-length
+    // primes, but verify anyway (paper §III-B requires it).
+    if (!BigInt::Gcd(n, BigInt::Mul(p_minus_1, q_minus_1)).IsOne()) continue;
+
+    PaillierKeyPair keys;
+    keys.pub.key_bits = key_bits;
+    keys.pub.n = n;
+    keys.pub.n_squared = BigInt::Mul(n, n);
+    keys.pub.g_is_n_plus_1 = options.use_g_n_plus_1;
+    keys.priv.p = std::move(p);
+    keys.priv.q = std::move(q);
+    keys.priv.lambda = BigInt::Lcm(p_minus_1, q_minus_1);
+
+    FLB_ASSIGN_OR_RETURN(auto n2_ctx,
+                         MontgomeryContext::Create(keys.pub.n_squared));
+    if (options.use_g_n_plus_1) {
+      keys.pub.g = BigInt::Add(n, BigInt(1));
+    } else {
+      // Random g in Z*_{n^2} with L(g^lambda) invertible mod n; retry g on
+      // the rare failure.
+      bool found = false;
+      for (int g_attempt = 0; g_attempt < 32 && !found; ++g_attempt) {
+        BigInt g = DrawUnit(keys.pub.n_squared, rng);
+        const BigInt g_lambda = n2_ctx.ModPow(g, keys.priv.lambda);
+        FLB_ASSIGN_OR_RETURN(BigInt l, LFunction(g_lambda, n));
+        auto mu = BigInt::ModInverse(l, n);
+        if (!mu.ok()) continue;
+        keys.pub.g = std::move(g);
+        keys.priv.mu = std::move(mu).value();
+        found = true;
+      }
+      if (!found) continue;
+    }
+    if (options.use_g_n_plus_1) {
+      // g = n+1: g^lambda = 1 + lambda*n (mod n^2), so L = lambda mod n and
+      // mu = lambda^{-1} mod n.
+      FLB_ASSIGN_OR_RETURN(BigInt lambda_mod_n,
+                           BigInt::Mod(keys.priv.lambda, n));
+      auto mu = BigInt::ModInverse(lambda_mod_n, n);
+      if (!mu.ok()) continue;
+      keys.priv.mu = std::move(mu).value();
+    }
+    return keys;
+  }
+  return Status::Internal("PaillierKeyGen: exceeded attempt budget");
+}
+
+Result<PaillierContext> PaillierContext::CreatePublic(PaillierPublicKey pub) {
+  if (pub.n.IsZero() || pub.n_squared != BigInt::Mul(pub.n, pub.n)) {
+    return Status::InvalidArgument("inconsistent Paillier public key");
+  }
+  PaillierContext ctx;
+  FLB_ASSIGN_OR_RETURN(auto n2, MontgomeryContext::Create(pub.n_squared));
+  FLB_ASSIGN_OR_RETURN(auto n_ctx, MontgomeryContext::Create(pub.n));
+  ctx.n2_ctx_ = std::make_shared<MontgomeryContext>(std::move(n2));
+  ctx.n_ctx_ = std::make_shared<MontgomeryContext>(std::move(n_ctx));
+  ctx.pub_ = std::move(pub);
+  return ctx;
+}
+
+Result<PaillierContext> PaillierContext::Create(
+    PaillierKeyPair keys, const PaillierOptions& options) {
+  FLB_ASSIGN_OR_RETURN(PaillierContext ctx, CreatePublic(keys.pub));
+  ctx.use_crt_ = options.use_crt_decryption;
+  if (ctx.use_crt_) {
+    const BigInt p2 = BigInt::Mul(keys.priv.p, keys.priv.p);
+    const BigInt q2 = BigInt::Mul(keys.priv.q, keys.priv.q);
+    FLB_ASSIGN_OR_RETURN(auto p2_ctx, MontgomeryContext::Create(p2));
+    FLB_ASSIGN_OR_RETURN(auto q2_ctx, MontgomeryContext::Create(q2));
+    ctx.p2_ctx_ = std::make_shared<MontgomeryContext>(std::move(p2_ctx));
+    ctx.q2_ctx_ = std::make_shared<MontgomeryContext>(std::move(q2_ctx));
+
+    const BigInt p_minus_1 = BigInt::Sub(keys.priv.p, BigInt(1));
+    const BigInt q_minus_1 = BigInt::Sub(keys.priv.q, BigInt(1));
+    const BigInt gp = ctx.p2_ctx_->ModPow(keys.pub.g % p2, p_minus_1);
+    const BigInt gq = ctx.q2_ctx_->ModPow(keys.pub.g % q2, q_minus_1);
+    FLB_ASSIGN_OR_RETURN(BigInt lp, LFunction(gp, keys.priv.p));
+    FLB_ASSIGN_OR_RETURN(BigInt lq, LFunction(gq, keys.priv.q));
+    FLB_ASSIGN_OR_RETURN(ctx.hp_, BigInt::ModInverse(lp, keys.priv.p));
+    FLB_ASSIGN_OR_RETURN(ctx.hq_, BigInt::ModInverse(lq, keys.priv.q));
+    FLB_ASSIGN_OR_RETURN(ctx.p_inv_mod_q_,
+                         BigInt::ModInverse(keys.priv.p, keys.priv.q));
+  }
+  ctx.priv_ = std::move(keys.priv);
+  return ctx;
+}
+
+Result<BigInt> PaillierContext::Encrypt(const BigInt& m, Rng& rng) const {
+  if (m >= pub_.n) {
+    return Status::OutOfRange("Paillier plaintext must be < n");
+  }
+  ++op_counts_.encrypts;
+  const BigInt r = DrawUnit(pub_.n, rng);
+  // r^n mod n^2 — the dominant cost of encryption.
+  const BigInt rn = n2_ctx_->ModPow(r, pub_.n);
+  BigInt gm;
+  if (pub_.g_is_n_plus_1) {
+    // (n+1)^m = 1 + m*n (mod n^2): one multiply instead of an exponentiation.
+    gm = BigInt::Add(BigInt::Mul(m, pub_.n), BigInt(1)) % pub_.n_squared;
+  } else {
+    gm = n2_ctx_->ModPow(pub_.g, m);
+  }
+  return n2_ctx_->ModMul(gm, rn);
+}
+
+Result<BigInt> PaillierContext::DecryptPlain(const BigInt& c) const {
+  const BigInt c_lambda = n2_ctx_->ModPow(c, priv_->lambda);
+  FLB_ASSIGN_OR_RETURN(BigInt l, LFunction(c_lambda, pub_.n));
+  return n_ctx_->ModMul(l, priv_->mu);
+}
+
+Result<BigInt> PaillierContext::DecryptCrt(const BigInt& c) const {
+  // Decrypt mod p and mod q independently, then CRT-combine. Exponents are
+  // p-1 / q-1 (half-width), moduli are p^2 / q^2 (half-width), so the limb
+  // work is ~1/4 of the plain path per leg.
+  const BigInt& p = priv_->p;
+  const BigInt& q = priv_->q;
+  const BigInt cp = c % p2_ctx_->modulus();
+  const BigInt cq = c % q2_ctx_->modulus();
+  const BigInt xp = p2_ctx_->ModPow(cp, BigInt::Sub(p, BigInt(1)));
+  const BigInt xq = q2_ctx_->ModPow(cq, BigInt::Sub(q, BigInt(1)));
+  FLB_ASSIGN_OR_RETURN(BigInt lp, LFunction(xp, p));
+  FLB_ASSIGN_OR_RETURN(BigInt lq, LFunction(xq, q));
+  const BigInt mp = BigInt::Mul(lp, hp_) % p;
+  const BigInt mq = BigInt::Mul(lq, hq_) % q;
+  // m = mp + p * ((mq - mp) * p^{-1} mod q)
+  BigInt diff;
+  if (mq >= mp) {
+    diff = BigInt::Sub(mq, mp);
+  } else {
+    diff = BigInt::Sub(BigInt::Add(mq, q), mp);
+  }
+  const BigInt t = BigInt::Mul(diff, p_inv_mod_q_) % q;
+  return BigInt::Add(mp, BigInt::Mul(p, t));
+}
+
+Result<BigInt> PaillierContext::Decrypt(const BigInt& c) const {
+  if (!priv_.has_value()) {
+    return Status::FailedPrecondition("Paillier context has no private key");
+  }
+  if (c >= pub_.n_squared) {
+    return Status::OutOfRange("Paillier ciphertext must be < n^2");
+  }
+  ++op_counts_.decrypts;
+  return use_crt_ ? DecryptCrt(c) : DecryptPlain(c);
+}
+
+Result<BigInt> PaillierContext::Add(const BigInt& c1, const BigInt& c2) const {
+  if (c1 >= pub_.n_squared || c2 >= pub_.n_squared) {
+    return Status::OutOfRange("Paillier ciphertext must be < n^2");
+  }
+  ++op_counts_.adds;
+  return n2_ctx_->ModMul(c1, c2);
+}
+
+Result<BigInt> PaillierContext::AddPlain(const BigInt& c,
+                                         const BigInt& k) const {
+  if (c >= pub_.n_squared) {
+    return Status::OutOfRange("Paillier ciphertext must be < n^2");
+  }
+  if (k >= pub_.n) {
+    return Status::OutOfRange("Paillier plaintext must be < n");
+  }
+  ++op_counts_.adds;
+  BigInt gk;
+  if (pub_.g_is_n_plus_1) {
+    gk = BigInt::Add(BigInt::Mul(k, pub_.n), BigInt(1)) % pub_.n_squared;
+  } else {
+    gk = n2_ctx_->ModPow(pub_.g, k);
+  }
+  return n2_ctx_->ModMul(c, gk);
+}
+
+Result<BigInt> PaillierContext::ScalarMul(const BigInt& c,
+                                          const BigInt& k) const {
+  if (c >= pub_.n_squared) {
+    return Status::OutOfRange("Paillier ciphertext must be < n^2");
+  }
+  ++op_counts_.scalar_muls;
+  // Fixed-point encodings represent a negative scalar -m as n - m, which
+  // would force a full |n|-bit exponentiation. E(x)^(n-m) = E(-m*x) =
+  // (E(x)^{-1})^m, and m is small, so invert the ciphertext and keep the
+  // short exponent (the python-paillier optimization FATE relies on).
+  const BigInt half_n = BigInt::ShiftRight(pub_.n, 1);
+  if (k > half_n) {
+    const BigInt m = BigInt::Sub(pub_.n, k);
+    if (m.BitLength() * 2 < k.BitLength()) {
+      auto c_inv = BigInt::ModInverse(c, pub_.n_squared);
+      if (c_inv.ok()) {
+        return n2_ctx_->ModPow(c_inv.value(), m);
+      }
+      // Non-invertible ciphertexts cannot occur for honest inputs; fall
+      // through to the direct exponentiation.
+    }
+  }
+  return n2_ctx_->ModPow(c, k);
+}
+
+}  // namespace flb::crypto

@@ -1,0 +1,134 @@
+// Paillier additively homomorphic cryptosystem (Paillier, EUROCRYPT'99),
+// the HE scheme FLBooster accelerates (paper §III-B):
+//
+//   KeyGen:  n = p*q, lambda = lcm(p-1, q-1), g in Z*_{n^2},
+//            mu = L(g^lambda mod n^2)^{-1} mod n,  L(x) = (x-1)/n.
+//   Enc(m):  c = g^m * r^n mod n^2, r uniform in Z*_n.
+//   Dec(c):  m = L(c^lambda mod n^2) * mu mod n.
+//   Add:     Dec(c1 * c2 mod n^2) = m1 + m2 mod n.
+//   ScalarMul: Dec(c^k mod n^2) = k * m mod n.
+//
+// Two implementation fast paths, both individually testable against the
+// general form:
+//   * g = n+1 (default): g^m mod n^2 collapses to 1 + m*n, removing one
+//     full modular exponentiation from every encryption.
+//   * CRT decryption: decrypt mod p^2 and q^2 separately and CRT-combine,
+//     ~4x fewer limb operations than working mod n^2.
+//
+// This header is the CPU reference path; src/ghe provides the batched
+// simulated-GPU path over the same key types.
+
+#ifndef FLB_CRYPTO_PAILLIER_H_
+#define FLB_CRYPTO_PAILLIER_H_
+
+#include <memory>
+#include <optional>
+
+#include "src/common/result.h"
+#include "src/common/rng.h"
+#include "src/crypto/montgomery.h"
+#include "src/mpint/bigint.h"
+
+namespace flb::crypto {
+
+struct PaillierPublicKey {
+  int key_bits = 0;        // bit length of n
+  BigInt n;
+  BigInt g;
+  BigInt n_squared;
+  bool g_is_n_plus_1 = true;
+
+  // Serialized ciphertext width: ciphertexts live in Z_{n^2}.
+  size_t CiphertextWords() const {
+    return (static_cast<size_t>(key_bits) * 2 + mpint::kLimbBits - 1) /
+           mpint::kLimbBits;
+  }
+  size_t CiphertextBytes() const { return CiphertextWords() * 4; }
+};
+
+struct PaillierPrivateKey {
+  BigInt p;
+  BigInt q;
+  BigInt lambda;  // lcm(p-1, q-1)
+  BigInt mu;      // L(g^lambda mod n^2)^{-1} mod n
+};
+
+struct PaillierKeyPair {
+  PaillierPublicKey pub;
+  PaillierPrivateKey priv;
+};
+
+struct PaillierOptions {
+  bool use_g_n_plus_1 = true;  // false selects a random g (paper's form)
+  bool use_crt_decryption = true;
+};
+
+// Generates a Paillier key pair with |n| == key_bits (p and q are
+// key_bits/2-bit primes). key_bits must be even and >= 64.
+Result<PaillierKeyPair> PaillierKeyGen(int key_bits, Rng& rng,
+                                       const PaillierOptions& options = {});
+
+// Binds a key pair (private part optional) to precomputed Montgomery
+// contexts. All homomorphic operations live here. Copyable (contexts are
+// shared, immutable after construction).
+class PaillierContext {
+ public:
+  // Public-key-only context: can encrypt and do homomorphic ops.
+  static Result<PaillierContext> CreatePublic(PaillierPublicKey pub);
+  // Full context: can also decrypt.
+  static Result<PaillierContext> Create(PaillierKeyPair keys,
+                                        const PaillierOptions& options = {});
+
+  const PaillierPublicKey& pub() const { return pub_; }
+  bool can_decrypt() const { return priv_.has_value(); }
+
+  // Encrypts m in [0, n). r is drawn from rng.
+  Result<BigInt> Encrypt(const BigInt& m, Rng& rng) const;
+  // Decrypts c in [0, n^2); requires a private key.
+  Result<BigInt> Decrypt(const BigInt& c) const;
+  // E(m1) (*) E(m2) = E(m1 + m2 mod n).
+  Result<BigInt> Add(const BigInt& c1, const BigInt& c2) const;
+  // E(m) (*) g^k = E(m + k mod n) without encrypting k's randomness — used
+  // by servers that add public constants.
+  Result<BigInt> AddPlain(const BigInt& c, const BigInt& k) const;
+  // E(m)^k = E(k*m mod n).
+  Result<BigInt> ScalarMul(const BigInt& c, const BigInt& k) const;
+
+  // The n^2 Montgomery context (the GHE layer reuses it for batched ops).
+  const MontgomeryContext& n2_ctx() const { return *n2_ctx_; }
+
+  // Operation counters for the cost model.
+  struct OpCounts {
+    uint64_t encrypts = 0;
+    uint64_t decrypts = 0;
+    uint64_t adds = 0;
+    uint64_t scalar_muls = 0;
+  };
+  const OpCounts& op_counts() const { return op_counts_; }
+  void ResetOpCounts() const { op_counts_ = {}; }
+
+ private:
+  PaillierContext() = default;
+
+  Result<BigInt> DecryptPlain(const BigInt& c) const;
+  Result<BigInt> DecryptCrt(const BigInt& c) const;
+
+  PaillierPublicKey pub_;
+  std::optional<PaillierPrivateKey> priv_;
+  bool use_crt_ = true;
+
+  std::shared_ptr<const MontgomeryContext> n2_ctx_;
+  std::shared_ptr<const MontgomeryContext> n_ctx_;
+  // CRT decryption precomputation (present iff priv_ and use_crt_).
+  std::shared_ptr<const MontgomeryContext> p2_ctx_;
+  std::shared_ptr<const MontgomeryContext> q2_ctx_;
+  BigInt hp_;        // L_p(g^{p-1} mod p^2)^{-1} mod p
+  BigInt hq_;        // L_q(g^{q-1} mod q^2)^{-1} mod q
+  BigInt p_inv_mod_q_;
+
+  mutable OpCounts op_counts_;
+};
+
+}  // namespace flb::crypto
+
+#endif  // FLB_CRYPTO_PAILLIER_H_

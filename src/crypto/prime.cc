@@ -1,0 +1,98 @@
+#include "src/crypto/prime.h"
+
+#include <array>
+
+#include "src/common/check.h"
+#include "src/crypto/montgomery.h"
+
+namespace flb::crypto {
+
+namespace {
+
+// Trial-division sieve: rejects ~88% of random odd candidates before the
+// expensive Miller–Rabin exponentiations.
+constexpr std::array<uint32_t, 53> kSmallPrimes = {
+    3,   5,   7,   11,  13,  17,  19,  23,  29,  31,  37,  41,  43,  47,
+    53,  59,  61,  67,  71,  73,  79,  83,  89,  97,  101, 103, 107, 109,
+    113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181, 191,
+    193, 197, 199, 211, 223, 227, 229, 233, 239, 241, 251};
+
+bool PassesTrialDivision(const BigInt& n) {
+  for (uint32_t p : kSmallPrimes) {
+    const BigInt rem = n % BigInt(p);
+    if (rem.IsZero()) return n == BigInt(p);
+  }
+  return true;
+}
+
+}  // namespace
+
+bool IsProbablePrime(const BigInt& n, Rng& rng, int rounds) {
+  if (n < BigInt(2)) return false;
+  if (n == BigInt(2) || n == BigInt(3)) return true;
+  if (n.IsEven()) return false;
+  if (!PassesTrialDivision(n)) return false;
+
+  // Write n-1 = d * 2^r with d odd.
+  const BigInt n_minus_1 = BigInt::Sub(n, BigInt(1));
+  int r = 0;
+  BigInt d = n_minus_1;
+  while (d.IsEven()) {
+    d = BigInt::ShiftRight(d, 1);
+    ++r;
+  }
+
+  auto ctx = MontgomeryContext::Create(n);
+  FLB_CHECK(ctx.ok());  // n is odd and >= 5 here
+  const BigInt two(2);
+  const BigInt n_minus_2 = BigInt::Sub(n, two);
+
+  for (int round = 0; round < rounds; ++round) {
+    // Witness a uniform in [2, n-2].
+    const BigInt a =
+        BigInt::Add(BigInt::RandomBelow(rng, BigInt::Sub(n_minus_2, BigInt(1))),
+                    two);
+    BigInt x = ctx->ModPow(a, d);
+    if (x.IsOne() || x == n_minus_1) continue;
+    bool composite = true;
+    for (int i = 0; i < r - 1; ++i) {
+      x = ctx->ModMul(x, x);
+      if (x == n_minus_1) {
+        composite = false;
+        break;
+      }
+    }
+    if (composite) return false;
+  }
+  return true;
+}
+
+Result<BigInt> GeneratePrime(int bits, Rng& rng) {
+  if (bits < 8) {
+    return Status::InvalidArgument("GeneratePrime: bits must be >= 8");
+  }
+  for (int attempt = 0; attempt < 100000; ++attempt) {
+    BigInt candidate = BigInt::Random(rng, bits);
+    // Force the top bit (exact bit length) and the bottom bit (odd).
+    candidate = BigInt::FromWords([&] {
+      std::vector<uint32_t> w = candidate.ToFixedWords(
+          (bits + mpint::kLimbBits - 1) / mpint::kLimbBits);
+      w[(bits - 1) / mpint::kLimbBits] |= 1u << ((bits - 1) % mpint::kLimbBits);
+      w[0] |= 1u;
+      return w;
+    }());
+    if (IsProbablePrime(candidate, rng)) return candidate;
+  }
+  return Status::Internal("GeneratePrime: exceeded attempt budget");
+}
+
+Result<BigInt> GenerateDistinctPrime(int bits, const BigInt& distinct_from,
+                                     Rng& rng) {
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    FLB_ASSIGN_OR_RETURN(BigInt p, GeneratePrime(bits, rng));
+    if (p != distinct_from) return p;
+  }
+  return Status::Internal("GenerateDistinctPrime: exceeded attempt budget");
+}
+
+}  // namespace flb::crypto

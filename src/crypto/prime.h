@@ -1,0 +1,31 @@
+// Primality testing and prime generation (paper §IV-A3: "Miller-Rabin large
+// prime number generator" used in the key-generation phase).
+
+#ifndef FLB_CRYPTO_PRIME_H_
+#define FLB_CRYPTO_PRIME_H_
+
+#include "src/common/result.h"
+#include "src/common/rng.h"
+#include "src/mpint/bigint.h"
+
+namespace flb::crypto {
+
+using mpint::BigInt;
+
+// Miller–Rabin probabilistic primality test with `rounds` random witnesses.
+// 2^-2r error bound; 20 rounds gives < 2^-40, standard for key generation.
+bool IsProbablePrime(const BigInt& n, Rng& rng, int rounds = 20);
+
+// Generates a prime of exactly `bits` bits (top bit forced to 1 so the
+// product of two such primes has exactly 2*bits bits with probability 1/2,
+// and at least 2*bits - 1 always). bits must be >= 8.
+Result<BigInt> GeneratePrime(int bits, Rng& rng);
+
+// Generates a prime p of exactly `bits` bits with p mod `avoid` != 0 and
+// p != `distinct_from` — used by Paillier/RSA keygen to get q != p.
+Result<BigInt> GenerateDistinctPrime(int bits, const BigInt& distinct_from,
+                                     Rng& rng);
+
+}  // namespace flb::crypto
+
+#endif  // FLB_CRYPTO_PRIME_H_

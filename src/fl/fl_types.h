@@ -1,0 +1,63 @@
+// Shared types for the federated trainers.
+
+#ifndef FLB_FL_FL_TYPES_H_
+#define FLB_FL_FL_TYPES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/sim_clock.h"
+#include "src/core/he_service.h"
+#include "src/fl/optimizer.h"
+#include "src/net/network.h"
+
+namespace flb::fl {
+
+struct TrainConfig {
+  int max_epochs = 3;
+  int batch_size = 1024;
+  double learning_rate = 0.1;
+  double l2 = 0.01;  // L2 penalty coefficient (paper §VI-B: 0.01)
+  // Convergence: stop when |loss_t - loss_{t-1}| < tolerance (paper: 1e-6).
+  double tolerance = 1e-6;
+  OptimizerKind optimizer = OptimizerKind::kAdam;
+};
+
+struct EpochRecord {
+  int epoch = 0;
+  double loss = 0.0;
+  double accuracy = 0.0;
+  // Cumulative simulated seconds at the end of this epoch, plus the
+  // component decomposition of this epoch alone.
+  double sim_seconds_cum = 0.0;
+  double epoch_seconds = 0.0;
+  double he_seconds = 0.0;
+  double comm_seconds = 0.0;
+  double other_seconds = 0.0;
+  uint64_t comm_bytes = 0;
+};
+
+struct TrainResult {
+  std::vector<EpochRecord> epochs;
+  double final_loss = 0.0;
+  double final_accuracy = 0.0;
+  bool converged = false;
+
+  double TotalSimSeconds() const {
+    return epochs.empty() ? 0.0 : epochs.back().sim_seconds_cum;
+  }
+  double SecondsPerEpoch() const {
+    return epochs.empty() ? 0.0 : TotalSimSeconds() / epochs.size();
+  }
+};
+
+// Everything a trainer needs from the platform.
+struct FlSession {
+  core::HeService* he = nullptr;
+  net::Network* network = nullptr;
+  SimClock* clock = nullptr;  // may be null
+};
+
+}  // namespace flb::fl
+
+#endif  // FLB_FL_FL_TYPES_H_

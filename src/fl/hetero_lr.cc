@@ -1,0 +1,176 @@
+#include "src/fl/hetero_lr.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/common/check.h"
+#include "src/core/transport.h"
+#include "src/fl/metrics.h"
+#include "src/fl/trainer_util.h"
+
+namespace flb::fl {
+
+HeteroLrTrainer::HeteroLrTrainer(VerticalPartition partition,
+                                 FlSession session, TrainConfig config)
+    : partition_(std::move(partition)),
+      session_(session),
+      config_(config) {
+  FLB_CHECK(!partition_.shards.empty());
+  weights_.resize(partition_.shards.size());
+  for (size_t p = 0; p < partition_.shards.size(); ++p) {
+    // Guest (party 0) owns the intercept.
+    weights_[p].assign(partition_.shards[p].x.cols() + (p == 0 ? 1 : 0), 0.0);
+  }
+}
+
+std::vector<double> HeteroLrTrainer::PartialScores(int party, size_t begin,
+                                                   size_t end) const {
+  const DataMatrix& x = partition_.shards[party].x;
+  const std::vector<double>& w = weights_[party];
+  std::vector<double> u;
+  u.reserve(end - begin);
+  double flops = 0;
+  for (size_t r = begin; r < end; ++r) {
+    double z = x.Dot(r, w);
+    if (party == 0) z += w.back();  // intercept
+    u.push_back(z);
+    flops += 2.0 * x.RowNnz(r);
+  }
+  ChargeModelCompute(session_.clock, flops);
+  return u;
+}
+
+double HeteroLrTrainer::GlobalLoss(double* accuracy) const {
+  // Evaluation-only: scores are assembled in-process without charging
+  // communication (the paper likewise evaluates loss out of band).
+  const size_t rows = partition_.shards[0].x.rows();
+  double loss = 0.0;
+  size_t correct = 0;
+  double flops = 0;
+  for (size_t r = 0; r < rows; ++r) {
+    double z = weights_[0].back();
+    for (size_t p = 0; p < partition_.shards.size(); ++p) {
+      z += partition_.shards[p].x.Dot(r, weights_[p]);
+      flops += 2.0 * partition_.shards[p].x.RowNnz(r);
+    }
+    const double prob = Sigmoid(z);
+    loss += LogLoss(prob, partition_.labels[r]);
+    correct += ((prob >= 0.5) == (partition_.labels[r] >= 0.5f)) ? 1 : 0;
+  }
+  ChargeModelCompute(session_.clock, flops);
+  if (accuracy != nullptr) *accuracy = static_cast<double>(correct) / rows;
+  return loss / rows;
+}
+
+Result<TrainResult> HeteroLrTrainer::Train() {
+  const int parties = static_cast<int>(partition_.shards.size());
+  core::HeService& he = *session_.he;
+  net::Network& net = *session_.network;
+
+  std::vector<std::unique_ptr<Optimizer>> optimizers;
+  for (int p = 0; p < parties; ++p) {
+    optimizers.push_back(
+        MakeOptimizer(config_.optimizer, config_.learning_rate));
+  }
+
+  const size_t rows = partition_.shards[0].x.rows();
+  const size_t batches =
+      std::max<size_t>(1, (rows + config_.batch_size - 1) / config_.batch_size);
+
+  TrainResult result;
+  double prev_loss = std::numeric_limits<double>::infinity();
+  for (int epoch = 0; epoch < config_.max_epochs; ++epoch) {
+    const ClockSnapshot before = ClockSnapshot::Take(session_.clock, &net);
+    for (size_t b = 0; b < batches; ++b) {
+      const size_t begin = b * config_.batch_size;
+      const size_t end = std::min(rows, begin + config_.batch_size);
+      const size_t m = end - begin;
+
+      // --- hosts: encrypted scaled partial scores -> guest ------------------
+      for (int h = 1; h < parties; ++h) {
+        std::vector<double> u = PartialScores(h, begin, end);
+        for (double& v : u) v *= 0.25;
+        FLB_ASSIGN_OR_RETURN(core::EncVec enc, he.EncryptValues(u));
+        FLB_RETURN_IF_ERROR(
+            core::SendEncVec(&net, he, HostName(h), kGuestName, "fwd", enc));
+      }
+
+      // --- guest: fold + own share + label term -> arbiter -------------------
+      // Taylor residual for {0,1} labels: d = sigmoid(z) - y ~= 0.25 z +
+      // (0.5 - y); the guest owns the label term and its score share.
+      std::vector<double> guest_term = PartialScores(0, begin, end);
+      for (size_t i = 0; i < m; ++i) {
+        guest_term[i] =
+            0.25 * guest_term[i] + 0.5 - partition_.labels[begin + i];
+      }
+      core::EncVec residual;
+      if (parties > 1) {
+        FLB_ASSIGN_OR_RETURN(residual,
+                             core::RecvEncVec(&net, kGuestName, "fwd"));
+        for (int h = 2; h < parties; ++h) {
+          FLB_ASSIGN_OR_RETURN(core::EncVec next,
+                               core::RecvEncVec(&net, kGuestName, "fwd"));
+          FLB_ASSIGN_OR_RETURN(residual, he.AddCipher(residual, next));
+        }
+        FLB_ASSIGN_OR_RETURN(residual,
+                             he.AddPlainValues(residual, guest_term));
+      } else {
+        FLB_ASSIGN_OR_RETURN(residual, he.EncryptValues(guest_term));
+      }
+      FLB_RETURN_IF_ERROR(core::SendEncVec(&net, he, kGuestName, kArbiterName,
+                                           "residual", residual));
+
+      // --- arbiter: decrypt, broadcast d -------------------------------------
+      FLB_ASSIGN_OR_RETURN(core::EncVec enc_d,
+                           core::RecvEncVec(&net, kArbiterName, "residual"));
+      FLB_ASSIGN_OR_RETURN(std::vector<double> d, he.DecryptValues(enc_d));
+      FLB_RETURN_IF_ERROR(
+          core::SendDoubles(&net, kArbiterName, kGuestName, "d", d));
+      for (int h = 1; h < parties; ++h) {
+        FLB_RETURN_IF_ERROR(
+            core::SendDoubles(&net, kArbiterName, HostName(h), "d", d));
+      }
+
+      // --- all parties: plaintext local gradient + update --------------------
+      for (int p = 0; p < parties; ++p) {
+        FLB_ASSIGN_OR_RETURN(
+            std::vector<double> received_d,
+            core::RecvDoubles(&net, p == 0 ? kGuestName : HostName(p), "d"));
+        const DataMatrix& x = partition_.shards[p].x;
+        std::vector<double> grad(weights_[p].size(), 0.0);
+        double flops = 0;
+        for (size_t i = 0; i < m; ++i) {
+          x.AddScaledRowTo(begin + i, received_d[i], &grad);
+          if (p == 0) grad.back() += received_d[i];
+          flops += 2.0 * x.RowNnz(begin + i);
+        }
+        const double inv = 1.0 / static_cast<double>(m);
+        for (size_t j = 0; j < grad.size(); ++j) {
+          grad[j] = grad[j] * inv + config_.l2 * weights_[p][j];
+        }
+        ChargeModelCompute(session_.clock, flops + 3.0 * grad.size());
+        FLB_RETURN_IF_ERROR(optimizers[p]->Step(&weights_[p], grad));
+      }
+    }
+
+    EpochRecord record;
+    record.epoch = epoch;
+    record.loss = GlobalLoss(&record.accuracy);
+    const ClockSnapshot after = ClockSnapshot::Take(session_.clock, &net);
+    FillEpochTiming(before, after, &record);
+    result.epochs.push_back(record);
+    if (std::fabs(prev_loss - record.loss) < config_.tolerance) {
+      result.converged = true;
+      break;
+    }
+    prev_loss = record.loss;
+  }
+  if (!result.epochs.empty()) {
+    result.final_loss = result.epochs.back().loss;
+    result.final_accuracy = result.epochs.back().accuracy;
+  }
+  return result;
+}
+
+}  // namespace flb::fl

@@ -1,0 +1,61 @@
+// Heterogeneous (vertical) logistic regression.
+//
+// Parties: a guest (holds labels + a feature shard), one or more hosts
+// (feature shards only), and an arbiter that owns the Paillier keypair —
+// the FATE role split. The protocol follows the Taylor-approximated
+// federated LR (Hardy et al.; Yang et al. "Parallel-LR"): with
+// sigmoid(z) ~= 0.5 + 0.25 z, the shared residual is
+//
+//   d_i = 0.25 * sum_party u_party_i + (0.5 - y_i),  u_party = X_party w_party
+//   (labels y_i in {0, 1})
+//
+// Per mini-batch: hosts encrypt their scaled score vectors (packed under
+// BC) and ship them to the guest; the guest folds them homomorphically,
+// slot-adds its own share and the label term, and forwards E(d) to the
+// arbiter; the arbiter decrypts and returns d to every party, which then
+// computes its local gradient X^T d in plaintext and steps its own weights.
+//
+// Reproduction note (DESIGN.md): in FATE the residual stays encrypted at the
+// hosts and only per-feature gradients are decrypted by the arbiter; here
+// the arbiter decrypts d directly. Raw features and labels never leave
+// their owners either way, and the measured quantities (HE op counts,
+// ciphertext bytes per epoch) are the same to first order.
+
+#ifndef FLB_FL_HETERO_LR_H_
+#define FLB_FL_HETERO_LR_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/fl/dataset.h"
+#include "src/fl/fl_types.h"
+#include "src/fl/partition.h"
+
+namespace flb::fl {
+
+class HeteroLrTrainer {
+ public:
+  HeteroLrTrainer(VerticalPartition partition, FlSession session,
+                  TrainConfig config);
+
+  Result<TrainResult> Train();
+
+  // Per-party weight vectors (party 0 = guest); each has an intercept slot
+  // appended on the guest only.
+  const std::vector<std::vector<double>>& weights() const { return weights_; }
+
+ private:
+  // u_party over batch rows [begin, end).
+  std::vector<double> PartialScores(int party, size_t begin, size_t end) const;
+  double GlobalLoss(double* accuracy) const;
+
+  VerticalPartition partition_;
+  FlSession session_;
+  TrainConfig config_;
+  std::vector<std::vector<double>> weights_;
+};
+
+}  // namespace flb::fl
+
+#endif  // FLB_FL_HETERO_LR_H_

@@ -1,0 +1,90 @@
+// Heterogeneous (vertical) split neural network — FATE's Hetero NN /
+// GELU-net pattern (Zhang et al.), the fourth model the paper accelerates.
+//
+// Topology: host and guest each run a private bottom dense layer over their
+// feature shard; an *interactive layer* owned by the guest mixes the two
+// bottom outputs; the guest's top layer produces the prediction.
+//
+//     host:   a_h = tanh(W_hb x_h)          (plaintext, private)
+//     guest:  a_g = tanh(W_gb x_g)          (plaintext, private)
+//     interactive: z = W_ih a_h + W_ig a_g + b
+//     guest top:   y_hat = sigmoid(w_top tanh(z) + b_top)
+//
+// The privacy-critical coupling is W_ih a_h: the guest must not see a_h and
+// the host must not see W_ih. Following GELU-net's encrypted-weights
+// design, the guest ships the (small) interactive weight matrix as
+// per-value ciphertexts E(W_ih); the host — which holds a_h in plaintext —
+// computes E(z_h) = E(W_ih a_h) with homomorphic weighted sums,
+// cipher-compresses the result (BC), and the arbiter decrypts it for the
+// guest. On the backward pass the guest packs-and-encrypts the interactive
+// deltas (BC pre-encryption packing) for the arbiter, which releases them
+// to the host; the host then computes the interactive weight gradient
+// delta^T a_h in plaintext and returns it to the guest. The activation
+// gradient sent back to the host is plaintext. FATE masks the decrypted
+// intermediates instead of routing them through an arbiter; the
+// simplification is documented in DESIGN.md — raw features and bottom
+// models never move, and the HE op/byte counts match the FATE protocol to
+// first order.
+
+#ifndef FLB_FL_HETERO_NN_H_
+#define FLB_FL_HETERO_NN_H_
+
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/common/rng.h"
+#include "src/fl/dataset.h"
+#include "src/fl/fl_types.h"
+#include "src/fl/partition.h"
+
+namespace flb::fl {
+
+struct NnParams {
+  int bottom_dim = 8;       // bottom-layer output width (both parties)
+  int interactive_dim = 8;  // interactive-layer output width
+  uint64_t init_seed = 17;
+};
+
+class HeteroNnTrainer {
+ public:
+  // Requires exactly two shards: shard 0 = guest (labels), shard 1 = host.
+  HeteroNnTrainer(VerticalPartition partition, FlSession session,
+                  TrainConfig config, NnParams params = {});
+
+  Result<TrainResult> Train();
+
+  // Prediction over the training set (evaluation helper).
+  std::vector<double> Predict() const;
+
+ private:
+  // Dense helpers (row-major weight matrices).
+  static void MatVec(const std::vector<double>& w, int out_dim, int in_dim,
+                     const double* x, double* out);
+
+  // Bottom forward for one party over batch rows [begin, end): returns
+  // (end-begin) x bottom_dim activations, row-major.
+  std::vector<double> BottomForward(int party, size_t begin,
+                                    size_t end) const;
+
+  double EvaluateLoss(double* accuracy) const;
+
+  VerticalPartition partition_;
+  FlSession session_;
+  TrainConfig config_;
+  NnParams params_;
+
+  // Parameters. Bottom weights: bottom_dim x shard_cols (row-major).
+  std::vector<double> w_host_bottom_;
+  std::vector<double> w_guest_bottom_;
+  // Interactive: interactive_dim x bottom_dim each, plus bias.
+  std::vector<double> w_ih_;  // applied to host activations (guest-owned)
+  std::vector<double> w_ig_;
+  std::vector<double> b_i_;
+  // Top: logistic regression over tanh(z).
+  std::vector<double> w_top_;
+  double b_top_ = 0.0;
+};
+
+}  // namespace flb::fl
+
+#endif  // FLB_FL_HETERO_NN_H_

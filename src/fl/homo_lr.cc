@@ -1,0 +1,147 @@
+#include "src/fl/homo_lr.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/common/check.h"
+#include "src/core/transport.h"
+#include "src/fl/metrics.h"
+#include "src/fl/trainer_util.h"
+
+namespace flb::fl {
+
+namespace {
+constexpr const char* kServer = kServerName;
+}  // namespace
+
+HomoLrTrainer::HomoLrTrainer(std::vector<Dataset> shards, FlSession session,
+                             TrainConfig config)
+    : shards_(std::move(shards)),
+      session_(session),
+      config_(config) {
+  FLB_CHECK(!shards_.empty());
+  weights_.assign(shards_[0].cols() + 1, 0.0);
+}
+
+std::vector<double> HomoLrTrainer::LocalGradient(const Dataset& shard,
+                                                 size_t begin,
+                                                 size_t end) const {
+  const size_t dim = weights_.size();
+  std::vector<double> grad(dim, 0.0);
+  double flops = 0;
+  for (size_t r = begin; r < end; ++r) {
+    const double z = shard.x.Dot(r, weights_) + weights_.back();
+    const double residual = Sigmoid(z) - shard.y[r];
+    shard.x.AddScaledRowTo(r, residual, &grad);
+    grad[dim - 1] += residual;
+    flops += 4.0 * shard.x.RowNnz(r) + 10.0;
+  }
+  const double inv = end > begin ? 1.0 / static_cast<double>(end - begin) : 0;
+  for (size_t j = 0; j < dim; ++j) {
+    grad[j] = grad[j] * inv + config_.l2 * weights_[j];
+  }
+  flops += 3.0 * dim;
+  ChargeModelCompute(session_.clock, flops);
+  return grad;
+}
+
+double HomoLrTrainer::GlobalLoss(double* accuracy) const {
+  double loss = 0.0;
+  size_t total = 0, correct = 0;
+  double flops = 0;
+  for (const Dataset& shard : shards_) {
+    for (size_t r = 0; r < shard.rows(); ++r) {
+      const double p =
+          Sigmoid(shard.x.Dot(r, weights_) + weights_.back());
+      loss += LogLoss(p, shard.y[r]);
+      correct += ((p >= 0.5) == (shard.y[r] >= 0.5f)) ? 1 : 0;
+      flops += 2.0 * shard.x.RowNnz(r) + 20.0;
+    }
+    total += shard.rows();
+  }
+  ChargeModelCompute(session_.clock, flops);
+  if (accuracy != nullptr) {
+    *accuracy = static_cast<double>(correct) / total;
+  }
+  return loss / total;
+}
+
+Result<TrainResult> HomoLrTrainer::Train() {
+  const int p = static_cast<int>(shards_.size());
+  core::HeService& he = *session_.he;
+  net::Network& net = *session_.network;
+  auto optimizer = MakeOptimizer(config_.optimizer, config_.learning_rate);
+
+  size_t min_rows = shards_[0].rows();
+  for (const auto& s : shards_) min_rows = std::min(min_rows, s.rows());
+  const size_t batches = std::max<size_t>(
+      1, (min_rows + config_.batch_size - 1) / config_.batch_size);
+
+  TrainResult result;
+  double prev_loss = std::numeric_limits<double>::infinity();
+  for (int epoch = 0; epoch < config_.max_epochs; ++epoch) {
+    const ClockSnapshot before = ClockSnapshot::Take(session_.clock, &net);
+    for (size_t b = 0; b < batches; ++b) {
+      // --- clients: local gradient -> encrypt -> upload --------------------
+      for (int party = 0; party < p; ++party) {
+        const Dataset& shard = shards_[party];
+        const size_t begin = std::min<size_t>(b * config_.batch_size,
+                                              shard.rows());
+        const size_t end = std::min<size_t>(begin + config_.batch_size,
+                                            shard.rows());
+        std::vector<double> grad =
+            begin < end ? LocalGradient(shard, begin, end)
+                        : std::vector<double>(weights_.size(), 0.0);
+        FLB_ASSIGN_OR_RETURN(core::EncVec enc, he.EncryptValues(grad));
+        FLB_RETURN_IF_ERROR(core::SendEncVec(&net, he, PartyName(party),
+                                             kServer, "grad", enc));
+      }
+      // --- server: homomorphic aggregation ---------------------------------
+      FLB_ASSIGN_OR_RETURN(core::EncVec agg,
+                           core::RecvEncVec(&net, kServer, "grad"));
+      for (int party = 1; party < p; ++party) {
+        FLB_ASSIGN_OR_RETURN(core::EncVec next,
+                             core::RecvEncVec(&net, kServer, "grad"));
+        FLB_ASSIGN_OR_RETURN(agg, he.AddCipher(agg, next));
+      }
+      for (int party = 0; party < p; ++party) {
+        FLB_RETURN_IF_ERROR(core::SendEncVec(&net, he, kServer,
+                                             PartyName(party), "agg", agg));
+      }
+      // --- clients: decrypt, average, update --------------------------------
+      // All parties perform the identical decrypt+update; the HE/compute
+      // cost is charged once per party.
+      std::vector<double> update;
+      for (int party = 0; party < p; ++party) {
+        FLB_ASSIGN_OR_RETURN(core::EncVec received,
+                             core::RecvEncVec(&net, PartyName(party), "agg"));
+        FLB_ASSIGN_OR_RETURN(update, he.DecryptValues(received));
+      }
+      for (double& g : update) g /= p;
+      ChargeModelCompute(session_.clock, 2.0 * update.size() * p);
+      FLB_RETURN_IF_ERROR(optimizer->Step(&weights_, update));
+    }
+
+    // --- epoch bookkeeping ---------------------------------------------------
+    EpochRecord record;
+    record.epoch = epoch;
+    record.loss = GlobalLoss(&record.accuracy);
+    const ClockSnapshot after = ClockSnapshot::Take(session_.clock, &net);
+    FillEpochTiming(before, after, &record);
+    result.epochs.push_back(record);
+
+    if (std::fabs(prev_loss - record.loss) < config_.tolerance) {
+      result.converged = true;
+      break;
+    }
+    prev_loss = record.loss;
+  }
+  if (!result.epochs.empty()) {
+    result.final_loss = result.epochs.back().loss;
+    result.final_accuracy = result.epochs.back().accuracy;
+  }
+  return result;
+}
+
+}  // namespace flb::fl

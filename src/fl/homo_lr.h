@@ -1,0 +1,52 @@
+// Homogeneous (horizontal) logistic regression — the Fig. 2 SGD template.
+//
+// Every party holds a row shard with the full feature space; the shared
+// keypair belongs to the clients, the aggregation server only ever sees
+// ciphertexts. Per mini-batch:
+//
+//   1. each party computes its local gradient (plaintext math),
+//   2. quantizes + (under BC) packs + encrypts it, uploads to the server,
+//   3. the server folds the p ciphertext vectors with homomorphic adds and
+//      broadcasts the aggregate,
+//   4. each party decrypts, averages, and applies the same optimizer step,
+//      keeping all local models identical.
+//
+// Loss/accuracy are evaluated over the union of shards each epoch.
+
+#ifndef FLB_FL_HOMO_LR_H_
+#define FLB_FL_HOMO_LR_H_
+
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/fl/dataset.h"
+#include "src/fl/fl_types.h"
+
+namespace flb::fl {
+
+class HomoLrTrainer {
+ public:
+  // `shards` from HorizontalSplit; all must share the feature count.
+  HomoLrTrainer(std::vector<Dataset> shards, FlSession session,
+                TrainConfig config);
+
+  Result<TrainResult> Train();
+
+  // Model after training: weights (cols) + intercept appended.
+  const std::vector<double>& weights() const { return weights_; }
+
+ private:
+  // Gradient of one party's batch rows [begin, end) at the current weights.
+  std::vector<double> LocalGradient(const Dataset& shard, size_t begin,
+                                    size_t end) const;
+  double GlobalLoss(double* accuracy) const;
+
+  std::vector<Dataset> shards_;
+  FlSession session_;
+  TrainConfig config_;
+  std::vector<double> weights_;  // cols + 1 (intercept last)
+};
+
+}  // namespace flb::fl
+
+#endif  // FLB_FL_HOMO_LR_H_

@@ -1,0 +1,218 @@
+#include "src/fl/homo_nn.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/common/check.h"
+#include "src/core/transport.h"
+#include "src/fl/metrics.h"
+#include "src/fl/trainer_util.h"
+
+namespace flb::fl {
+
+namespace {
+
+// Parameter-vector layout helpers for the 1-hidden-layer MLP.
+struct Layout {
+  size_t d, h;
+  size_t W1(size_t j, size_t c) const { return j * d + c; }
+  size_t b1(size_t j) const { return h * d + j; }
+  size_t w2(size_t j) const { return h * d + h + j; }
+  size_t b2() const { return h * d + 2 * h; }
+  size_t total() const { return h * d + 2 * h + 1; }
+};
+
+}  // namespace
+
+HomoNnTrainer::HomoNnTrainer(std::vector<Dataset> shards, FlSession session,
+                             TrainConfig config, HomoNnParams params)
+    : shards_(std::move(shards)),
+      session_(session),
+      config_(config),
+      nn_(params) {
+  FLB_CHECK(!shards_.empty() && nn_.hidden_dim >= 1);
+  const Layout layout{shards_[0].cols(), static_cast<size_t>(nn_.hidden_dim)};
+  Rng rng(nn_.init_seed);
+  params_vec_.resize(layout.total());
+  const double scale = 1.0 / std::sqrt(static_cast<double>(layout.d));
+  for (size_t j = 0; j < layout.h * layout.d; ++j) {
+    params_vec_[j] = rng.NextGaussian() * scale;
+  }
+  const double scale2 = 1.0 / std::sqrt(static_cast<double>(layout.h));
+  for (size_t j = 0; j < layout.h; ++j) {
+    params_vec_[layout.b1(j)] = 0.0;
+    params_vec_[layout.w2(j)] = rng.NextGaussian() * scale2;
+  }
+  params_vec_[layout.b2()] = 0.0;
+}
+
+std::vector<double> HomoNnTrainer::Predict(const Dataset& data) const {
+  const Layout layout{data.cols(), static_cast<size_t>(nn_.hidden_dim)};
+  const std::vector<double>& p = params_vec_;
+  std::vector<double> probs(data.rows());
+  std::vector<double> hidden(layout.h);
+  for (size_t r = 0; r < data.rows(); ++r) {
+    for (size_t j = 0; j < layout.h; ++j) {
+      double acc = p[layout.b1(j)];
+      for (size_t e = data.x.RowBegin(r); e < data.x.RowEnd(r); ++e) {
+        acc += p[layout.W1(j, data.x.EntryCol(e))] *
+               static_cast<double>(data.x.EntryValue(e));
+      }
+      hidden[j] = std::tanh(acc);
+    }
+    double score = p[layout.b2()];
+    for (size_t j = 0; j < layout.h; ++j) {
+      score += p[layout.w2(j)] * hidden[j];
+    }
+    probs[r] = Sigmoid(score);
+  }
+  return probs;
+}
+
+std::vector<double> HomoNnTrainer::LocalDelta(
+    const Dataset& shard, size_t begin, size_t end,
+    const std::vector<double>& start) const {
+  const Layout layout{shard.cols(), static_cast<size_t>(nn_.hidden_dim)};
+  std::vector<double> p = start;
+  const size_t m = end - begin;
+  std::vector<double> hidden(layout.h), pre(layout.h);
+  double flops = 0;
+  for (int step = 0; step < nn_.local_steps; ++step) {
+    std::vector<double> grad(p.size(), 0.0);
+    for (size_t r = begin; r < end; ++r) {
+      // Forward.
+      for (size_t j = 0; j < layout.h; ++j) {
+        double acc = p[layout.b1(j)];
+        for (size_t e = shard.x.RowBegin(r); e < shard.x.RowEnd(r); ++e) {
+          acc += p[layout.W1(j, shard.x.EntryCol(e))] *
+                 static_cast<double>(shard.x.EntryValue(e));
+        }
+        pre[j] = acc;
+        hidden[j] = std::tanh(acc);
+      }
+      double score = p[layout.b2()];
+      for (size_t j = 0; j < layout.h; ++j) {
+        score += p[layout.w2(j)] * hidden[j];
+      }
+      // Backward (logistic loss).
+      const double err = Sigmoid(score) - shard.y[r];
+      grad[layout.b2()] += err;
+      for (size_t j = 0; j < layout.h; ++j) {
+        grad[layout.w2(j)] += err * hidden[j];
+        const double dh = err * p[layout.w2(j)] *
+                          (1.0 - hidden[j] * hidden[j]);
+        grad[layout.b1(j)] += dh;
+        for (size_t e = shard.x.RowBegin(r); e < shard.x.RowEnd(r); ++e) {
+          grad[layout.W1(j, shard.x.EntryCol(e))] +=
+              dh * static_cast<double>(shard.x.EntryValue(e));
+        }
+      }
+      flops += 6.0 * layout.h * (shard.x.RowNnz(r) + 2);
+    }
+    const double lr = config_.learning_rate / static_cast<double>(m);
+    for (size_t j = 0; j < p.size(); ++j) {
+      p[j] -= lr * (grad[j] + config_.l2 * p[j] * m);
+    }
+    flops += 3.0 * p.size();
+  }
+  ChargeModelCompute(session_.clock, flops);
+  std::vector<double> delta(p.size());
+  for (size_t j = 0; j < p.size(); ++j) delta[j] = p[j] - start[j];
+  return delta;
+}
+
+double HomoNnTrainer::ForwardLoss(const Dataset& data,
+                                  const std::vector<double>& /*p*/,
+                                  double* accuracy) const {
+  std::vector<double> probs = Predict(data);
+  ChargeModelCompute(session_.clock,
+                     2.0 * data.x.nnz() * nn_.hidden_dim);
+  if (accuracy != nullptr) *accuracy = Accuracy(probs, data.y);
+  return MeanLogLoss(probs, data.y);
+}
+
+Result<TrainResult> HomoNnTrainer::Train() {
+  const int parties = static_cast<int>(shards_.size());
+  core::HeService& he = *session_.he;
+  net::Network& net = *session_.network;
+
+  size_t min_rows = shards_[0].rows();
+  for (const auto& s : shards_) min_rows = std::min(min_rows, s.rows());
+  const size_t batches = std::max<size_t>(
+      1, (min_rows + config_.batch_size - 1) / config_.batch_size);
+
+  TrainResult result;
+  double prev_loss = std::numeric_limits<double>::infinity();
+  for (int epoch = 0; epoch < config_.max_epochs; ++epoch) {
+    const ClockSnapshot before = ClockSnapshot::Take(session_.clock, &net);
+    for (size_t b = 0; b < batches; ++b) {
+      // --- clients: local steps -> encrypted deltas -> server ---------------
+      for (int party = 0; party < parties; ++party) {
+        const Dataset& shard = shards_[party];
+        const size_t begin =
+            std::min<size_t>(b * config_.batch_size, shard.rows());
+        const size_t end =
+            std::min<size_t>(begin + config_.batch_size, shard.rows());
+        std::vector<double> delta =
+            begin < end ? LocalDelta(shard, begin, end, params_vec_)
+                        : std::vector<double>(params_vec_.size(), 0.0);
+        FLB_ASSIGN_OR_RETURN(core::EncVec enc, he.EncryptValues(delta));
+        FLB_RETURN_IF_ERROR(core::SendEncVec(&net, he, PartyName(party),
+                                             kServerName, "delta", enc));
+      }
+      // --- server: homomorphic FedAvg ---------------------------------------
+      FLB_ASSIGN_OR_RETURN(core::EncVec agg,
+                           core::RecvEncVec(&net, kServerName, "delta"));
+      for (int party = 1; party < parties; ++party) {
+        FLB_ASSIGN_OR_RETURN(core::EncVec next,
+                             core::RecvEncVec(&net, kServerName, "delta"));
+        FLB_ASSIGN_OR_RETURN(agg, he.AddCipher(agg, next));
+      }
+      for (int party = 0; party < parties; ++party) {
+        FLB_RETURN_IF_ERROR(core::SendEncVec(&net, he, kServerName,
+                                             PartyName(party), "agg", agg));
+      }
+      // --- clients: decrypt, average, apply ----------------------------------
+      std::vector<double> update;
+      for (int party = 0; party < parties; ++party) {
+        FLB_ASSIGN_OR_RETURN(
+            core::EncVec received,
+            core::RecvEncVec(&net, PartyName(party), "agg"));
+        FLB_ASSIGN_OR_RETURN(update, he.DecryptValues(received));
+      }
+      for (size_t j = 0; j < params_vec_.size(); ++j) {
+        params_vec_[j] += update[j] / parties;
+      }
+      ChargeModelCompute(session_.clock, 2.0 * params_vec_.size() * parties);
+    }
+
+    EpochRecord record;
+    record.epoch = epoch;
+    double loss = 0, acc = 0;
+    size_t total = 0;
+    for (const auto& shard : shards_) {
+      double a;
+      loss += ForwardLoss(shard, params_vec_, &a) * shard.rows();
+      acc += a * shard.rows();
+      total += shard.rows();
+    }
+    record.loss = loss / total;
+    record.accuracy = acc / total;
+    const ClockSnapshot after = ClockSnapshot::Take(session_.clock, &net);
+    FillEpochTiming(before, after, &record);
+    result.epochs.push_back(record);
+    if (std::fabs(prev_loss - record.loss) < config_.tolerance) {
+      result.converged = true;
+      break;
+    }
+    prev_loss = record.loss;
+  }
+  if (!result.epochs.empty()) {
+    result.final_loss = result.epochs.back().loss;
+    result.final_accuracy = result.epochs.back().accuracy;
+  }
+  return result;
+}
+
+}  // namespace flb::fl

@@ -1,0 +1,132 @@
+#include "src/fl/model_io.h"
+
+#include "src/net/serializer.h"
+
+namespace flb::fl {
+
+namespace {
+
+constexpr uint32_t kLrMagic = 0x464C4252;   // "FLBR"
+constexpr uint32_t kSbtMagic = 0x464C4253;  // "FLBS"
+constexpr uint32_t kVersion = 1;
+
+uint64_t Checksum(const std::vector<uint8_t>& bytes, size_t from) {
+  // FNV-1a over the payload, cheap integrity guard against truncation.
+  uint64_t h = 1469598103934665603ULL;
+  for (size_t i = from; i < bytes.size(); ++i) {
+    h = (h ^ bytes[i]) * 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+std::vector<uint8_t> SerializeLrModel(const std::vector<double>& weights) {
+  net::Serializer payload;
+  payload.PutDoubleVector(weights);
+  net::Serializer out;
+  out.PutU32(kLrMagic);
+  out.PutU32(kVersion);
+  out.PutU64(Checksum(payload.bytes(), 0));
+  auto bytes = out.TakeBytes();
+  const auto& p = payload.bytes();
+  bytes.insert(bytes.end(), p.begin(), p.end());
+  return bytes;
+}
+
+Result<std::vector<double>> DeserializeLrModel(
+    const std::vector<uint8_t>& bytes) {
+  net::Deserializer d(bytes);
+  FLB_ASSIGN_OR_RETURN(uint32_t magic, d.GetU32());
+  if (magic != kLrMagic) {
+    return Status::InvalidArgument("LR model: bad magic");
+  }
+  FLB_ASSIGN_OR_RETURN(uint32_t version, d.GetU32());
+  if (version != kVersion) {
+    return Status::NotSupported("LR model: unsupported version");
+  }
+  FLB_ASSIGN_OR_RETURN(uint64_t checksum, d.GetU64());
+  if (checksum != Checksum(bytes, 16)) {
+    return Status::IoError("LR model: checksum mismatch (corrupt file)");
+  }
+  return d.GetDoubleVector();
+}
+
+std::vector<uint8_t> SerializeSbtModel(const std::vector<SbtTree>& trees,
+                                       double learning_rate) {
+  net::Serializer payload;
+  payload.PutDouble(learning_rate);
+  payload.PutU32(static_cast<uint32_t>(trees.size()));
+  for (const SbtTree& tree : trees) {
+    payload.PutU32(static_cast<uint32_t>(tree.nodes.size()));
+    for (const SbtNode& node : tree.nodes) {
+      payload.PutU32(node.is_leaf ? 1 : 0);
+      payload.PutU32(static_cast<uint32_t>(node.split_party + 1));
+      payload.PutU32(node.split_feature);
+      payload.PutU32(static_cast<uint32_t>(node.split_bin));
+      payload.PutU32(static_cast<uint32_t>(node.left + 1));
+      payload.PutU32(static_cast<uint32_t>(node.right + 1));
+      payload.PutDouble(node.leaf_weight);
+    }
+  }
+  net::Serializer out;
+  out.PutU32(kSbtMagic);
+  out.PutU32(kVersion);
+  out.PutU64(Checksum(payload.bytes(), 0));
+  auto bytes = out.TakeBytes();
+  const auto& p = payload.bytes();
+  bytes.insert(bytes.end(), p.begin(), p.end());
+  return bytes;
+}
+
+Result<SbtModel> DeserializeSbtModel(const std::vector<uint8_t>& bytes) {
+  net::Deserializer d(bytes);
+  FLB_ASSIGN_OR_RETURN(uint32_t magic, d.GetU32());
+  if (magic != kSbtMagic) {
+    return Status::InvalidArgument("SBT model: bad magic");
+  }
+  FLB_ASSIGN_OR_RETURN(uint32_t version, d.GetU32());
+  if (version != kVersion) {
+    return Status::NotSupported("SBT model: unsupported version");
+  }
+  FLB_ASSIGN_OR_RETURN(uint64_t checksum, d.GetU64());
+  if (checksum != Checksum(bytes, 16)) {
+    return Status::IoError("SBT model: checksum mismatch (corrupt file)");
+  }
+  SbtModel model;
+  FLB_ASSIGN_OR_RETURN(model.learning_rate, d.GetDouble());
+  FLB_ASSIGN_OR_RETURN(uint32_t num_trees, d.GetU32());
+  model.trees.reserve(num_trees);
+  for (uint32_t t = 0; t < num_trees; ++t) {
+    FLB_ASSIGN_OR_RETURN(uint32_t num_nodes, d.GetU32());
+    SbtTree tree;
+    tree.nodes.reserve(num_nodes);
+    for (uint32_t n = 0; n < num_nodes; ++n) {
+      SbtNode node;
+      FLB_ASSIGN_OR_RETURN(uint32_t leaf, d.GetU32());
+      node.is_leaf = leaf != 0;
+      FLB_ASSIGN_OR_RETURN(uint32_t party, d.GetU32());
+      node.split_party = static_cast<int>(party) - 1;
+      FLB_ASSIGN_OR_RETURN(node.split_feature, d.GetU32());
+      FLB_ASSIGN_OR_RETURN(uint32_t bin, d.GetU32());
+      node.split_bin = static_cast<int>(bin);
+      FLB_ASSIGN_OR_RETURN(uint32_t left, d.GetU32());
+      node.left = static_cast<int>(left) - 1;
+      FLB_ASSIGN_OR_RETURN(uint32_t right, d.GetU32());
+      node.right = static_cast<int>(right) - 1;
+      FLB_ASSIGN_OR_RETURN(node.leaf_weight, d.GetDouble());
+      // Structural validation: children must point inside the tree.
+      if (!node.is_leaf &&
+          (node.left < 0 || node.right < 0 ||
+           node.left >= static_cast<int>(num_nodes) ||
+           node.right >= static_cast<int>(num_nodes))) {
+        return Status::InvalidArgument("SBT model: child index out of range");
+      }
+      tree.nodes.push_back(node);
+    }
+    model.trees.push_back(std::move(tree));
+  }
+  return model;
+}
+
+}  // namespace flb::fl

@@ -1,0 +1,32 @@
+// Trained-model persistence: serialize LR weight vectors and SecureBoost
+// forests so each party can store and later deploy its share of a trained
+// federation (FATE's model export step).
+
+#ifndef FLB_FL_MODEL_IO_H_
+#define FLB_FL_MODEL_IO_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/fl/hetero_sbt.h"
+
+namespace flb::fl {
+
+// Logistic-regression weights (with metadata header + integrity check).
+std::vector<uint8_t> SerializeLrModel(const std::vector<double>& weights);
+Result<std::vector<double>> DeserializeLrModel(
+    const std::vector<uint8_t>& bytes);
+
+// A SecureBoost forest plus the learning rate its leaf weights assume.
+std::vector<uint8_t> SerializeSbtModel(const std::vector<SbtTree>& trees,
+                                       double learning_rate);
+struct SbtModel {
+  std::vector<SbtTree> trees;
+  double learning_rate = 0.0;
+};
+Result<SbtModel> DeserializeSbtModel(const std::vector<uint8_t>& bytes);
+
+}  // namespace flb::fl
+
+#endif  // FLB_FL_MODEL_IO_H_

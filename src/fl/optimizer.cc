@@ -1,0 +1,58 @@
+#include "src/fl/optimizer.h"
+
+#include <cmath>
+
+namespace flb::fl {
+
+Status SgdOptimizer::Step(std::vector<double>* params,
+                          const std::vector<double>& grad) {
+  if (params->size() != grad.size()) {
+    return Status::InvalidArgument("SGD: gradient size mismatch");
+  }
+  for (size_t i = 0; i < grad.size(); ++i) {
+    (*params)[i] -= lr_ * grad[i];
+  }
+  return Status::OK();
+}
+
+Status AdamOptimizer::Step(std::vector<double>* params,
+                           const std::vector<double>& grad) {
+  if (params->size() != grad.size()) {
+    return Status::InvalidArgument("Adam: gradient size mismatch");
+  }
+  if (m_.size() != grad.size()) {
+    m_.assign(grad.size(), 0.0);
+    v_.assign(grad.size(), 0.0);
+    t_ = 0;
+  }
+  ++t_;
+  const double bias1 = 1.0 - std::pow(beta1_, t_);
+  const double bias2 = 1.0 - std::pow(beta2_, t_);
+  for (size_t i = 0; i < grad.size(); ++i) {
+    m_[i] = beta1_ * m_[i] + (1.0 - beta1_) * grad[i];
+    v_[i] = beta2_ * v_[i] + (1.0 - beta2_) * grad[i] * grad[i];
+    const double m_hat = m_[i] / bias1;
+    const double v_hat = v_[i] / bias2;
+    (*params)[i] -= lr_ * m_hat / (std::sqrt(v_hat) + eps_);
+  }
+  return Status::OK();
+}
+
+void AdamOptimizer::Reset() {
+  m_.clear();
+  v_.clear();
+  t_ = 0;
+}
+
+std::unique_ptr<Optimizer> MakeOptimizer(OptimizerKind kind,
+                                         double learning_rate) {
+  switch (kind) {
+    case OptimizerKind::kSgd:
+      return std::make_unique<SgdOptimizer>(learning_rate);
+    case OptimizerKind::kAdam:
+      return std::make_unique<AdamOptimizer>(learning_rate);
+  }
+  return nullptr;
+}
+
+}  // namespace flb::fl

@@ -1,0 +1,56 @@
+// Optimizers for local model updates (Eq. 1). The paper trains with Adam
+// (§VI-B parameter settings); plain SGD is kept for tests and ablations.
+
+#ifndef FLB_FL_OPTIMIZER_H_
+#define FLB_FL_OPTIMIZER_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/common/result.h"
+
+namespace flb::fl {
+
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+  // In-place parameter update from a gradient of matching size.
+  virtual Status Step(std::vector<double>* params,
+                      const std::vector<double>& grad) = 0;
+  virtual void Reset() = 0;
+};
+
+class SgdOptimizer : public Optimizer {
+ public:
+  explicit SgdOptimizer(double learning_rate) : lr_(learning_rate) {}
+  Status Step(std::vector<double>* params,
+              const std::vector<double>& grad) override;
+  void Reset() override {}
+
+ private:
+  double lr_;
+};
+
+class AdamOptimizer : public Optimizer {
+ public:
+  explicit AdamOptimizer(double learning_rate, double beta1 = 0.9,
+                         double beta2 = 0.999, double epsilon = 1e-8)
+      : lr_(learning_rate), beta1_(beta1), beta2_(beta2), eps_(epsilon) {}
+  Status Step(std::vector<double>* params,
+              const std::vector<double>& grad) override;
+  void Reset() override;
+
+ private:
+  double lr_, beta1_, beta2_, eps_;
+  int t_ = 0;
+  std::vector<double> m_, v_;
+};
+
+enum class OptimizerKind : int { kSgd = 0, kAdam = 1 };
+
+std::unique_ptr<Optimizer> MakeOptimizer(OptimizerKind kind,
+                                         double learning_rate);
+
+}  // namespace flb::fl
+
+#endif  // FLB_FL_OPTIMIZER_H_

@@ -1,0 +1,50 @@
+#include "src/fl/partition.h"
+
+namespace flb::fl {
+
+Result<std::vector<Dataset>> HorizontalSplit(const Dataset& ds,
+                                             int num_parties) {
+  if (num_parties < 1 || static_cast<size_t>(num_parties) > ds.rows()) {
+    return Status::InvalidArgument(
+        "HorizontalSplit: party count must be in [1, rows]");
+  }
+  std::vector<Dataset> shards;
+  shards.reserve(num_parties);
+  const size_t base = ds.rows() / num_parties;
+  const size_t extra = ds.rows() % num_parties;
+  size_t row = 0;
+  for (int p = 0; p < num_parties; ++p) {
+    const size_t take = base + (static_cast<size_t>(p) < extra ? 1 : 0);
+    Dataset shard;
+    shard.name = ds.name + "/h" + std::to_string(p);
+    shard.x = ds.x.SliceRows(row, row + take);
+    shard.y.assign(ds.y.begin() + row, ds.y.begin() + row + take);
+    shards.push_back(std::move(shard));
+    row += take;
+  }
+  return shards;
+}
+
+Result<VerticalPartition> VerticalSplit(const Dataset& ds, int num_parties) {
+  if (num_parties < 1 || static_cast<size_t>(num_parties) > ds.cols()) {
+    return Status::InvalidArgument(
+        "VerticalSplit: party count must be in [1, cols]");
+  }
+  VerticalPartition out;
+  out.labels = ds.y;
+  const size_t base = ds.cols() / num_parties;
+  const size_t extra = ds.cols() % num_parties;
+  size_t col = 0;
+  for (int p = 0; p < num_parties; ++p) {
+    const size_t take = base + (static_cast<size_t>(p) < extra ? 1 : 0);
+    VerticalShard shard;
+    shard.col_begin = col;
+    shard.col_end = col + take;
+    shard.x = ds.x.SliceColumns(col, col + take);
+    out.shards.push_back(std::move(shard));
+    col += take;
+  }
+  return out;
+}
+
+}  // namespace flb::fl

@@ -1,0 +1,39 @@
+// Dataset partitioning for federated scenarios (paper §VI-A).
+//
+// Homogeneous (horizontal) FL: every party has the same feature space but
+// different instances — the dataset is split by rows.
+// Heterogeneous (vertical) FL: every party has the same instances but a
+// different slice of the feature space — split by columns; the guest
+// (party 0) additionally holds the labels.
+
+#ifndef FLB_FL_PARTITION_H_
+#define FLB_FL_PARTITION_H_
+
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/fl/dataset.h"
+
+namespace flb::fl {
+
+// Row shards; every shard keeps the full feature space and its own labels.
+Result<std::vector<Dataset>> HorizontalSplit(const Dataset& ds,
+                                             int num_parties);
+
+struct VerticalShard {
+  DataMatrix x;          // this party's columns, renumbered from 0
+  size_t col_begin = 0;  // original column range [col_begin, col_end)
+  size_t col_end = 0;
+};
+
+struct VerticalPartition {
+  std::vector<VerticalShard> shards;  // shard 0 belongs to the guest
+  std::vector<float> labels;          // held by the guest only
+};
+
+// Column shards; labels go to the guest (shard 0).
+Result<VerticalPartition> VerticalSplit(const Dataset& ds, int num_parties);
+
+}  // namespace flb::fl
+
+#endif  // FLB_FL_PARTITION_H_

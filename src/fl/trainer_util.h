@@ -1,0 +1,55 @@
+// Small shared helpers for the federated trainers: party naming, per-epoch
+// clock attribution, convergence bookkeeping.
+
+#ifndef FLB_FL_TRAINER_UTIL_H_
+#define FLB_FL_TRAINER_UTIL_H_
+
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include "src/common/sim_clock.h"
+#include "src/fl/fl_types.h"
+#include "src/net/network.h"
+
+namespace flb::fl {
+
+inline std::string PartyName(int p) { return "party" + std::to_string(p); }
+inline constexpr char kServerName[] = "server";
+inline constexpr char kGuestName[] = "guest";
+inline constexpr char kArbiterName[] = "arbiter";
+inline std::string HostName(int h) { return "host" + std::to_string(h); }
+
+// Snapshot of the simulated clock + network counters, used to attribute
+// per-epoch component times (Table VI's decomposition).
+struct ClockSnapshot {
+  double total = 0, he = 0, comm = 0;
+  uint64_t bytes = 0;
+
+  static ClockSnapshot Take(const SimClock* clock, const net::Network* net) {
+    ClockSnapshot s;
+    if (clock != nullptr) {
+      s.total = clock->Now();
+      s.he = clock->HeSeconds();
+      s.comm = clock->CommSeconds();
+    }
+    if (net != nullptr) s.bytes = net->stats().bytes;
+    return s;
+  }
+};
+
+// Fills the timing fields of an EpochRecord from two snapshots.
+inline void FillEpochTiming(const ClockSnapshot& before,
+                            const ClockSnapshot& after, EpochRecord* record) {
+  record->sim_seconds_cum = after.total;
+  record->epoch_seconds = after.total - before.total;
+  record->he_seconds = after.he - before.he;
+  record->comm_seconds = after.comm - before.comm;
+  record->other_seconds =
+      record->epoch_seconds - record->he_seconds - record->comm_seconds;
+  record->comm_bytes = after.bytes - before.bytes;
+}
+
+}  // namespace flb::fl
+
+#endif  // FLB_FL_TRAINER_UTIL_H_

@@ -1,0 +1,636 @@
+#include "src/ghe/ghe_engine.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/common/check.h"
+#include "src/crypto/montgomery.h"
+#include "src/ghe/parallel_montgomery.h"
+
+namespace flb::ghe {
+
+namespace {
+
+// Serialized size of `count` values of `s` limbs each.
+size_t BatchBytes(int64_t count, size_t s) {
+  return static_cast<size_t>(count) * s * sizeof(uint32_t);
+}
+
+Status CheckSameSize(size_t a, size_t b, const char* what) {
+  if (a != b) {
+    return Status::InvalidArgument(std::string(what) +
+                                   ": batch sizes differ");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+uint64_t MontMulLimbOps(size_t s) {
+  // CIOS: per outer word, s mul-adds (multiply step) + s mul-adds (reduce
+  // step) + ~6 bookkeeping ops; plus the conditional subtraction.
+  return static_cast<uint64_t>(s) * (2 * s + 6) + s;
+}
+
+uint64_t EstimateModPowMontMuls(int exp_bits) {
+  if (exp_bits <= 0) return 1;
+  const int w = crypto::ChooseWindowBits(exp_bits);
+  const uint64_t squarings = exp_bits;
+  const uint64_t window_muls = exp_bits / (w + 1) + 1;
+  const uint64_t table = (uint64_t{1} << (w - 1)) + 1;
+  const uint64_t conversions = 2;  // ToMont / FromMont
+  return squarings + window_muls + table + conversions;
+}
+
+GheEngine::GheEngine(std::shared_ptr<gpusim::Device> device, GheConfig config)
+    : device_(std::move(device)), config_(config) {
+  FLB_CHECK(device_ != nullptr);
+  FLB_CHECK(config_.words_per_thread >= 1);
+}
+
+int GheEngine::ThreadsPerElement(size_t s) const {
+  const int target = std::max<int>(
+      1, static_cast<int>(s) / config_.words_per_thread);
+  return LargestValidThreadCount(s, target);
+}
+
+gpusim::KernelDemand GheEngine::DemandFor(size_t s, int threads_per_elt) const {
+  gpusim::KernelDemand demand;
+  const int x = static_cast<int>(s) / std::max(threads_per_elt, 1);
+  // Per-thread registers: the operand slices (x words each of a, b, n, t)
+  // plus each thread's share of the sliding-window table, which grows with
+  // the operand width — the reason SM occupancy decays at larger key sizes
+  // (paper Fig. 6 commentary).
+  demand.registers_per_thread = config_.base_registers +
+                                config_.registers_per_word * x +
+                                static_cast<int>(s) / 4;
+  demand.divergent_branches = config_.divergent_branches;
+  demand.shared_mem_per_block = 0;
+  return demand;
+}
+
+Result<gpusim::LaunchResult> GheEngine::LaunchBatch(
+    const char* name, int64_t count, size_t s, uint64_t limb_ops_per_elt,
+    size_t bytes_in, size_t bytes_out, std::function<void()> body) {
+  if (count <= 0) {
+    return Status::InvalidArgument(std::string(name) + ": empty batch");
+  }
+  device_->CopyToDevice(bytes_in);
+  const int tpe = ThreadsPerElement(s);
+  gpusim::KernelLaunch launch;
+  launch.name = name;
+  launch.total_threads = count * tpe;
+  launch.ops_per_thread = limb_ops_per_elt / std::max(tpe, 1);
+  launch.demand = DemandFor(s, tpe);
+  launch.body = std::move(body);
+  FLB_ASSIGN_OR_RETURN(last_launch_, device_->Launch(launch));
+  device_->CopyFromDevice(bytes_out);
+  return last_launch_;
+}
+
+// ---------------------------------------------------------------------------
+// Vector arithmetic
+// ---------------------------------------------------------------------------
+
+Result<std::vector<BigInt>> GheEngine::Add(const std::vector<BigInt>& a,
+                                           const std::vector<BigInt>& b) {
+  FLB_RETURN_IF_ERROR(CheckSameSize(a.size(), b.size(), "GheEngine::Add"));
+  if (a.empty()) return std::vector<BigInt>{};
+  size_t s = 1;
+  for (const auto& v : a) s = std::max(s, v.WordCount());
+  for (const auto& v : b) s = std::max(s, v.WordCount());
+  std::vector<BigInt> out(a.size());
+  FLB_RETURN_IF_ERROR(
+      LaunchBatch("ghe.add", a.size(), s, /*limb_ops_per_elt=*/s,
+                  BatchBytes(2 * a.size(), s), BatchBytes(a.size(), s + 1),
+                  [&] {
+                    for (size_t i = 0; i < a.size(); ++i) {
+                      out[i] = BigInt::Add(a[i], b[i]);
+                    }
+                  })
+          .status());
+  return out;
+}
+
+Result<std::vector<BigInt>> GheEngine::Sub(const std::vector<BigInt>& a,
+                                           const std::vector<BigInt>& b) {
+  FLB_RETURN_IF_ERROR(CheckSameSize(a.size(), b.size(), "GheEngine::Sub"));
+  if (a.empty()) return std::vector<BigInt>{};
+  size_t s = 1;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i] < b[i]) {
+      return Status::OutOfRange("GheEngine::Sub: unsigned underflow at index " +
+                                std::to_string(i));
+    }
+    s = std::max(s, a[i].WordCount());
+  }
+  std::vector<BigInt> out(a.size());
+  FLB_RETURN_IF_ERROR(
+      LaunchBatch("ghe.sub", a.size(), s, s, BatchBytes(2 * a.size(), s),
+                  BatchBytes(a.size(), s),
+                  [&] {
+                    for (size_t i = 0; i < a.size(); ++i) {
+                      out[i] = BigInt::Sub(a[i], b[i]);
+                    }
+                  })
+          .status());
+  return out;
+}
+
+Result<std::vector<BigInt>> GheEngine::Mul(const std::vector<BigInt>& a,
+                                           const std::vector<BigInt>& b) {
+  FLB_RETURN_IF_ERROR(CheckSameSize(a.size(), b.size(), "GheEngine::Mul"));
+  if (a.empty()) return std::vector<BigInt>{};
+  size_t s = 1;
+  for (const auto& v : a) s = std::max(s, v.WordCount());
+  for (const auto& v : b) s = std::max(s, v.WordCount());
+  std::vector<BigInt> out(a.size());
+  FLB_RETURN_IF_ERROR(
+      LaunchBatch("ghe.mul", a.size(), s, /*limb_ops_per_elt=*/s * s,
+                  BatchBytes(2 * a.size(), s), BatchBytes(a.size(), 2 * s),
+                  [&] {
+                    for (size_t i = 0; i < a.size(); ++i) {
+                      out[i] = BigInt::Mul(a[i], b[i]);
+                    }
+                  })
+          .status());
+  return out;
+}
+
+Result<std::vector<BigInt>> GheEngine::Div(const std::vector<BigInt>& a,
+                                           const std::vector<BigInt>& b) {
+  FLB_RETURN_IF_ERROR(CheckSameSize(a.size(), b.size(), "GheEngine::Div"));
+  if (a.empty()) return std::vector<BigInt>{};
+  size_t s = 1;
+  for (const auto& v : a) s = std::max(s, v.WordCount());
+  std::vector<BigInt> out(a.size());
+  Status first_error;
+  FLB_RETURN_IF_ERROR(
+      LaunchBatch("ghe.div", a.size(), s, /*limb_ops_per_elt=*/2 * s * s,
+                  BatchBytes(2 * a.size(), s), BatchBytes(a.size(), s),
+                  [&] {
+                    for (size_t i = 0; i < a.size(); ++i) {
+                      auto q = BigInt::Div(a[i], b[i]);
+                      if (!q.ok()) {
+                        if (first_error.ok()) first_error = q.status();
+                        return;
+                      }
+                      out[i] = std::move(q).value();
+                    }
+                  })
+          .status());
+  FLB_RETURN_IF_ERROR(first_error);
+  return out;
+}
+
+Result<std::vector<BigInt>> GheEngine::Mod(const std::vector<BigInt>& a,
+                                           const BigInt& n) {
+  if (a.empty()) return std::vector<BigInt>{};
+  if (n.IsZero()) return Status::ArithmeticError("GheEngine::Mod: n == 0");
+  const size_t s = std::max<size_t>(n.WordCount(), 1);
+  std::vector<BigInt> out(a.size());
+  Status first_error;
+  FLB_RETURN_IF_ERROR(
+      LaunchBatch("ghe.mod", a.size(), s, /*limb_ops_per_elt=*/2 * s * s,
+                  BatchBytes(a.size(), 2 * s), BatchBytes(a.size(), s),
+                  [&] {
+                    for (size_t i = 0; i < a.size(); ++i) {
+                      auto r = BigInt::Mod(a[i], n);
+                      if (!r.ok()) {
+                        if (first_error.ok()) first_error = r.status();
+                        return;
+                      }
+                      out[i] = std::move(r).value();
+                    }
+                  })
+          .status());
+  FLB_RETURN_IF_ERROR(first_error);
+  return out;
+}
+
+Result<std::vector<BigInt>> GheEngine::ModInv(const std::vector<BigInt>& a,
+                                              const BigInt& n) {
+  if (a.empty()) return std::vector<BigInt>{};
+  const size_t s = std::max<size_t>(n.WordCount(), 1);
+  std::vector<BigInt> out(a.size());
+  Status first_error;
+  FLB_RETURN_IF_ERROR(
+      LaunchBatch("ghe.mod_inv", a.size(), s,
+                  // Extended Euclid: ~2*bits iterations of O(s) work.
+                  /*limb_ops_per_elt=*/static_cast<uint64_t>(4) * s * s * 32,
+                  BatchBytes(a.size(), s), BatchBytes(a.size(), s),
+                  [&] {
+                    for (size_t i = 0; i < a.size(); ++i) {
+                      auto r = BigInt::ModInverse(a[i], n);
+                      if (!r.ok()) {
+                        if (first_error.ok()) first_error = r.status();
+                        return;
+                      }
+                      out[i] = std::move(r).value();
+                    }
+                  })
+          .status());
+  FLB_RETURN_IF_ERROR(first_error);
+  return out;
+}
+
+Result<std::vector<BigInt>> GheEngine::ModMul(const std::vector<BigInt>& a,
+                                              const std::vector<BigInt>& b,
+                                              const BigInt& n) {
+  FLB_RETURN_IF_ERROR(CheckSameSize(a.size(), b.size(), "GheEngine::ModMul"));
+  if (a.empty()) return std::vector<BigInt>{};
+  FLB_ASSIGN_OR_RETURN(auto ctx, crypto::MontgomeryContext::Create(n));
+  const size_t s = ctx.num_limbs();
+  std::vector<BigInt> out(a.size());
+  FLB_RETURN_IF_ERROR(
+      LaunchBatch("ghe.mod_mul", a.size(), s,
+                  /*limb_ops_per_elt=*/3 * MontMulLimbOps(s),
+                  BatchBytes(2 * a.size(), s), BatchBytes(a.size(), s),
+                  [&] {
+                    for (size_t i = 0; i < a.size(); ++i) {
+                      out[i] = ctx.ModMul(a[i] % n, b[i] % n);
+                    }
+                  })
+          .status());
+  return out;
+}
+
+Result<std::vector<BigInt>> GheEngine::ModPow(const std::vector<BigInt>& x,
+                                              const std::vector<BigInt>& p,
+                                              const BigInt& n) {
+  FLB_RETURN_IF_ERROR(CheckSameSize(x.size(), p.size(), "GheEngine::ModPow"));
+  if (x.empty()) return std::vector<BigInt>{};
+  FLB_ASSIGN_OR_RETURN(auto ctx, crypto::MontgomeryContext::Create(n));
+  const size_t s = ctx.num_limbs();
+  int max_exp_bits = 1;
+  for (const auto& e : p) max_exp_bits = std::max(max_exp_bits, e.BitLength());
+  std::vector<BigInt> out(x.size());
+  FLB_RETURN_IF_ERROR(
+      LaunchBatch(
+          "ghe.mod_pow", x.size(), s,
+          EstimateModPowMontMuls(max_exp_bits) * MontMulLimbOps(s),
+          BatchBytes(2 * x.size(), s), BatchBytes(x.size(), s),
+          [&] {
+            for (size_t i = 0; i < x.size(); ++i) {
+              out[i] = ctx.ModPow(x[i], p[i]);
+            }
+          })
+          .status());
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Paillier / RSA batches
+// ---------------------------------------------------------------------------
+
+Result<std::vector<BigInt>> GheEngine::PaillierEncrypt(
+    const crypto::PaillierContext& ctx, const std::vector<BigInt>& ms,
+    Rng& rng) {
+  if (ms.empty()) return std::vector<BigInt>{};
+  const int key_bits = ctx.pub().key_bits;
+  const size_t s2 = ctx.pub().CiphertextWords();
+  std::vector<BigInt> out(ms.size());
+  Status first_error;
+  // r^n mod n^2 dominates: an n-bit exponent over 2k-bit operands, plus the
+  // (n+1)^m fast path multiply.
+  const uint64_t ops =
+      (EstimateModPowMontMuls(key_bits) + 3) * MontMulLimbOps(s2);
+  FLB_RETURN_IF_ERROR(
+      LaunchBatch("ghe.paillier_encrypt", ms.size(), s2, ops,
+                  BatchBytes(ms.size(), s2 / 2), BatchBytes(ms.size(), s2),
+                  [&] {
+                    for (size_t i = 0; i < ms.size(); ++i) {
+                      auto c = ctx.Encrypt(ms[i], rng);
+                      if (!c.ok()) {
+                        if (first_error.ok()) first_error = c.status();
+                        return;
+                      }
+                      out[i] = std::move(c).value();
+                    }
+                  })
+          .status());
+  FLB_RETURN_IF_ERROR(first_error);
+  return out;
+}
+
+Result<std::vector<BigInt>> GheEngine::PaillierDecrypt(
+    const crypto::PaillierContext& ctx, const std::vector<BigInt>& cs) {
+  if (cs.empty()) return std::vector<BigInt>{};
+  const int key_bits = ctx.pub().key_bits;
+  const size_t s2 = ctx.pub().CiphertextWords();
+  // CRT: two half-width exponentiations over half-width moduli.
+  const uint64_t ops =
+      2 * EstimateModPowMontMuls(key_bits / 2) * MontMulLimbOps(s2 / 2);
+  std::vector<BigInt> out(cs.size());
+  Status first_error;
+  FLB_RETURN_IF_ERROR(
+      LaunchBatch("ghe.paillier_decrypt", cs.size(), s2, ops,
+                  BatchBytes(cs.size(), s2), BatchBytes(cs.size(), s2 / 2),
+                  [&] {
+                    for (size_t i = 0; i < cs.size(); ++i) {
+                      auto m = ctx.Decrypt(cs[i]);
+                      if (!m.ok()) {
+                        if (first_error.ok()) first_error = m.status();
+                        return;
+                      }
+                      out[i] = std::move(m).value();
+                    }
+                  })
+          .status());
+  FLB_RETURN_IF_ERROR(first_error);
+  return out;
+}
+
+Result<std::vector<BigInt>> GheEngine::PaillierAdd(
+    const crypto::PaillierContext& ctx, const std::vector<BigInt>& c1,
+    const std::vector<BigInt>& c2) {
+  FLB_RETURN_IF_ERROR(
+      CheckSameSize(c1.size(), c2.size(), "GheEngine::PaillierAdd"));
+  if (c1.empty()) return std::vector<BigInt>{};
+  const size_t s2 = ctx.pub().CiphertextWords();
+  std::vector<BigInt> out(c1.size());
+  Status first_error;
+  FLB_RETURN_IF_ERROR(
+      LaunchBatch("ghe.paillier_add", c1.size(), s2,
+                  /*limb_ops_per_elt=*/3 * MontMulLimbOps(s2),
+                  BatchBytes(2 * c1.size(), s2), BatchBytes(c1.size(), s2),
+                  [&] {
+                    for (size_t i = 0; i < c1.size(); ++i) {
+                      auto c = ctx.Add(c1[i], c2[i]);
+                      if (!c.ok()) {
+                        if (first_error.ok()) first_error = c.status();
+                        return;
+                      }
+                      out[i] = std::move(c).value();
+                    }
+                  })
+          .status());
+  FLB_RETURN_IF_ERROR(first_error);
+  return out;
+}
+
+Result<std::vector<BigInt>> GheEngine::PaillierAddPlain(
+    const crypto::PaillierContext& ctx, const std::vector<BigInt>& cs,
+    const std::vector<BigInt>& ks) {
+  FLB_RETURN_IF_ERROR(
+      CheckSameSize(cs.size(), ks.size(), "GheEngine::PaillierAddPlain"));
+  if (cs.empty()) return std::vector<BigInt>{};
+  const size_t s2 = ctx.pub().CiphertextWords();
+  std::vector<BigInt> out(cs.size());
+  Status first_error;
+  // g = n+1 path: one multiply + one ModMul per element.
+  FLB_RETURN_IF_ERROR(
+      LaunchBatch("ghe.paillier_add_plain", cs.size(), s2,
+                  /*limb_ops_per_elt=*/4 * MontMulLimbOps(s2),
+                  BatchBytes(cs.size(), s2) + BatchBytes(ks.size(), s2 / 2),
+                  BatchBytes(cs.size(), s2),
+                  [&] {
+                    for (size_t i = 0; i < cs.size(); ++i) {
+                      auto c = ctx.AddPlain(cs[i], ks[i]);
+                      if (!c.ok()) {
+                        if (first_error.ok()) first_error = c.status();
+                        return;
+                      }
+                      out[i] = std::move(c).value();
+                    }
+                  })
+          .status());
+  FLB_RETURN_IF_ERROR(first_error);
+  return out;
+}
+
+Result<std::vector<BigInt>> GheEngine::PaillierScalarMul(
+    const crypto::PaillierContext& ctx, const std::vector<BigInt>& cs,
+    const std::vector<BigInt>& ks) {
+  FLB_RETURN_IF_ERROR(
+      CheckSameSize(cs.size(), ks.size(), "GheEngine::PaillierScalarMul"));
+  if (cs.empty()) return std::vector<BigInt>{};
+  const size_t s2 = ctx.pub().CiphertextWords();
+  // Effective exponent width: scalars above n/2 encode negatives -(n - k)
+  // and run through the ciphertext-inverse fast path, so their cost is the
+  // width of n - k, not of k.
+  const BigInt half_n = BigInt::ShiftRight(ctx.pub().n, 1);
+  int max_exp_bits = 1;
+  for (const auto& k : ks) {
+    const int eff = k > half_n ? BigInt::Sub(ctx.pub().n, k).BitLength()
+                               : k.BitLength();
+    max_exp_bits = std::max(max_exp_bits, eff);
+  }
+  std::vector<BigInt> out(cs.size());
+  Status first_error;
+  FLB_RETURN_IF_ERROR(
+      LaunchBatch("ghe.paillier_scalar_mul", cs.size(), s2,
+                  EstimateModPowMontMuls(max_exp_bits) * MontMulLimbOps(s2),
+                  BatchBytes(2 * cs.size(), s2), BatchBytes(cs.size(), s2),
+                  [&] {
+                    for (size_t i = 0; i < cs.size(); ++i) {
+                      auto c = ctx.ScalarMul(cs[i], ks[i]);
+                      if (!c.ok()) {
+                        if (first_error.ok()) first_error = c.status();
+                        return;
+                      }
+                      out[i] = std::move(c).value();
+                    }
+                  })
+          .status());
+  FLB_RETURN_IF_ERROR(first_error);
+  return out;
+}
+
+Result<std::vector<BigInt>> GheEngine::RsaEncrypt(
+    const crypto::RsaContext& ctx, const std::vector<BigInt>& ms) {
+  if (ms.empty()) return std::vector<BigInt>{};
+  const size_t s = ctx.pub().CiphertextWords();
+  // e = 65537: 17 squarings + 1 multiply.
+  const uint64_t ops = 20 * MontMulLimbOps(s);
+  std::vector<BigInt> out(ms.size());
+  Status first_error;
+  FLB_RETURN_IF_ERROR(
+      LaunchBatch("ghe.rsa_encrypt", ms.size(), s, ops,
+                  BatchBytes(ms.size(), s), BatchBytes(ms.size(), s),
+                  [&] {
+                    for (size_t i = 0; i < ms.size(); ++i) {
+                      auto c = ctx.Encrypt(ms[i]);
+                      if (!c.ok()) {
+                        if (first_error.ok()) first_error = c.status();
+                        return;
+                      }
+                      out[i] = std::move(c).value();
+                    }
+                  })
+          .status());
+  FLB_RETURN_IF_ERROR(first_error);
+  return out;
+}
+
+Result<std::vector<BigInt>> GheEngine::RsaDecrypt(
+    const crypto::RsaContext& ctx, const std::vector<BigInt>& cs) {
+  if (cs.empty()) return std::vector<BigInt>{};
+  const int key_bits = ctx.pub().key_bits;
+  const size_t s = ctx.pub().CiphertextWords();
+  const uint64_t ops =
+      2 * EstimateModPowMontMuls(key_bits / 2) * MontMulLimbOps(s / 2);
+  std::vector<BigInt> out(cs.size());
+  Status first_error;
+  FLB_RETURN_IF_ERROR(
+      LaunchBatch("ghe.rsa_decrypt", cs.size(), s, ops,
+                  BatchBytes(cs.size(), s), BatchBytes(cs.size(), s),
+                  [&] {
+                    for (size_t i = 0; i < cs.size(); ++i) {
+                      auto m = ctx.Decrypt(cs[i]);
+                      if (!m.ok()) {
+                        if (first_error.ok()) first_error = m.status();
+                        return;
+                      }
+                      out[i] = std::move(m).value();
+                    }
+                  })
+          .status());
+  FLB_RETURN_IF_ERROR(first_error);
+  return out;
+}
+
+Result<std::vector<BigInt>> GheEngine::RsaMul(const crypto::RsaContext& ctx,
+                                              const std::vector<BigInt>& c1,
+                                              const std::vector<BigInt>& c2) {
+  FLB_RETURN_IF_ERROR(CheckSameSize(c1.size(), c2.size(), "GheEngine::RsaMul"));
+  if (c1.empty()) return std::vector<BigInt>{};
+  const size_t s = ctx.pub().CiphertextWords();
+  std::vector<BigInt> out(c1.size());
+  Status first_error;
+  FLB_RETURN_IF_ERROR(
+      LaunchBatch("ghe.rsa_mul", c1.size(), s, 3 * MontMulLimbOps(s),
+                  BatchBytes(2 * c1.size(), s), BatchBytes(c1.size(), s),
+                  [&] {
+                    for (size_t i = 0; i < c1.size(); ++i) {
+                      auto c = ctx.Mul(c1[i], c2[i]);
+                      if (!c.ok()) {
+                        if (first_error.ok()) first_error = c.status();
+                        return;
+                      }
+                      out[i] = std::move(c).value();
+                    }
+                  })
+          .status());
+  FLB_RETURN_IF_ERROR(first_error);
+  return out;
+}
+
+namespace {
+
+// Expected prime-search work for one b-bit prime: ~b*ln(2)/2 odd candidates;
+// trial division removes ~80%; survivors pay one witness exponentiation
+// (composites fail fast), the final prime pays the full round count.
+uint64_t PrimeSearchLimbOps(int prime_bits) {
+  const size_t s = static_cast<size_t>(prime_bits) / 32;
+  const double candidates = prime_bits * 0.347;
+  const double mr_exponentiations = candidates * 0.2 * 1.2 + 20.0;
+  return static_cast<uint64_t>(mr_exponentiations *
+                               EstimateModPowMontMuls(prime_bits) *
+                               MontMulLimbOps(s));
+}
+
+}  // namespace
+
+Result<crypto::PaillierKeyPair> GheEngine::PaillierKeyGen(int key_bits,
+                                                          Rng& rng) {
+  crypto::PaillierKeyPair keys;
+  Status status;
+  FLB_RETURN_IF_ERROR(
+      LaunchBatch("ghe.paillier_keygen", /*count=*/2, key_bits / 2 / 32,
+                  PrimeSearchLimbOps(key_bits / 2),
+                  /*bytes_in=*/64, /*bytes_out=*/key_bits / 4,
+                  [&] {
+                    auto result = crypto::PaillierKeyGen(key_bits, rng);
+                    if (result.ok()) {
+                      keys = std::move(result).value();
+                    } else {
+                      status = result.status();
+                    }
+                  })
+          .status());
+  FLB_RETURN_IF_ERROR(status);
+  return keys;
+}
+
+Result<crypto::RsaKeyPair> GheEngine::RsaKeyGen(int key_bits, Rng& rng) {
+  crypto::RsaKeyPair keys;
+  Status status;
+  FLB_RETURN_IF_ERROR(
+      LaunchBatch("ghe.rsa_keygen", /*count=*/2, key_bits / 2 / 32,
+                  PrimeSearchLimbOps(key_bits / 2),
+                  /*bytes_in=*/64, /*bytes_out=*/key_bits / 4,
+                  [&] {
+                    auto result = crypto::RsaKeyGen(key_bits, rng);
+                    if (result.ok()) {
+                      keys = std::move(result).value();
+                    } else {
+                      status = result.status();
+                    }
+                  })
+          .status());
+  FLB_RETURN_IF_ERROR(status);
+  return keys;
+}
+
+// ---------------------------------------------------------------------------
+// Timing-only models
+// ---------------------------------------------------------------------------
+
+Result<gpusim::LaunchResult> GheEngine::ModelPaillierEncrypt(int key_bits,
+                                                             int64_t count) {
+  const size_t s2 = static_cast<size_t>(key_bits) * 2 / 32;
+  const uint64_t ops =
+      (EstimateModPowMontMuls(key_bits) + 3) * MontMulLimbOps(s2);
+  return LaunchBatch("ghe.model_encrypt", count, s2, ops,
+                     BatchBytes(count, s2 / 2), BatchBytes(count, s2),
+                     /*body=*/nullptr);
+}
+
+Result<gpusim::LaunchResult> GheEngine::ModelPaillierDecrypt(int key_bits,
+                                                             int64_t count,
+                                                             bool crt) {
+  const size_t s2 = static_cast<size_t>(key_bits) * 2 / 32;
+  const uint64_t ops =
+      crt ? 2 * EstimateModPowMontMuls(key_bits / 2) * MontMulLimbOps(s2 / 2)
+          : EstimateModPowMontMuls(key_bits) * MontMulLimbOps(s2);
+  return LaunchBatch("ghe.model_decrypt", count, s2, ops,
+                     BatchBytes(count, s2), BatchBytes(count, s2 / 2),
+                     /*body=*/nullptr);
+}
+
+Result<gpusim::LaunchResult> GheEngine::ModelPaillierAdd(int key_bits,
+                                                         int64_t count) {
+  const size_t s2 = static_cast<size_t>(key_bits) * 2 / 32;
+  return LaunchBatch("ghe.model_add", count, s2, 3 * MontMulLimbOps(s2),
+                     BatchBytes(2 * count, s2), BatchBytes(count, s2),
+                     /*body=*/nullptr);
+}
+
+Result<gpusim::LaunchResult> GheEngine::ModelPaillierAddPlain(int key_bits,
+                                                              int64_t count) {
+  const size_t s2 = static_cast<size_t>(key_bits) * 2 / 32;
+  return LaunchBatch("ghe.model_add_plain", count, s2, 4 * MontMulLimbOps(s2),
+                     BatchBytes(count, s2) + BatchBytes(count, s2 / 2),
+                     BatchBytes(count, s2), /*body=*/nullptr);
+}
+
+Result<gpusim::LaunchResult> GheEngine::ModelPaillierScalarMul(int key_bits,
+                                                               int64_t count,
+                                                               int exp_bits) {
+  const size_t s2 = static_cast<size_t>(key_bits) * 2 / 32;
+  return LaunchBatch("ghe.model_scalar_mul", count, s2,
+                     EstimateModPowMontMuls(exp_bits) * MontMulLimbOps(s2),
+                     BatchBytes(2 * count, s2), BatchBytes(count, s2),
+                     /*body=*/nullptr);
+}
+
+double GheEngine::ModelTransferToDevice(size_t bytes) {
+  return device_->CopyToDevice(bytes);
+}
+
+double GheEngine::ModelTransferFromDevice(size_t bytes) {
+  return device_->CopyFromDevice(bytes);
+}
+
+}  // namespace flb::ghe

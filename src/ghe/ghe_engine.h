@@ -1,0 +1,167 @@
+// GheEngine — the paper's GPU-HE layer (§IV-A).
+//
+// Exposes the Table I API surface as batched ("vectorized") operations over
+// arrays of multi-precision integers, executed on the simulated device:
+//
+//   add/sub/mul/div/mod       — elementwise multi-precision arithmetic
+//   mod_inv/mod_mul/mod_pow   — modular kernels (Montgomery-based)
+//   Paillier::{encrypt,decrypt,add}, RSA::{encrypt,decrypt,mul}
+//
+// Every batch call becomes one kernel launch: each array element is served
+// by T = s/x device threads (Algorithm 2's decomposition, x words per
+// thread), the host body computes the real results (bit-exact with the
+// parallel kernel — see parallel_montgomery tests), and the device charges
+// modeled kernel + PCIe time to the SimClock.
+//
+// Model* variants run the identical launch geometry without a body; the FL
+// epoch benches use them to price millions of HE ops without executing
+// millions of 4096-bit exponentiations (DESIGN.md §1). Tests pin Model* op
+// counts to the counters observed on the real path.
+
+#ifndef FLB_GHE_GHE_ENGINE_H_
+#define FLB_GHE_GHE_ENGINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/common/rng.h"
+#include "src/crypto/paillier.h"
+#include "src/crypto/rsa.h"
+#include "src/gpusim/device.h"
+#include "src/mpint/bigint.h"
+
+namespace flb::ghe {
+
+using mpint::BigInt;
+
+struct GheConfig {
+  // x in Algorithm 2: words of each operand held per device thread. The
+  // thread count per element is s/x (adjusted down to a divisor of s).
+  int words_per_thread = 4;
+  // Registers a kernel thread needs per held word (operand slices + the
+  // working accumulator slice).
+  int registers_per_word = 6;
+  int base_registers = 24;
+  // Divergent branch regions in the modular kernels (window selection +
+  // final conditional subtraction). The resource manager combines them when
+  // branch combining is on; the HAFLO baseline leaves them unmanaged.
+  int divergent_branches = 2;
+};
+
+// Limb multiply-accumulates for one s-limb CIOS Montgomery multiplication.
+uint64_t MontMulLimbOps(size_t s);
+// Montgomery multiplications in one sliding-window exponentiation with an
+// exp_bits-bit exponent (squarings + window multiplies + table build).
+uint64_t EstimateModPowMontMuls(int exp_bits);
+
+class GheEngine {
+ public:
+  GheEngine(std::shared_ptr<gpusim::Device> device, GheConfig config = {});
+
+  gpusim::Device& device() { return *device_; }
+  const GheConfig& config() const { return config_; }
+
+  // ---- Table I: fundamental vector arithmetic -------------------------------
+  // Elementwise over equal-length arrays.
+  Result<std::vector<BigInt>> Add(const std::vector<BigInt>& a,
+                                  const std::vector<BigInt>& b);
+  // Elementwise a-b; requires a[i] >= b[i].
+  Result<std::vector<BigInt>> Sub(const std::vector<BigInt>& a,
+                                  const std::vector<BigInt>& b);
+  Result<std::vector<BigInt>> Mul(const std::vector<BigInt>& a,
+                                  const std::vector<BigInt>& b);
+  // Elementwise a/b and a%b; error on any zero divisor.
+  Result<std::vector<BigInt>> Div(const std::vector<BigInt>& a,
+                                  const std::vector<BigInt>& b);
+  Result<std::vector<BigInt>> Mod(const std::vector<BigInt>& a,
+                                  const BigInt& n);
+
+  // ---- Table I: modular kernels ---------------------------------------------
+  Result<std::vector<BigInt>> ModInv(const std::vector<BigInt>& a,
+                                     const BigInt& n);
+  Result<std::vector<BigInt>> ModMul(const std::vector<BigInt>& a,
+                                     const std::vector<BigInt>& b,
+                                     const BigInt& n);
+  Result<std::vector<BigInt>> ModPow(const std::vector<BigInt>& x,
+                                     const std::vector<BigInt>& p,
+                                     const BigInt& n);
+
+  // ---- Table I: Paillier / RSA ----------------------------------------------
+  Result<std::vector<BigInt>> PaillierEncrypt(
+      const crypto::PaillierContext& ctx, const std::vector<BigInt>& ms,
+      Rng& rng);
+  Result<std::vector<BigInt>> PaillierDecrypt(
+      const crypto::PaillierContext& ctx, const std::vector<BigInt>& cs);
+  Result<std::vector<BigInt>> PaillierAdd(const crypto::PaillierContext& ctx,
+                                          const std::vector<BigInt>& c1,
+                                          const std::vector<BigInt>& c2);
+  // Elementwise E(m_i) + k_i for plaintext k_i (one (n+1)^k multiply each).
+  Result<std::vector<BigInt>> PaillierAddPlain(
+      const crypto::PaillierContext& ctx, const std::vector<BigInt>& cs,
+      const std::vector<BigInt>& ks);
+  // Elementwise E(m_i)^{k_i} = E(k_i * m_i) — a full modular exponentiation
+  // per element.
+  Result<std::vector<BigInt>> PaillierScalarMul(
+      const crypto::PaillierContext& ctx, const std::vector<BigInt>& cs,
+      const std::vector<BigInt>& ks);
+  Result<std::vector<BigInt>> RsaEncrypt(const crypto::RsaContext& ctx,
+                                         const std::vector<BigInt>& ms);
+  Result<std::vector<BigInt>> RsaDecrypt(const crypto::RsaContext& ctx,
+                                         const std::vector<BigInt>& cs);
+  Result<std::vector<BigInt>> RsaMul(const crypto::RsaContext& ctx,
+                                     const std::vector<BigInt>& c1,
+                                     const std::vector<BigInt>& c2);
+
+  // ---- Table I: key generation on the device --------------------------------
+  // Paillier/RSA key generation with the prime search executed as a device
+  // kernel: each warp owns a candidate (per-thread random number generators,
+  // paper §IV-A3), trial division prunes, Miller-Rabin witnesses run as
+  // modular exponentiations. Host-side arithmetic produces the actual key
+  // material (bit-exact); the launch prices the parallel search.
+  Result<crypto::PaillierKeyPair> PaillierKeyGen(int key_bits, Rng& rng);
+  Result<crypto::RsaKeyPair> RsaKeyGen(int key_bits, Rng& rng);
+
+  // ---- Timing-only models (identical launch geometry, no body) --------------
+  // key_bits is the Paillier |n|; counts are elements in the batch.
+  Result<gpusim::LaunchResult> ModelPaillierEncrypt(int key_bits,
+                                                    int64_t count);
+  Result<gpusim::LaunchResult> ModelPaillierDecrypt(int key_bits,
+                                                    int64_t count,
+                                                    bool crt = true);
+  Result<gpusim::LaunchResult> ModelPaillierAdd(int key_bits, int64_t count);
+  Result<gpusim::LaunchResult> ModelPaillierAddPlain(int key_bits,
+                                                     int64_t count);
+  // exp_bits: bit length of the plaintext scalar.
+  Result<gpusim::LaunchResult> ModelPaillierScalarMul(int key_bits,
+                                                      int64_t count,
+                                                      int exp_bits);
+  // Host<->device transfer charges for `bytes` (exposed so callers can model
+  // staging of packed batches).
+  double ModelTransferToDevice(size_t bytes);
+  double ModelTransferFromDevice(size_t bytes);
+
+  // Launch diagnostics of the most recent kernel (utilization telemetry).
+  const gpusim::LaunchResult& last_launch() const { return last_launch_; }
+
+ private:
+  // Shared launch path: one kernel over `count` elements of `s` limbs, each
+  // costing `mont_muls` Montgomery multiplications (or raw `limb_ops` when
+  // mont_muls == 0), moving in/out bytes over PCIe.
+  Result<gpusim::LaunchResult> LaunchBatch(const char* name, int64_t count,
+                                           size_t s, uint64_t limb_ops_per_elt,
+                                           size_t bytes_in, size_t bytes_out,
+                                           std::function<void()> body);
+
+  gpusim::KernelDemand DemandFor(size_t s, int threads_per_elt) const;
+  int ThreadsPerElement(size_t s) const;
+
+  std::shared_ptr<gpusim::Device> device_;
+  GheConfig config_;
+  gpusim::LaunchResult last_launch_;
+};
+
+}  // namespace flb::ghe
+
+#endif  // FLB_GHE_GHE_ENGINE_H_

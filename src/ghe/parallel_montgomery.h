@@ -1,0 +1,48 @@
+// Parallel Montgomery multiplication — the paper's Algorithm 2.
+//
+// The GPU form of CIOS distributes the s limbs of each operand across T
+// device threads, x = s/T contiguous limbs per thread. Within each outer
+// iteration (one word of b), every thread multiplies its slice and carries
+// propagate across thread boundaries via inter-thread communication (shared
+// memory / shuffle on real hardware). This file is a faithful host-side
+// transcription: the thread loop is explicit, per-thread slices are
+// explicit, and every carry that crosses a slice boundary is counted as one
+// inter-thread communication event — the quantity the kernel's timing model
+// charges for.
+//
+// Bit-exactness with the sequential CIOS in crypto::MontgomeryContext is
+// asserted by tests for every (key size, thread count) combination.
+
+#ifndef FLB_GHE_PARALLEL_MONTGOMERY_H_
+#define FLB_GHE_PARALLEL_MONTGOMERY_H_
+
+#include <cstdint>
+
+#include "src/common/result.h"
+#include "src/mpint/bigint.h"
+
+namespace flb::ghe {
+
+struct ParallelMontStats {
+  // Carries/borrows handed from thread i to thread i+1.
+  uint64_t inter_thread_comms = 0;
+  // 32-bit multiply-accumulate operations retired (all threads).
+  uint64_t limb_ops = 0;
+};
+
+// Computes a*b*R^{-1} mod n where a, b, n are s-limb little-endian arrays,
+// R = 2^(32*s), n odd, n0_inv = -n[0]^{-1} mod 2^32, and `num_threads`
+// divides s. Writes s limbs to `out` (which may alias neither input).
+// Returns per-launch statistics.
+Result<ParallelMontStats> ParallelMontMul(const uint32_t* a, const uint32_t* b,
+                                          const uint32_t* n, uint32_t n0_inv,
+                                          size_t s, int num_threads,
+                                          uint32_t* out);
+
+// Valid thread counts for an s-limb operand: divisors of s, largest first.
+// (Algorithm 2 requires every thread to own the same number of words.)
+int LargestValidThreadCount(size_t s, int max_threads);
+
+}  // namespace flb::ghe
+
+#endif  // FLB_GHE_PARALLEL_MONTGOMERY_H_

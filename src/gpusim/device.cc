@@ -1,0 +1,108 @@
+#include "src/gpusim/device.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.h"
+
+namespace flb::gpusim {
+
+Device::Device(DeviceSpec spec, SimClock* clock, bool branch_combining)
+    : spec_(std::move(spec)),
+      clock_(clock),
+      rm_(spec_, branch_combining) {}
+
+Result<LaunchResult> Device::Launch(const KernelLaunch& launch) {
+  if (launch.total_threads <= 0) {
+    return Status::InvalidArgument("Launch: total_threads must be > 0");
+  }
+  FLB_ASSIGN_OR_RETURN(BlockPlan plan,
+                       rm_.PlanLaunch(launch.total_threads, launch.demand));
+
+  // Execute the real arithmetic.
+  if (launch.body) launch.body();
+
+  // Resident (concurrently executing) threads across the device.
+  const double resident =
+      plan.occupancy * spec_.max_threads_per_sm * spec_.num_sms;
+  const int waves = static_cast<int>(
+      std::ceil(static_cast<double>(launch.total_threads) / resident));
+
+  // Per-wave time: each resident thread retires ops_per_thread limb ops;
+  // the SM's cores retire them at cycles_per_limb_op each. The SM can only
+  // issue cuda_cores_per_sm lanes per cycle, so when more threads are
+  // resident than cores the latency is hidden but throughput is core-bound:
+  // effective throughput per SM = cores / cycles_per_op per cycle.
+  const double active_threads_per_sm =
+      std::min<double>(plan.occupancy * spec_.max_threads_per_sm,
+                       static_cast<double>(launch.total_threads) /
+                           spec_.num_sms);
+  const double issue_ratio =
+      std::max(1.0, active_threads_per_sm / spec_.cuda_cores_per_sm);
+  double per_thread_sec = static_cast<double>(launch.ops_per_thread) *
+                          spec_.cycles_per_limb_op / spec_.core_clock_hz *
+                          issue_ratio;
+
+  // Divergence penalty when the resource manager is not combining branches:
+  // each divergent region serializes the two warp halves.
+  if (!rm_.branch_combining() && launch.demand.divergent_branches > 0) {
+    per_thread_sec *= 1.0 + 0.5 * launch.demand.divergent_branches;
+  }
+  // Register spills (demand beyond the architectural cap) push operand
+  // traffic to local memory and stretch the arithmetic proportionally.
+  per_thread_sec *= rm_.RegisterSpillFactor(launch.demand);
+
+  LaunchResult result;
+  result.sim_seconds =
+      spec_.kernel_launch_latency_sec + waves * per_thread_sec;
+  result.occupancy = plan.occupancy;
+  result.waves = waves;
+  result.block_threads = plan.block_threads;
+  result.grid_blocks = plan.grid_blocks;
+  result.limiting_resource = plan.limiting_resource;
+
+  // SM utilization: fraction of the device's resident-thread capacity that
+  // held live work, averaged over the kernel's waves. The final (partial)
+  // wave drags utilization down for small launches.
+  const double capacity = static_cast<double>(spec_.MaxResidentThreads());
+  const double full_waves_util = plan.occupancy;
+  const double used_in_last_wave =
+      launch.total_threads - static_cast<int64_t>(resident) * (waves - 1);
+  const double last_wave_util =
+      std::clamp(used_in_last_wave / capacity, 0.0, full_waves_util);
+  result.sm_utilization =
+      waves == 1 ? last_wave_util
+                 : ((waves - 1) * full_waves_util + last_wave_util) / waves;
+
+  // Telemetry + clock.
+  ++stats_.kernels_launched;
+  stats_.kernel_seconds += result.sim_seconds;
+  stats_.util_sum += result.sm_utilization * result.sim_seconds;
+  stats_.util_weight += result.sim_seconds;
+  if (clock_ != nullptr) {
+    clock_->Charge(CostKind::kGpuKernel, result.sim_seconds);
+  }
+  return result;
+}
+
+double Device::CopyToDevice(size_t bytes) {
+  const double sec =
+      spec_.pcie_latency_sec + bytes / spec_.pcie_bandwidth_bytes_per_sec;
+  ++stats_.h2d_copies;
+  stats_.bytes_h2d += bytes;
+  stats_.transfer_seconds += sec;
+  if (clock_ != nullptr) clock_->Charge(CostKind::kPcieTransfer, sec);
+  return sec;
+}
+
+double Device::CopyFromDevice(size_t bytes) {
+  const double sec =
+      spec_.pcie_latency_sec + bytes / spec_.pcie_bandwidth_bytes_per_sec;
+  ++stats_.d2h_copies;
+  stats_.bytes_d2h += bytes;
+  stats_.transfer_seconds += sec;
+  if (clock_ != nullptr) clock_->Charge(CostKind::kPcieTransfer, sec);
+  return sec;
+}
+
+}  // namespace flb::gpusim

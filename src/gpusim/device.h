@@ -1,0 +1,104 @@
+// Device: the simulated CUDA device FLBooster's GPU-HE layer runs on.
+//
+// A kernel launch takes (a) the work decomposition — total threads and limb
+// operations per thread — and (b) a host-side body that performs the real
+// arithmetic. The body executes synchronously (results are bit-exact); the
+// device charges *modeled* kernel time to the SimClock:
+//
+//   waves        = ceil(total_threads / resident_threads)
+//   kernel_time  = launch_latency + waves * ops_per_thread * cycles_per_op
+//                                          / core_clock * (1/ilp)
+//
+// where resident_threads = num_sms * max_threads_per_sm * occupancy comes
+// from the ResourceManager's block plan, and a divergence penalty stretches
+// per-thread time when branch combining is disabled. CopyToDevice /
+// CopyFromDevice charge PCIe time the same way (paper Eq. 10's
+// beta_transfer term).
+//
+// The device also keeps the utilization telemetry behind Fig. 6: a
+// work-weighted average of SM utilization across launches.
+
+#ifndef FLB_GPUSIM_DEVICE_H_
+#define FLB_GPUSIM_DEVICE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/common/sim_clock.h"
+#include "src/gpusim/device_spec.h"
+#include "src/gpusim/resource_manager.h"
+
+namespace flb::gpusim {
+
+struct KernelLaunch {
+  std::string name;
+  // Work decomposition.
+  int64_t total_threads = 0;
+  // Limb operations (32-bit multiply-accumulate equivalents) each thread
+  // retires. The GHE layer derives this from key size and thread split.
+  uint64_t ops_per_thread = 0;
+  KernelDemand demand;
+  // Host body computing the real results. May be empty for pure modeling.
+  std::function<void()> body;
+};
+
+struct LaunchResult {
+  double sim_seconds = 0.0;
+  double occupancy = 0.0;       // resident threads / SM capacity
+  double sm_utilization = 0.0;  // fraction of device thread-slots doing work
+  int waves = 0;
+  int block_threads = 0;
+  int grid_blocks = 0;
+  const char* limiting_resource = "threads";
+};
+
+struct DeviceStats {
+  uint64_t kernels_launched = 0;
+  uint64_t h2d_copies = 0;
+  uint64_t d2h_copies = 0;
+  uint64_t bytes_h2d = 0;
+  uint64_t bytes_d2h = 0;
+  double kernel_seconds = 0.0;
+  double transfer_seconds = 0.0;
+  // Work-weighted mean SM utilization (Fig. 6 metric).
+  double MeanSmUtilization() const {
+    return util_weight == 0.0 ? 0.0 : util_sum / util_weight;
+  }
+  double util_sum = 0.0;     // sum of utilization * kernel_seconds
+  double util_weight = 0.0;  // sum of kernel_seconds
+};
+
+class Device {
+ public:
+  // `clock` may be null (timing still returned per launch, just not
+  // accumulated). `branch_combining` selects the resource-manager policy;
+  // FLBooster runs with it on, the HAFLO baseline with it off.
+  Device(DeviceSpec spec, SimClock* clock, bool branch_combining = true);
+
+  const DeviceSpec& spec() const { return spec_; }
+  ResourceManager& resource_manager() { return rm_; }
+  const ResourceManager& resource_manager() const { return rm_; }
+
+  // Runs the kernel body and charges modeled time.
+  Result<LaunchResult> Launch(const KernelLaunch& launch);
+
+  // PCIe transfers (paper Eq. 10's beta_transfer terms).
+  double CopyToDevice(size_t bytes);
+  double CopyFromDevice(size_t bytes);
+
+  const DeviceStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = DeviceStats{}; }
+
+ private:
+  DeviceSpec spec_;
+  SimClock* clock_;
+  ResourceManager rm_;
+  DeviceStats stats_;
+};
+
+}  // namespace flb::gpusim
+
+#endif  // FLB_GPUSIM_DEVICE_H_

@@ -1,0 +1,43 @@
+#include "src/gpusim/device_spec.h"
+
+namespace flb::gpusim {
+
+DeviceSpec DeviceSpec::Rtx3090() {
+  DeviceSpec spec;
+  spec.name = "NVIDIA GeForce RTX 3090 (simulated)";
+  spec.num_sms = 82;
+  spec.cuda_cores_per_sm = 128;
+  spec.max_threads_per_sm = 1536;
+  spec.max_threads_per_block = 1024;
+  spec.warp_size = 32;
+  spec.registers_per_sm = 65536;
+  spec.max_registers_per_thread = 255;
+  spec.shared_mem_per_sm = 100 * 1024;
+  spec.global_mem_bytes = 24ull * 1024 * 1024 * 1024;
+  spec.core_clock_hz = 1.695e9;
+  spec.pcie_bandwidth_bytes_per_sec = 16.0e9;  // PCIe 4.0 x16 effective
+  spec.pcie_latency_sec = 10e-6;
+  spec.kernel_launch_latency_sec = 5e-6;
+  return spec;
+}
+
+DeviceSpec DeviceSpec::JetsonClass() {
+  DeviceSpec spec;
+  spec.name = "Edge-class GPU (simulated)";
+  spec.num_sms = 8;
+  spec.cuda_cores_per_sm = 128;
+  spec.max_threads_per_sm = 1024;
+  spec.max_threads_per_block = 1024;
+  spec.warp_size = 32;
+  spec.registers_per_sm = 65536;
+  spec.max_registers_per_thread = 255;
+  spec.shared_mem_per_sm = 48 * 1024;
+  spec.global_mem_bytes = 8ull * 1024 * 1024 * 1024;
+  spec.core_clock_hz = 1.1e9;
+  spec.pcie_bandwidth_bytes_per_sec = 4.0e9;
+  spec.pcie_latency_sec = 20e-6;
+  spec.kernel_launch_latency_sec = 8e-6;
+  return spec;
+}
+
+}  // namespace flb::gpusim

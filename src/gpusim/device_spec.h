@@ -1,0 +1,56 @@
+// DeviceSpec: the static description of a simulated CUDA device.
+//
+// The reproduction substitutes the paper's NVIDIA RTX 3090 with a simulator
+// (see DESIGN.md §1). DeviceSpec carries the architectural constants that
+// drive the occupancy and timing model: SM count, thread/register/shared-
+// memory limits, clock, and PCIe link characteristics.
+
+#ifndef FLB_GPUSIM_DEVICE_SPEC_H_
+#define FLB_GPUSIM_DEVICE_SPEC_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace flb::gpusim {
+
+struct DeviceSpec {
+  std::string name;
+
+  // Compute resources.
+  int num_sms = 0;                  // streaming multiprocessors
+  int cuda_cores_per_sm = 0;        // int32 lanes per SM
+  int max_threads_per_sm = 0;       // resident-thread limit per SM
+  int max_threads_per_block = 0;
+  int warp_size = 32;
+  int registers_per_sm = 0;         // 32-bit registers per SM
+  int max_registers_per_thread = 0;
+  size_t shared_mem_per_sm = 0;     // bytes
+  size_t global_mem_bytes = 0;
+
+  // Clocks and links.
+  double core_clock_hz = 0;         // boost clock
+  double pcie_bandwidth_bytes_per_sec = 0;
+  double pcie_latency_sec = 0;      // per-transfer fixed cost
+  double kernel_launch_latency_sec = 0;
+
+  // Instruction model: average core cycles retired per 32-bit
+  // multiply-accumulate limb operation, including issue overheads. One
+  // CUDA core retires roughly one 32-bit IMAD per cycle at full occupancy;
+  // 4 cycles/op folds in dependency stalls and memory traffic for the
+  // register-resident Montgomery kernels.
+  double cycles_per_limb_op = 4.0;
+
+  // Maximum threads resident across the whole device.
+  int MaxResidentThreads() const { return num_sms * max_threads_per_sm; }
+
+  // The RTX 3090 used by the paper's testbed (GA102: 82 SMs, 128 cores/SM,
+  // 1536 threads/SM, 64K registers/SM, 24 GB, ~1.7 GHz boost, PCIe 4.0 x16).
+  static DeviceSpec Rtx3090();
+  // A small edge-class GPU preset, used by scaling benchmarks.
+  static DeviceSpec JetsonClass();
+};
+
+}  // namespace flb::gpusim
+
+#endif  // FLB_GPUSIM_DEVICE_SPEC_H_

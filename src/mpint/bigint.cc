@@ -1,0 +1,446 @@
+#include "src/mpint/bigint.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "src/common/check.h"
+
+namespace flb::mpint {
+
+namespace {
+
+// Karatsuba pays off once schoolbook's O(n^2) limb products dominate the
+// recursion overhead; 40 limbs (~1280 bits) is a safe crossover for 32-bit
+// limbs (validated by bench_mpint's threshold sweep).
+constexpr size_t kKaratsubaThreshold = 40;
+
+}  // namespace
+
+BigInt::BigInt(uint64_t v) {
+  if (v == 0) return;
+  limbs_.push_back(static_cast<uint32_t>(v));
+  if (v >> 32) limbs_.push_back(static_cast<uint32_t>(v >> 32));
+}
+
+void BigInt::Normalize() {
+  while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
+}
+
+BigInt BigInt::FromWords(std::vector<uint32_t> words) {
+  BigInt out;
+  out.limbs_ = std::move(words);
+  out.Normalize();
+  return out;
+}
+
+BigInt BigInt::PowerOfTwo(int k) {
+  FLB_CHECK(k >= 0);
+  BigInt out;
+  out.limbs_.assign(k / kLimbBits + 1, 0);
+  out.limbs_.back() = 1u << (k % kLimbBits);
+  return out;
+}
+
+BigInt BigInt::Random(Rng& rng, int bits) {
+  FLB_CHECK(bits >= 0);
+  if (bits == 0) return BigInt();
+  const size_t words = (bits + kLimbBits - 1) / kLimbBits;
+  std::vector<uint32_t> w = rng.NextWords(words);
+  const int top_bits = bits % kLimbBits;
+  if (top_bits != 0) w.back() &= (1u << top_bits) - 1;
+  return FromWords(std::move(w));
+}
+
+BigInt BigInt::RandomBelow(Rng& rng, const BigInt& bound) {
+  FLB_CHECK(!bound.IsZero(), "RandomBelow: bound must be positive");
+  const int bits = bound.BitLength();
+  // Rejection sampling keeps the distribution exactly uniform; expected
+  // iterations < 2 because 2^bits < 2*bound.
+  for (;;) {
+    BigInt candidate = Random(rng, bits);
+    if (candidate < bound) return candidate;
+  }
+}
+
+int BigInt::BitLength() const {
+  if (limbs_.empty()) return 0;
+  const uint32_t top = limbs_.back();
+  return static_cast<int>(limbs_.size() - 1) * kLimbBits +
+         (kLimbBits - std::countl_zero(top));
+}
+
+bool BigInt::GetBit(int i) const {
+  if (i < 0) return false;
+  const size_t limb = static_cast<size_t>(i) / kLimbBits;
+  if (limb >= limbs_.size()) return false;
+  return (limbs_[limb] >> (i % kLimbBits)) & 1u;
+}
+
+uint64_t BigInt::LowU64() const {
+  uint64_t v = word(0);
+  v |= static_cast<uint64_t>(word(1)) << 32;
+  return v;
+}
+
+Result<uint64_t> BigInt::ToU64() const {
+  if (limbs_.size() > 2) {
+    return Status::OutOfRange("BigInt does not fit in 64 bits: " + ToHex());
+  }
+  return LowU64();
+}
+
+int BigInt::Compare(const BigInt& other) const {
+  if (limbs_.size() != other.limbs_.size()) {
+    return limbs_.size() < other.limbs_.size() ? -1 : 1;
+  }
+  for (size_t i = limbs_.size(); i-- > 0;) {
+    if (limbs_[i] != other.limbs_[i]) {
+      return limbs_[i] < other.limbs_[i] ? -1 : 1;
+    }
+  }
+  return 0;
+}
+
+BigInt BigInt::Add(const BigInt& a, const BigInt& b) {
+  const std::vector<uint32_t>& x = a.limbs_;
+  const std::vector<uint32_t>& y = b.limbs_;
+  const size_t n = std::max(x.size(), y.size());
+  BigInt out;
+  out.limbs_.resize(n + 1, 0);
+  uint64_t carry = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const uint64_t sum = carry + (i < x.size() ? x[i] : 0) +
+                         (i < y.size() ? y[i] : 0);
+    out.limbs_[i] = static_cast<uint32_t>(sum);
+    carry = sum >> kLimbBits;
+  }
+  out.limbs_[n] = static_cast<uint32_t>(carry);
+  out.Normalize();
+  return out;
+}
+
+BigInt BigInt::Sub(const BigInt& a, const BigInt& b) {
+  FLB_CHECK(a.Compare(b) >= 0, "BigInt::Sub would underflow (unsigned)");
+  BigInt out;
+  out.limbs_.resize(a.limbs_.size(), 0);
+  int64_t borrow = 0;
+  for (size_t i = 0; i < a.limbs_.size(); ++i) {
+    int64_t diff = static_cast<int64_t>(a.limbs_[i]) -
+                   static_cast<int64_t>(b.word(i)) - borrow;
+    if (diff < 0) {
+      diff += static_cast<int64_t>(kLimbBase);
+      borrow = 1;
+    } else {
+      borrow = 0;
+    }
+    out.limbs_[i] = static_cast<uint32_t>(diff);
+  }
+  FLB_DCHECK(borrow == 0);
+  out.Normalize();
+  return out;
+}
+
+namespace {
+
+// Schoolbook product of two limb vectors into `out` (size x+y, zeroed).
+void MulSchoolbook(const uint32_t* x, size_t xn, const uint32_t* y, size_t yn,
+                   uint32_t* out) {
+  for (size_t i = 0; i < xn; ++i) {
+    uint64_t carry = 0;
+    const uint64_t xi = x[i];
+    for (size_t j = 0; j < yn; ++j) {
+      const uint64_t cur = static_cast<uint64_t>(out[i + j]) + xi * y[j] + carry;
+      out[i + j] = static_cast<uint32_t>(cur);
+      carry = cur >> kLimbBits;
+    }
+    out[i + yn] = static_cast<uint32_t>(carry);
+  }
+}
+
+}  // namespace
+
+BigInt BigInt::Mul(const BigInt& a, const BigInt& b) {
+  if (a.IsZero() || b.IsZero()) return BigInt();
+  const size_t xn = a.limbs_.size(), yn = b.limbs_.size();
+  if (std::min(xn, yn) < kKaratsubaThreshold) {
+    BigInt out;
+    out.limbs_.assign(xn + yn, 0);
+    MulSchoolbook(a.limbs_.data(), xn, b.limbs_.data(), yn, out.limbs_.data());
+    out.Normalize();
+    return out;
+  }
+  // Karatsuba: split at half of the smaller operand's width.
+  const size_t half = std::min(xn, yn) / 2;
+  BigInt a_lo = FromWords({a.limbs_.begin(),
+                           a.limbs_.begin() + std::min(half, xn)});
+  BigInt a_hi = FromWords({a.limbs_.begin() + std::min(half, xn),
+                           a.limbs_.end()});
+  BigInt b_lo = FromWords({b.limbs_.begin(),
+                           b.limbs_.begin() + std::min(half, yn)});
+  BigInt b_hi = FromWords({b.limbs_.begin() + std::min(half, yn),
+                           b.limbs_.end()});
+  BigInt z0 = Mul(a_lo, b_lo);
+  BigInt z2 = Mul(a_hi, b_hi);
+  BigInt z1 = Mul(Add(a_lo, a_hi), Add(b_lo, b_hi));
+  z1 = Sub(Sub(z1, z0), z2);
+  const int shift = static_cast<int>(half) * kLimbBits;
+  return Add(Add(ShiftLeft(z2, 2 * shift), ShiftLeft(z1, shift)), z0);
+}
+
+BigInt BigInt::ShiftLeft(const BigInt& a, int bits) {
+  FLB_CHECK(bits >= 0);
+  if (a.IsZero() || bits == 0) return a;
+  const size_t limb_shift = static_cast<size_t>(bits) / kLimbBits;
+  const int bit_shift = bits % kLimbBits;
+  BigInt out;
+  out.limbs_.assign(a.limbs_.size() + limb_shift + 1, 0);
+  for (size_t i = 0; i < a.limbs_.size(); ++i) {
+    const uint64_t v = static_cast<uint64_t>(a.limbs_[i]) << bit_shift;
+    out.limbs_[i + limb_shift] |= static_cast<uint32_t>(v);
+    out.limbs_[i + limb_shift + 1] |= static_cast<uint32_t>(v >> kLimbBits);
+  }
+  out.Normalize();
+  return out;
+}
+
+BigInt BigInt::ShiftRight(const BigInt& a, int bits) {
+  FLB_CHECK(bits >= 0);
+  if (a.IsZero() || bits == 0) return a;
+  const size_t limb_shift = static_cast<size_t>(bits) / kLimbBits;
+  const int bit_shift = bits % kLimbBits;
+  if (limb_shift >= a.limbs_.size()) return BigInt();
+  BigInt out;
+  out.limbs_.assign(a.limbs_.size() - limb_shift, 0);
+  for (size_t i = 0; i < out.limbs_.size(); ++i) {
+    uint64_t v = static_cast<uint64_t>(a.limbs_[i + limb_shift]) >> bit_shift;
+    if (bit_shift != 0 && i + limb_shift + 1 < a.limbs_.size()) {
+      v |= static_cast<uint64_t>(a.limbs_[i + limb_shift + 1])
+           << (kLimbBits - bit_shift);
+    }
+    out.limbs_[i] = static_cast<uint32_t>(v);
+  }
+  out.Normalize();
+  return out;
+}
+
+BigInt BigInt::TruncateBits(const BigInt& a, int bits) {
+  FLB_CHECK(bits >= 0);
+  const size_t full_limbs = static_cast<size_t>(bits) / kLimbBits;
+  const int rem_bits = bits % kLimbBits;
+  if (full_limbs >= a.limbs_.size()) return a;
+  std::vector<uint32_t> w(a.limbs_.begin(),
+                          a.limbs_.begin() + full_limbs + (rem_bits ? 1 : 0));
+  if (rem_bits != 0 && !w.empty()) w.back() &= (1u << rem_bits) - 1;
+  return FromWords(std::move(w));
+}
+
+Result<std::pair<BigInt, BigInt>> BigInt::DivMod(const BigInt& a,
+                                                 const BigInt& b) {
+  if (b.IsZero()) {
+    return Status::ArithmeticError("division by zero");
+  }
+  const int cmp = a.Compare(b);
+  if (cmp < 0) return std::make_pair(BigInt(), a);
+  if (cmp == 0) return std::make_pair(BigInt(1), BigInt());
+
+  // Single-limb divisor: straightforward 64/32 division.
+  if (b.limbs_.size() == 1) {
+    const uint64_t d = b.limbs_[0];
+    BigInt q;
+    q.limbs_.assign(a.limbs_.size(), 0);
+    uint64_t rem = 0;
+    for (size_t i = a.limbs_.size(); i-- > 0;) {
+      const uint64_t cur = (rem << kLimbBits) | a.limbs_[i];
+      q.limbs_[i] = static_cast<uint32_t>(cur / d);
+      rem = cur % d;
+    }
+    q.Normalize();
+    return std::make_pair(std::move(q), BigInt(rem));
+  }
+
+  // Knuth Algorithm D. Normalize so the divisor's top limb has its high bit
+  // set, which bounds the per-step quotient-digit error to 2.
+  const int shift = std::countl_zero(b.limbs_.back());
+  BigInt u = ShiftLeft(a, shift);
+  BigInt v = ShiftLeft(b, shift);
+  const size_t n = v.limbs_.size();
+  const size_t m = u.limbs_.size() >= n ? u.limbs_.size() - n : 0;
+  u.limbs_.resize(u.limbs_.size() + 1, 0);  // u has m+n+1 limbs
+
+  BigInt q;
+  q.limbs_.assign(m + 1, 0);
+  const uint64_t v_top = v.limbs_[n - 1];
+  const uint64_t v_next = v.limbs_[n - 2];
+
+  for (size_t j = m + 1; j-- > 0;) {
+    // Estimate the quotient digit from the top two limbs of the current
+    // window against the top limb of v.
+    const uint64_t numer =
+        (static_cast<uint64_t>(u.limbs_[j + n]) << kLimbBits) |
+        u.limbs_[j + n - 1];
+    uint64_t qhat = numer / v_top;
+    uint64_t rhat = numer % v_top;
+    while (qhat >= kLimbBase ||
+           qhat * v_next >
+               ((rhat << kLimbBits) | u.limbs_[j + n - 2])) {
+      --qhat;
+      rhat += v_top;
+      if (rhat >= kLimbBase) break;
+    }
+    // Multiply-and-subtract qhat*v from the window u[j .. j+n].
+    int64_t borrow = 0;
+    uint64_t carry = 0;
+    for (size_t i = 0; i < n; ++i) {
+      const uint64_t prod = qhat * v.limbs_[i] + carry;
+      carry = prod >> kLimbBits;
+      int64_t diff = static_cast<int64_t>(u.limbs_[i + j]) -
+                     static_cast<int64_t>(prod & kLimbMask) - borrow;
+      if (diff < 0) {
+        diff += static_cast<int64_t>(kLimbBase);
+        borrow = 1;
+      } else {
+        borrow = 0;
+      }
+      u.limbs_[i + j] = static_cast<uint32_t>(diff);
+    }
+    int64_t diff = static_cast<int64_t>(u.limbs_[j + n]) -
+                   static_cast<int64_t>(carry) - borrow;
+    if (diff < 0) {
+      // qhat was one too large: add v back once and decrement.
+      diff += static_cast<int64_t>(kLimbBase);
+      --qhat;
+      uint64_t add_carry = 0;
+      for (size_t i = 0; i < n; ++i) {
+        const uint64_t sum = static_cast<uint64_t>(u.limbs_[i + j]) +
+                             v.limbs_[i] + add_carry;
+        u.limbs_[i + j] = static_cast<uint32_t>(sum);
+        add_carry = sum >> kLimbBits;
+      }
+      diff += static_cast<int64_t>(add_carry);
+      diff &= static_cast<int64_t>(kLimbMask);
+    }
+    u.limbs_[j + n] = static_cast<uint32_t>(diff);
+    q.limbs_[j] = static_cast<uint32_t>(qhat);
+  }
+
+  q.Normalize();
+  u.limbs_.resize(n);
+  u.Normalize();
+  return std::make_pair(std::move(q), ShiftRight(u, shift));
+}
+
+Result<BigInt> BigInt::Div(const BigInt& a, const BigInt& b) {
+  FLB_ASSIGN_OR_RETURN(auto qr, DivMod(a, b));
+  return std::move(qr.first);
+}
+
+Result<BigInt> BigInt::Mod(const BigInt& a, const BigInt& b) {
+  FLB_ASSIGN_OR_RETURN(auto qr, DivMod(a, b));
+  return std::move(qr.second);
+}
+
+BigInt operator/(const BigInt& a, const BigInt& b) {
+  auto r = BigInt::Div(a, b);
+  FLB_CHECK(r.ok(), r.status().ToString());
+  return std::move(r).value();
+}
+
+BigInt operator%(const BigInt& a, const BigInt& b) {
+  auto r = BigInt::Mod(a, b);
+  FLB_CHECK(r.ok(), r.status().ToString());
+  return std::move(r).value();
+}
+
+BigInt BigInt::Gcd(const BigInt& a, const BigInt& b) {
+  BigInt x = a, y = b;
+  while (!y.IsZero()) {
+    BigInt r = x % y;
+    x = std::move(y);
+    y = std::move(r);
+  }
+  return x;
+}
+
+BigInt BigInt::Lcm(const BigInt& a, const BigInt& b) {
+  if (a.IsZero() || b.IsZero()) return BigInt();
+  return Mul(a, b) / Gcd(a, b);
+}
+
+Result<BigInt> BigInt::ModInverse(const BigInt& a, const BigInt& n) {
+  if (n < BigInt(2)) {
+    return Status::InvalidArgument("ModInverse: modulus must be >= 2");
+  }
+  // Extended Euclid over unsigned values: track coefficients with explicit
+  // signs (t, t_sign) so BigInt itself stays unsigned.
+  BigInt r_prev = n, r = a % n;
+  BigInt t_prev, t = BigInt(1);
+  bool t_prev_neg = false, t_neg = false;
+  while (!r.IsZero()) {
+    auto qr = DivMod(r_prev, r);
+    FLB_CHECK(qr.ok());
+    const BigInt& q = qr->first;
+    // (t_prev, t) <- (t, t_prev - q*t), with sign bookkeeping.
+    BigInt qt = Mul(q, t);
+    BigInt next;
+    bool next_neg;
+    if (t_prev_neg == t_neg) {
+      // Same sign: t_prev - q*t may flip sign.
+      if (t_prev >= qt) {
+        next = Sub(t_prev, qt);
+        next_neg = t_prev_neg;
+      } else {
+        next = Sub(qt, t_prev);
+        next_neg = !t_prev_neg;
+      }
+    } else {
+      // Opposite signs: magnitudes add, sign follows t_prev.
+      next = Add(t_prev, qt);
+      next_neg = t_prev_neg;
+    }
+    t_prev = std::move(t);
+    t_prev_neg = t_neg;
+    t = std::move(next);
+    t_neg = next_neg;
+    // (r_prev, r) <- (r, r_prev mod r).
+    BigInt rem = std::move(qr->second);
+    r_prev = std::move(r);
+    r = std::move(rem);
+  }
+  if (!r_prev.IsOne()) {
+    return Status::ArithmeticError("ModInverse: values are not coprime");
+  }
+  BigInt inv = t_prev % n;
+  if (t_prev_neg && !inv.IsZero()) inv = Sub(n, inv);
+  return inv;
+}
+
+Result<BigInt> BigInt::ModMul(const BigInt& a, const BigInt& b,
+                              const BigInt& n) {
+  if (n.IsZero()) return Status::ArithmeticError("ModMul: modulus is zero");
+  return Mod(Mul(a, b), n);
+}
+
+Result<BigInt> BigInt::ModPow(const BigInt& a, const BigInt& e,
+                              const BigInt& n) {
+  if (n.IsZero()) return Status::ArithmeticError("ModPow: modulus is zero");
+  if (n.IsOne()) return BigInt();
+  FLB_ASSIGN_OR_RETURN(BigInt base, Mod(a, n));
+  BigInt result(1);
+  const int bits = e.BitLength();
+  for (int i = bits - 1; i >= 0; --i) {
+    FLB_ASSIGN_OR_RETURN(result, ModMul(result, result, n));
+    if (e.GetBit(i)) {
+      FLB_ASSIGN_OR_RETURN(result, ModMul(result, base, n));
+    }
+  }
+  return result;
+}
+
+std::vector<uint32_t> BigInt::ToFixedWords(size_t n) const {
+  std::vector<uint32_t> out(n, 0);
+  const size_t copy = std::min(n, limbs_.size());
+  std::copy(limbs_.begin(), limbs_.begin() + copy, out.begin());
+  return out;
+}
+
+}  // namespace flb::mpint

@@ -1,0 +1,98 @@
+// BigInt text I/O: hex and decimal parsing/printing. Split from bigint.cc to
+// keep the arithmetic core focused.
+
+#include <algorithm>
+#include <cctype>
+
+#include "src/common/check.h"
+#include "src/mpint/bigint.h"
+
+namespace flb::mpint {
+
+namespace {
+
+int HexDigit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+Result<BigInt> BigInt::FromHex(std::string_view hex) {
+  if (hex.substr(0, 2) == "0x" || hex.substr(0, 2) == "0X") {
+    hex.remove_prefix(2);
+  }
+  if (hex.empty()) {
+    return Status::InvalidArgument("FromHex: empty input");
+  }
+  std::vector<uint32_t> words((hex.size() + 7) / 8, 0);
+  // Consume hex digits from the least-significant end, 8 per limb.
+  size_t nibble = 0;
+  for (size_t i = hex.size(); i-- > 0; ++nibble) {
+    const int d = HexDigit(hex[i]);
+    if (d < 0) {
+      return Status::InvalidArgument("FromHex: invalid hex digit '" +
+                                     std::string(1, hex[i]) + "'");
+    }
+    words[nibble / 8] |= static_cast<uint32_t>(d) << (4 * (nibble % 8));
+  }
+  return FromWords(std::move(words));
+}
+
+Result<BigInt> BigInt::FromDecimal(std::string_view dec) {
+  if (dec.empty()) {
+    return Status::InvalidArgument("FromDecimal: empty input");
+  }
+  BigInt out;
+  const BigInt ten(10);
+  for (char c : dec) {
+    if (c < '0' || c > '9') {
+      return Status::InvalidArgument("FromDecimal: invalid digit '" +
+                                     std::string(1, c) + "'");
+    }
+    out = Add(Mul(out, ten), BigInt(static_cast<uint64_t>(c - '0')));
+  }
+  return out;
+}
+
+std::string BigInt::ToHex() const {
+  if (IsZero()) return "0";
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(limbs_.size() * 8);
+  for (size_t i = limbs_.size(); i-- > 0;) {
+    for (int shift = 28; shift >= 0; shift -= 4) {
+      out.push_back(kDigits[(limbs_[i] >> shift) & 0xF]);
+    }
+  }
+  // Strip leading zeros of the top limb.
+  const size_t first = out.find_first_not_of('0');
+  return out.substr(first);
+}
+
+std::string BigInt::ToDecimal() const {
+  if (IsZero()) return "0";
+  // Repeated division by 10^9 (largest power of ten in a limb).
+  constexpr uint32_t kChunk = 1000000000u;
+  BigInt cur = *this;
+  const BigInt chunk(kChunk);
+  std::string out;
+  while (!cur.IsZero()) {
+    auto qr = DivMod(cur, chunk);
+    FLB_CHECK(qr.ok());
+    uint64_t rem = qr->second.LowU64();
+    cur = std::move(qr->first);
+    const bool last = cur.IsZero();
+    for (int i = 0; i < 9; ++i) {
+      out.push_back(static_cast<char>('0' + rem % 10));
+      rem /= 10;
+      if (last && rem == 0) break;
+    }
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace flb::mpint

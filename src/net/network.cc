@@ -1,0 +1,52 @@
+#include "src/net/network.h"
+
+#include <utility>
+
+namespace flb::net {
+
+Status Network::Send(const std::string& from, const std::string& to,
+                     const std::string& topic, std::vector<uint8_t> payload,
+                     size_t objects) {
+  if (from == to) {
+    return Status::InvalidArgument("Network::Send: from == to (" + from + ")");
+  }
+  const size_t wire_bytes = payload.size() + kFramingBytes;
+  const double sec = TransferSeconds(wire_bytes, objects);
+  stats_.messages += 1;
+  stats_.bytes += wire_bytes;
+  stats_.bytes_by_topic[topic] += wire_bytes;
+  stats_.seconds += sec;
+  if (clock_ != nullptr) clock_->Charge(CostKind::kNetwork, sec);
+
+  Message msg;
+  msg.from = from;
+  msg.to = to;
+  msg.topic = topic;
+  msg.payload = std::move(payload);
+  inboxes_[to].push_back(std::move(msg));
+  return Status::OK();
+}
+
+Result<Message> Network::Receive(const std::string& to,
+                                 const std::string& topic) {
+  auto it = inboxes_.find(to);
+  if (it != inboxes_.end()) {
+    auto& queue = it->second;
+    for (auto mit = queue.begin(); mit != queue.end(); ++mit) {
+      if (mit->topic == topic) {
+        Message msg = std::move(*mit);
+        queue.erase(mit);
+        return msg;
+      }
+    }
+  }
+  return Status::NotFound("Network::Receive: no pending '" + topic +
+                          "' message for " + to);
+}
+
+size_t Network::PendingFor(const std::string& to) const {
+  auto it = inboxes_.find(to);
+  return it == inboxes_.end() ? 0 : it->second.size();
+}
+
+}  // namespace flb::net

@@ -1,0 +1,131 @@
+#include "src/net/serializer.h"
+
+#include <cstring>
+
+namespace flb::net {
+
+void Serializer::PutU32(uint32_t v) {
+  for (int i = 0; i < 4; ++i) bytes_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void Serializer::PutU64(uint64_t v) {
+  for (int i = 0; i < 8; ++i) bytes_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void Serializer::PutDouble(double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(bits);
+}
+
+void Serializer::PutString(const std::string& s) {
+  PutU32(static_cast<uint32_t>(s.size()));
+  bytes_.insert(bytes_.end(), s.begin(), s.end());
+}
+
+void Serializer::PutBigInt(const BigInt& v) {
+  PutU32(static_cast<uint32_t>(v.WordCount()));
+  for (uint32_t w : v.words()) PutU32(w);
+}
+
+void Serializer::PutBigIntFixed(const BigInt& v, size_t words) {
+  for (uint32_t w : v.ToFixedWords(words)) PutU32(w);
+}
+
+void Serializer::PutDoubleVector(const std::vector<double>& v) {
+  PutU32(static_cast<uint32_t>(v.size()));
+  for (double d : v) PutDouble(d);
+}
+
+void Serializer::PutBigIntBatchFixed(const std::vector<BigInt>& v,
+                                     size_t words) {
+  PutU32(static_cast<uint32_t>(v.size()));
+  for (const BigInt& x : v) PutBigIntFixed(x, words);
+}
+
+Status Deserializer::Need(size_t n) const {
+  if (pos_ + n > bytes_.size()) {
+    return Status::OutOfRange("Deserializer: truncated message");
+  }
+  return Status::OK();
+}
+
+Result<uint32_t> Deserializer::GetU32() {
+  FLB_RETURN_IF_ERROR(Need(4));
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(bytes_[pos_ + i]) << (8 * i);
+  }
+  pos_ += 4;
+  return v;
+}
+
+Result<uint64_t> Deserializer::GetU64() {
+  FLB_RETURN_IF_ERROR(Need(8));
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(bytes_[pos_ + i]) << (8 * i);
+  }
+  pos_ += 8;
+  return v;
+}
+
+Result<double> Deserializer::GetDouble() {
+  FLB_ASSIGN_OR_RETURN(uint64_t bits, GetU64());
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+Result<std::string> Deserializer::GetString() {
+  FLB_ASSIGN_OR_RETURN(uint32_t len, GetU32());
+  FLB_RETURN_IF_ERROR(Need(len));
+  std::string s(bytes_.begin() + pos_, bytes_.begin() + pos_ + len);
+  pos_ += len;
+  return s;
+}
+
+Result<BigInt> Deserializer::GetBigInt() {
+  FLB_ASSIGN_OR_RETURN(uint32_t words, GetU32());
+  return GetBigIntFixed(words);
+}
+
+Result<BigInt> Deserializer::GetBigIntFixed(size_t words) {
+  FLB_RETURN_IF_ERROR(Need(words * 4));
+  std::vector<uint32_t> w(words);
+  for (size_t i = 0; i < words; ++i) {
+    uint32_t v = 0;
+    for (int b = 0; b < 4; ++b) {
+      v |= static_cast<uint32_t>(bytes_[pos_ + 4 * i + b]) << (8 * b);
+    }
+    w[i] = v;
+  }
+  pos_ += words * 4;
+  return BigInt::FromWords(std::move(w));
+}
+
+Result<std::vector<double>> Deserializer::GetDoubleVector() {
+  FLB_ASSIGN_OR_RETURN(uint32_t count, GetU32());
+  FLB_RETURN_IF_ERROR(Need(size_t{count} * 8));
+  std::vector<double> out;
+  out.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    FLB_ASSIGN_OR_RETURN(double d, GetDouble());
+    out.push_back(d);
+  }
+  return out;
+}
+
+Result<std::vector<BigInt>> Deserializer::GetBigIntBatchFixed(size_t words) {
+  FLB_ASSIGN_OR_RETURN(uint32_t count, GetU32());
+  FLB_RETURN_IF_ERROR(Need(size_t{count} * words * 4));
+  std::vector<BigInt> out;
+  out.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    FLB_ASSIGN_OR_RETURN(BigInt v, GetBigIntFixed(words));
+    out.push_back(std::move(v));
+  }
+  return out;
+}
+
+}  // namespace flb::net

@@ -1,0 +1,70 @@
+// Byte-level serialization for FL messages.
+//
+// The wire format matters here: the paper's communication costs are driven
+// by ciphertext bytes, so messages serialize BigInts in the same fixed
+// 2*key-size layout a real FATE deployment ships (ciphertexts in Z_{n^2}
+// always occupy 2k bits regardless of value). All integers little-endian.
+
+#ifndef FLB_NET_SERIALIZER_H_
+#define FLB_NET_SERIALIZER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/mpint/bigint.h"
+
+namespace flb::net {
+
+using mpint::BigInt;
+
+class Serializer {
+ public:
+  void PutU32(uint32_t v);
+  void PutU64(uint64_t v);
+  void PutDouble(double v);
+  void PutString(const std::string& s);
+  // Variable-width: u32 limb count + limbs.
+  void PutBigInt(const BigInt& v);
+  // Fixed-width: exactly `words` limbs (the ciphertext layout).
+  void PutBigIntFixed(const BigInt& v, size_t words);
+  void PutDoubleVector(const std::vector<double>& v);
+  // A batch of same-width ciphertexts: u32 count + count * words limbs.
+  void PutBigIntBatchFixed(const std::vector<BigInt>& v, size_t words);
+
+  const std::vector<uint8_t>& bytes() const { return bytes_; }
+  std::vector<uint8_t> TakeBytes() { return std::move(bytes_); }
+  size_t size() const { return bytes_.size(); }
+
+ private:
+  std::vector<uint8_t> bytes_;
+};
+
+class Deserializer {
+ public:
+  explicit Deserializer(const std::vector<uint8_t>& bytes) : bytes_(bytes) {}
+
+  Result<uint32_t> GetU32();
+  Result<uint64_t> GetU64();
+  Result<double> GetDouble();
+  Result<std::string> GetString();
+  Result<BigInt> GetBigInt();
+  Result<BigInt> GetBigIntFixed(size_t words);
+  Result<std::vector<double>> GetDoubleVector();
+  Result<std::vector<BigInt>> GetBigIntBatchFixed(size_t words);
+
+  // True when every byte has been consumed.
+  bool AtEnd() const { return pos_ == bytes_.size(); }
+  size_t remaining() const { return bytes_.size() - pos_; }
+
+ private:
+  Status Need(size_t n) const;
+
+  const std::vector<uint8_t>& bytes_;
+  size_t pos_ = 0;
+};
+
+}  // namespace flb::net
+
+#endif  // FLB_NET_SERIALIZER_H_

@@ -1,0 +1,113 @@
+// Differential tests: BigInt arithmetic checked against native 64/128-bit
+// integer arithmetic on randomly drawn small operands, plus cross-checks
+// between independent BigInt code paths (Montgomery vs plain, CRT vs plain).
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/crypto/montgomery.h"
+#include "src/mpint/bigint.h"
+
+namespace flb::mpint {
+namespace {
+
+TEST(BigIntDifferential, AgainstNativeU64) {
+  Rng rng(321);
+  for (int i = 0; i < 2000; ++i) {
+    const uint64_t a = rng.NextU64() >> (rng.NextBelow(40) + 8);
+    const uint64_t b = rng.NextU64() >> (rng.NextBelow(40) + 8);
+    const BigInt A(a), B(b);
+    // add/sub with explicit ordering
+    EXPECT_EQ(BigInt::Add(A, B).LowU64(), a + b);
+    if (a >= b) EXPECT_EQ(BigInt::Sub(A, B).LowU64(), a - b);
+    // mul through 128-bit
+    const unsigned __int128 prod =
+        static_cast<unsigned __int128>(a) * b;
+    const BigInt P = BigInt::Mul(A, B);
+    EXPECT_EQ(P.LowU64(), static_cast<uint64_t>(prod));
+    EXPECT_EQ(BigInt::ShiftRight(P, 64).LowU64(),
+              static_cast<uint64_t>(prod >> 64));
+    // div/mod
+    if (b != 0) {
+      auto qr = BigInt::DivMod(A, B).value();
+      EXPECT_EQ(qr.first.LowU64(), a / b);
+      EXPECT_EQ(qr.second.LowU64(), a % b);
+    }
+    // comparisons
+    EXPECT_EQ(A < B, a < b);
+    EXPECT_EQ(A == B, a == b);
+    // bit ops
+    EXPECT_EQ(A.BitLength(), a == 0 ? 0 : 64 - __builtin_clzll(a));
+    EXPECT_EQ(BigInt::ShiftLeft(A, 3).LowU64(), a << 3);
+    EXPECT_EQ(BigInt::ShiftRight(A, 7).LowU64(), a >> 7);
+  }
+}
+
+TEST(BigIntDifferential, GcdAgainstNative) {
+  Rng rng(322);
+  auto native_gcd = [](uint64_t x, uint64_t y) {
+    while (y != 0) {
+      const uint64_t t = x % y;
+      x = y;
+      y = t;
+    }
+    return x;
+  };
+  for (int i = 0; i < 500; ++i) {
+    const uint64_t a = rng.NextU64() >> 16;
+    const uint64_t b = rng.NextU64() >> 16;
+    EXPECT_EQ(BigInt::Gcd(BigInt(a), BigInt(b)).LowU64(), native_gcd(a, b));
+  }
+}
+
+TEST(BigIntDifferential, ModPowAgainstNativeSquareAndMultiply) {
+  Rng rng(323);
+  auto native_modpow = [](uint64_t base, uint64_t exp, uint64_t mod) {
+    unsigned __int128 result = 1, b = base % mod;
+    while (exp > 0) {
+      if (exp & 1) result = result * b % mod;
+      b = b * b % mod;
+      exp >>= 1;
+    }
+    return static_cast<uint64_t>(result);
+  };
+  for (int i = 0; i < 300; ++i) {
+    const uint64_t mod = (rng.NextU64() >> 34) | 1;  // odd 30-bit
+    if (mod < 3) continue;
+    const uint64_t base = rng.NextBelow(mod);
+    const uint64_t exp = rng.NextBelow(1 << 20);
+    EXPECT_EQ(
+        BigInt::ModPow(BigInt(base), BigInt(exp), BigInt(mod))->LowU64(),
+        native_modpow(base, exp, mod))
+        << base << "^" << exp << " mod " << mod;
+  }
+}
+
+TEST(BigIntDifferential, MontgomeryAgainstNative) {
+  Rng rng(324);
+  for (int i = 0; i < 200; ++i) {
+    const uint64_t mod = (rng.NextU64() >> 34) | 1;
+    if (mod < 3) continue;
+    auto ctx = crypto::MontgomeryContext::Create(BigInt(mod)).value();
+    const uint64_t a = rng.NextBelow(mod);
+    const uint64_t b = rng.NextBelow(mod);
+    const uint64_t expected = static_cast<uint64_t>(
+        static_cast<unsigned __int128>(a) * b % mod);
+    EXPECT_EQ(ctx.ModMul(BigInt(a), BigInt(b)).LowU64(), expected);
+  }
+}
+
+TEST(BigIntDifferential, DecimalAgainstNativeFormatting) {
+  Rng rng(325);
+  for (int i = 0; i < 200; ++i) {
+    const uint64_t v = rng.NextU64();
+    EXPECT_EQ(BigInt(v).ToDecimal(), std::to_string(v));
+    char hex[32];
+    std::snprintf(hex, sizeof(hex), "%llx",
+                  static_cast<unsigned long long>(v));
+    EXPECT_EQ(BigInt(v).ToHex(), std::string(hex));
+  }
+}
+
+}  // namespace
+}  // namespace flb::mpint

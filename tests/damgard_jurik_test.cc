@@ -1,0 +1,121 @@
+// Tests for the Damgård–Jurik generalized Paillier cryptosystem.
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/crypto/damgard_jurik.h"
+
+namespace flb::crypto {
+namespace {
+
+using mpint::BigInt;
+
+class DamgardJurikTest : public ::testing::TestWithParam<int> {
+ protected:
+  int s() const { return GetParam(); }
+};
+
+TEST_P(DamgardJurikTest, EncryptDecryptRoundTrip) {
+  Rng rng(6000 + s());
+  auto keys = PaillierKeyGen(128, rng).value();
+  auto ctx = DamgardJurikContext::Create(keys, s()).value();
+  for (int i = 0; i < 5; ++i) {
+    const BigInt m = BigInt::RandomBelow(rng, ctx.plaintext_modulus());
+    const BigInt c = ctx.Encrypt(m, rng).value();
+    EXPECT_LT(c, ctx.ciphertext_modulus());
+    EXPECT_EQ(ctx.Decrypt(c).value(), m) << "s=" << s();
+  }
+}
+
+TEST_P(DamgardJurikTest, AdditiveHomomorphism) {
+  Rng rng(6100 + s());
+  auto keys = PaillierKeyGen(128, rng).value();
+  auto ctx = DamgardJurikContext::Create(keys, s()).value();
+  const BigInt m1 = BigInt::RandomBelow(rng, ctx.plaintext_modulus());
+  const BigInt m2 = BigInt::RandomBelow(rng, ctx.plaintext_modulus());
+  const BigInt c = ctx.Add(ctx.Encrypt(m1, rng).value(),
+                           ctx.Encrypt(m2, rng).value())
+                       .value();
+  EXPECT_EQ(ctx.Decrypt(c).value(),
+            BigInt::Add(m1, m2) % ctx.plaintext_modulus());
+}
+
+TEST_P(DamgardJurikTest, ScalarMultiplication) {
+  Rng rng(6200 + s());
+  auto keys = PaillierKeyGen(128, rng).value();
+  auto ctx = DamgardJurikContext::Create(keys, s()).value();
+  const BigInt m = BigInt::RandomBelow(rng, ctx.plaintext_modulus());
+  const BigInt c = ctx.Encrypt(m, rng).value();
+  for (uint64_t k : {0ULL, 1ULL, 7ULL, 1000ULL}) {
+    EXPECT_EQ(ctx.Decrypt(ctx.ScalarMul(c, BigInt(k)).value()).value(),
+              BigInt::Mul(m, BigInt(k)) % ctx.plaintext_modulus());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Degrees, DamgardJurikTest,
+                         ::testing::Values(1, 2, 3, 4));
+
+TEST(DamgardJurik, DegreeOneMatchesPaillierSemantics) {
+  // s = 1 is Paillier: a Paillier ciphertext decrypts identically through
+  // the DJ context built from the same keys.
+  Rng rng(6300);
+  auto keys = PaillierKeyGen(128, rng).value();
+  auto paillier = PaillierContext::Create(keys).value();
+  auto dj = DamgardJurikContext::Create(keys, 1).value();
+  const BigInt m(987654321);
+  const BigInt c_paillier = paillier.Encrypt(m, rng).value();
+  const BigInt c_dj = dj.Encrypt(m, rng).value();
+  EXPECT_EQ(dj.Decrypt(c_paillier).value(), m);
+  EXPECT_EQ(paillier.Decrypt(c_dj).value(), m);
+}
+
+TEST(DamgardJurik, HigherDegreeHoldsValuesAboveN) {
+  // The whole point: a plaintext >= n (impossible for Paillier) fits when
+  // s >= 2 — s times the packing capacity per ciphertext.
+  Rng rng(6400);
+  auto keys = PaillierKeyGen(128, rng).value();
+  auto dj = DamgardJurikContext::Create(keys, 3).value();
+  const BigInt big = BigInt::Add(BigInt::Mul(keys.pub.n, keys.pub.n),
+                                 BigInt(12345));  // > n^2
+  ASSERT_LT(big, dj.plaintext_modulus());
+  const BigInt c = dj.Encrypt(big, rng).value();
+  EXPECT_EQ(dj.Decrypt(c).value(), big);
+}
+
+TEST(DamgardJurik, ExpansionFactorShrinksWithDegree) {
+  Rng rng(6500);
+  auto keys = PaillierKeyGen(128, rng).value();
+  double prev = 10.0;
+  for (int s : {1, 2, 4, 8}) {
+    auto dj = DamgardJurikContext::Create(keys, s).value();
+    const double expansion =
+        static_cast<double>(dj.ciphertext_modulus().BitLength()) /
+        dj.plaintext_modulus().BitLength();
+    EXPECT_LT(expansion, prev);
+    prev = expansion;
+  }
+  EXPECT_NEAR(prev, 9.0 / 8.0, 0.02);  // (s+1)/s at s=8
+}
+
+TEST(DamgardJurik, ErrorPaths) {
+  Rng rng(6600);
+  auto keys = PaillierKeyGen(128, rng).value();
+  EXPECT_FALSE(DamgardJurikContext::Create(keys, 0).ok());
+  EXPECT_FALSE(DamgardJurikContext::Create(keys, 9).ok());
+  auto dj = DamgardJurikContext::Create(keys, 2).value();
+  EXPECT_TRUE(dj.Encrypt(dj.plaintext_modulus(), rng).status().IsOutOfRange());
+  EXPECT_TRUE(dj.Decrypt(dj.ciphertext_modulus()).status().IsOutOfRange());
+  EXPECT_TRUE(
+      dj.Add(dj.ciphertext_modulus(), BigInt(1)).status().IsOutOfRange());
+}
+
+TEST(DamgardJurik, EncryptionIsProbabilistic) {
+  Rng rng(6700);
+  auto keys = PaillierKeyGen(128, rng).value();
+  auto dj = DamgardJurikContext::Create(keys, 2).value();
+  const BigInt m(42);
+  EXPECT_NE(dj.Encrypt(m, rng).value(), dj.Encrypt(m, rng).value());
+}
+
+}  // namespace
+}  // namespace flb::crypto

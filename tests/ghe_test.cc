@@ -1,0 +1,372 @@
+// Tests for the GPU-HE layer: Algorithm 2 (parallel Montgomery) fidelity
+// and the batched Table I API surface.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/common/rng.h"
+#include "src/crypto/montgomery.h"
+#include "src/crypto/paillier.h"
+#include "src/crypto/rsa.h"
+#include "src/ghe/ghe_engine.h"
+#include "src/ghe/parallel_montgomery.h"
+#include "src/gpusim/device.h"
+
+namespace flb::ghe {
+namespace {
+
+using crypto::MontgomeryContext;
+using mpint::BigInt;
+
+std::shared_ptr<gpusim::Device> MakeDevice(SimClock* clock = nullptr) {
+  return std::make_shared<gpusim::Device>(gpusim::DeviceSpec::Rtx3090(), clock);
+}
+
+// ---------------------------------------------------------------------------
+// Algorithm 2: parallel Montgomery multiplication
+// ---------------------------------------------------------------------------
+
+struct ParallelMontCase {
+  int bits;
+  int threads;
+};
+
+class ParallelMontTest : public ::testing::TestWithParam<ParallelMontCase> {};
+
+TEST_P(ParallelMontTest, BitExactWithSequentialCios) {
+  const auto [bits, threads] = GetParam();
+  Rng rng(9000 + bits + threads);
+  BigInt n = BigInt::Random(rng, bits);
+  n = BigInt::FromWords([&] {
+    auto w = n.ToFixedWords(bits / 32);
+    w[0] |= 1;                      // odd
+    w.back() |= 0x80000000u;        // full width -> exactly bits/32 limbs
+    return w;
+  }());
+  auto ctx = MontgomeryContext::Create(n).value();
+  const size_t s = ctx.num_limbs();
+  ASSERT_EQ(s, static_cast<size_t>(bits / 32));
+
+  for (int i = 0; i < 10; ++i) {
+    BigInt a = BigInt::RandomBelow(rng, n);
+    BigInt b = BigInt::RandomBelow(rng, n);
+    const auto aw = a.ToFixedWords(s);
+    const auto bw = b.ToFixedWords(s);
+    std::vector<uint32_t> out(s);
+    auto stats = ParallelMontMul(aw.data(), bw.data(), n.words().data(),
+                                 ctx.n0_inv(), s, threads, out.data());
+    ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+    EXPECT_EQ(BigInt::FromWords(out), ctx.MontMul(a, b))
+        << "bits=" << bits << " threads=" << threads;
+    EXPECT_GT(stats->limb_ops, 0u);
+    if (threads > 1) {
+      EXPECT_GT(stats->inter_thread_comms, 0u);
+    } else {
+      EXPECT_EQ(stats->inter_thread_comms, 0u);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ParallelMontTest,
+    ::testing::Values(ParallelMontCase{128, 1}, ParallelMontCase{128, 2},
+                      ParallelMontCase{128, 4}, ParallelMontCase{256, 8},
+                      ParallelMontCase{512, 4}, ParallelMontCase{512, 16},
+                      ParallelMontCase{1024, 8}, ParallelMontCase{1024, 32},
+                      ParallelMontCase{2048, 16}, ParallelMontCase{2048, 64}));
+
+TEST(ParallelMont, RejectsNonDividingThreadCount) {
+  std::vector<uint32_t> a(4, 1), b(4, 1), n(4, 1), out(4);
+  n[0] = 0xFFFFFFFD;
+  EXPECT_FALSE(
+      ParallelMontMul(a.data(), b.data(), n.data(), 0, 4, 3, out.data()).ok());
+  EXPECT_FALSE(
+      ParallelMontMul(a.data(), b.data(), n.data(), 0, 0, 1, out.data()).ok());
+}
+
+TEST(ParallelMont, LargestValidThreadCount) {
+  EXPECT_EQ(LargestValidThreadCount(64, 16), 16);
+  EXPECT_EQ(LargestValidThreadCount(64, 15), 8);   // 15,14,... first divisor
+  EXPECT_EQ(LargestValidThreadCount(7, 4), 1);     // prime limb count
+  EXPECT_EQ(LargestValidThreadCount(12, 100), 12);
+}
+
+TEST(ParallelMont, MoreThreadsMoreCommunication) {
+  Rng rng(1);
+  BigInt n = BigInt::Random(rng, 1024);
+  n = BigInt::FromWords([&] {
+    auto w = n.ToFixedWords(32);
+    w[0] |= 1;
+    w.back() |= 0x80000000u;
+    return w;
+  }());
+  auto ctx = MontgomeryContext::Create(n).value();
+  BigInt a = BigInt::RandomBelow(rng, n);
+  BigInt b = BigInt::RandomBelow(rng, n);
+  const auto aw = a.ToFixedWords(32);
+  const auto bw = b.ToFixedWords(32);
+  std::vector<uint32_t> out(32);
+  const auto s2 = ParallelMontMul(aw.data(), bw.data(), n.words().data(),
+                                  ctx.n0_inv(), 32, 2, out.data())
+                      .value();
+  const auto s16 = ParallelMontMul(aw.data(), bw.data(), n.words().data(),
+                                   ctx.n0_inv(), 32, 16, out.data())
+                       .value();
+  EXPECT_GT(s16.inter_thread_comms, s2.inter_thread_comms);
+  EXPECT_EQ(s16.limb_ops, s2.limb_ops);  // same arithmetic, different split
+}
+
+// ---------------------------------------------------------------------------
+// GheEngine: vector API
+// ---------------------------------------------------------------------------
+
+class GheEngineTest : public ::testing::Test {
+ protected:
+  GheEngineTest() : engine_(MakeDevice(&clock_)) {}
+
+  std::vector<BigInt> RandomBatch(size_t count, int bits, Rng& rng) {
+    std::vector<BigInt> out;
+    out.reserve(count);
+    for (size_t i = 0; i < count; ++i) out.push_back(BigInt::Random(rng, bits));
+    return out;
+  }
+
+  SimClock clock_;
+  GheEngine engine_;
+};
+
+TEST_F(GheEngineTest, VectorAddSubRoundTrip) {
+  Rng rng(10);
+  auto a = RandomBatch(64, 256, rng);
+  auto b = RandomBatch(64, 256, rng);
+  auto sum = engine_.Add(a, b).value();
+  auto diff = engine_.Sub(sum, b).value();
+  ASSERT_EQ(diff.size(), a.size());
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(diff[i], a[i]);
+  EXPECT_GT(clock_.Elapsed(CostKind::kGpuKernel), 0.0);
+  EXPECT_GT(clock_.Elapsed(CostKind::kPcieTransfer), 0.0);
+}
+
+TEST_F(GheEngineTest, VectorSubUnderflowIsError) {
+  std::vector<BigInt> a{BigInt(1)}, b{BigInt(2)};
+  EXPECT_TRUE(engine_.Sub(a, b).status().IsOutOfRange());
+}
+
+TEST_F(GheEngineTest, VectorMulDivMod) {
+  Rng rng(11);
+  auto a = RandomBatch(32, 192, rng);
+  auto b = RandomBatch(32, 64, rng);
+  for (auto& v : b) {
+    if (v.IsZero()) v = BigInt(3);
+  }
+  auto prod = engine_.Mul(a, b).value();
+  auto quot = engine_.Div(prod, b).value();
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(quot[i], a[i]);
+
+  const BigInt n = BigInt::Random(rng, 100);
+  auto rem = engine_.Mod(prod, n).value();
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(rem[i], prod[i] % n);
+}
+
+TEST_F(GheEngineTest, VectorDivByZeroError) {
+  std::vector<BigInt> a{BigInt(6)}, b{BigInt()};
+  EXPECT_TRUE(engine_.Div(a, b).status().IsArithmeticError());
+  EXPECT_TRUE(engine_.Mod(a, BigInt()).status().IsArithmeticError());
+}
+
+TEST_F(GheEngineTest, MismatchedBatchSizesError) {
+  std::vector<BigInt> a{BigInt(1), BigInt(2)}, b{BigInt(1)};
+  EXPECT_TRUE(engine_.Add(a, b).status().IsInvalidArgument());
+  EXPECT_TRUE(engine_.Mul(a, b).status().IsInvalidArgument());
+  EXPECT_TRUE(engine_.ModMul(a, b, BigInt(17)).status().IsInvalidArgument());
+}
+
+TEST_F(GheEngineTest, EmptyBatchesAreNoOps) {
+  std::vector<BigInt> empty;
+  EXPECT_TRUE(engine_.Add(empty, empty)->empty());
+  EXPECT_TRUE(engine_.ModPow(empty, empty, BigInt(17))->empty());
+}
+
+TEST_F(GheEngineTest, ModInvModMulModPowAgainstReference) {
+  Rng rng(12);
+  BigInt n = BigInt::Random(rng, 256);
+  if (n.IsEven()) n = BigInt::Add(n, BigInt(1));
+  auto a = RandomBatch(16, 200, rng);
+  auto b = RandomBatch(16, 200, rng);
+  auto e = RandomBatch(16, 32, rng);
+
+  auto mm = engine_.ModMul(a, b, n).value();
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(mm[i], BigInt::ModMul(a[i] % n, b[i] % n, n).value());
+  }
+  auto mp = engine_.ModPow(a, e, n).value();
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(mp[i], BigInt::ModPow(a[i], e[i], n).value());
+  }
+  // ModInv over values coprime with an odd prime-ish modulus.
+  const BigInt prime(1000003);
+  std::vector<BigInt> units;
+  for (int i = 2; i < 18; ++i) units.push_back(BigInt(i));
+  auto inv = engine_.ModInv(units, prime).value();
+  for (size_t i = 0; i < units.size(); ++i) {
+    EXPECT_EQ(BigInt::ModMul(units[i], inv[i], prime).value(), BigInt(1));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// GheEngine: batched Paillier / RSA
+// ---------------------------------------------------------------------------
+
+TEST_F(GheEngineTest, PaillierBatchRoundTripAndAggregate) {
+  Rng rng(13);
+  auto keys = crypto::PaillierKeyGen(256, rng).value();
+  auto ctx = crypto::PaillierContext::Create(keys).value();
+
+  std::vector<BigInt> ms;
+  for (uint64_t i = 1; i <= 32; ++i) ms.push_back(BigInt(i * 1000));
+  auto cs = engine_.PaillierEncrypt(ctx, ms, rng).value();
+  ASSERT_EQ(cs.size(), ms.size());
+  auto decrypted = engine_.PaillierDecrypt(ctx, cs).value();
+  for (size_t i = 0; i < ms.size(); ++i) EXPECT_EQ(decrypted[i], ms[i]);
+
+  // Pairwise homomorphic add: D(c[i] (*) c[i]) = 2*m[i].
+  auto doubled = engine_.PaillierAdd(ctx, cs, cs).value();
+  auto dec2 = engine_.PaillierDecrypt(ctx, doubled).value();
+  for (size_t i = 0; i < ms.size(); ++i) {
+    EXPECT_EQ(dec2[i], BigInt::Add(ms[i], ms[i]));
+  }
+}
+
+TEST_F(GheEngineTest, PaillierBatchPropagatesElementErrors) {
+  Rng rng(14);
+  auto keys = crypto::PaillierKeyGen(128, rng).value();
+  auto ctx = crypto::PaillierContext::Create(keys).value();
+  std::vector<BigInt> ms{BigInt(1), keys.pub.n};  // second is out of range
+  EXPECT_TRUE(engine_.PaillierEncrypt(ctx, ms, rng).status().IsOutOfRange());
+}
+
+TEST_F(GheEngineTest, RsaBatchRoundTripAndMul) {
+  Rng rng(15);
+  auto keys = crypto::RsaKeyGen(256, rng).value();
+  auto ctx = crypto::RsaContext::Create(keys).value();
+  std::vector<BigInt> ms;
+  for (uint64_t i = 2; i <= 17; ++i) ms.push_back(BigInt(i));
+  auto cs = engine_.RsaEncrypt(ctx, ms).value();
+  auto dec = engine_.RsaDecrypt(ctx, cs).value();
+  for (size_t i = 0; i < ms.size(); ++i) EXPECT_EQ(dec[i], ms[i]);
+  auto prod = engine_.RsaMul(ctx, cs, cs).value();
+  auto dec2 = engine_.RsaDecrypt(ctx, prod).value();
+  for (size_t i = 0; i < ms.size(); ++i) {
+    EXPECT_EQ(dec2[i], BigInt::Mul(ms[i], ms[i]) % keys.pub.n);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Timing model consistency
+// ---------------------------------------------------------------------------
+
+TEST_F(GheEngineTest, ModelMatchesRealLaunchGeometry) {
+  Rng rng(16);
+  auto keys = crypto::PaillierKeyGen(256, rng).value();
+  auto ctx = crypto::PaillierContext::Create(keys).value();
+  std::vector<BigInt> ms(8, BigInt(42));
+
+  engine_.PaillierEncrypt(ctx, ms, rng).value();
+  const auto real = engine_.last_launch();
+  const auto modeled = engine_.ModelPaillierEncrypt(256, 8).value();
+  EXPECT_EQ(modeled.block_threads, real.block_threads);
+  EXPECT_EQ(modeled.waves, real.waves);
+  EXPECT_DOUBLE_EQ(modeled.occupancy, real.occupancy);
+  EXPECT_DOUBLE_EQ(modeled.sim_seconds, real.sim_seconds);
+}
+
+TEST_F(GheEngineTest, LargerKeysCostMore) {
+  const double t1024 = engine_.ModelPaillierEncrypt(1024, 1024)->sim_seconds;
+  const double t2048 = engine_.ModelPaillierEncrypt(2048, 1024)->sim_seconds;
+  const double t4096 = engine_.ModelPaillierEncrypt(4096, 1024)->sim_seconds;
+  // Cost grows superlinearly in key size (more mont-muls x bigger mont-muls).
+  EXPECT_GT(t2048, 3 * t1024);
+  EXPECT_GT(t4096, 3 * t2048);
+}
+
+TEST_F(GheEngineTest, DecryptCrtCheaperThanPlain) {
+  const double crt = engine_.ModelPaillierDecrypt(1024, 256, true)->sim_seconds;
+  const double plain =
+      engine_.ModelPaillierDecrypt(1024, 256, false)->sim_seconds;
+  EXPECT_LT(crt, plain);
+}
+
+TEST_F(GheEngineTest, BatchingAmortizesLaunchCost) {
+  // Per-element cost should drop as the batch grows (launch latency and
+  // partial-wave waste amortize out).
+  const double t1 = engine_.ModelPaillierAdd(1024, 1)->sim_seconds;
+  const double t4096 = engine_.ModelPaillierAdd(1024, 4096)->sim_seconds;
+  EXPECT_LT(t4096 / 4096.0, t1);
+}
+
+TEST(GheEngineUtilization, FlboosterBeatsHafloStyleConfig) {
+  // HAFLO-style engine: no branch combining, coarser thread split. The
+  // FLBooster resource manager should achieve >= SM utilization and lower
+  // kernel time on an identical workload (Fig. 6's claim).
+  auto fl_device = std::make_shared<gpusim::Device>(
+      gpusim::DeviceSpec::Rtx3090(), nullptr, /*branch_combining=*/true);
+  auto haflo_device = std::make_shared<gpusim::Device>(
+      gpusim::DeviceSpec::Rtx3090(), nullptr, /*branch_combining=*/false);
+  GheConfig haflo_cfg;
+  haflo_cfg.words_per_thread = 16;  // coarse split: fewer, heavier threads
+  GheEngine fl(fl_device), haflo(haflo_device, haflo_cfg);
+
+  const auto r_fl = fl.ModelPaillierEncrypt(2048, 100000).value();
+  const auto r_haflo = haflo.ModelPaillierEncrypt(2048, 100000).value();
+  EXPECT_GE(r_fl.sm_utilization, r_haflo.sm_utilization);
+  EXPECT_LT(r_fl.sim_seconds, r_haflo.sim_seconds);
+}
+
+
+// ---------------------------------------------------------------------------
+// Key generation on the device
+// ---------------------------------------------------------------------------
+
+TEST(GheKeyGen, PaillierKeysWorkAndChargeDeviceTime) {
+  SimClock clock;
+  auto device =
+      std::make_shared<gpusim::Device>(gpusim::DeviceSpec::Rtx3090(), &clock);
+  GheEngine engine(device);
+  Rng rng(77);
+  auto keys = engine.PaillierKeyGen(256, rng).value();
+  EXPECT_EQ(keys.pub.key_bits, 256);
+  EXPECT_GT(clock.Elapsed(CostKind::kGpuKernel), 0.0);
+  // The generated keys are functional.
+  auto ctx = crypto::PaillierContext::Create(keys).value();
+  BigInt c = ctx.Encrypt(BigInt(31337), rng).value();
+  EXPECT_EQ(ctx.Decrypt(c).value(), BigInt(31337));
+}
+
+TEST(GheKeyGen, RsaKeysWork) {
+  auto device =
+      std::make_shared<gpusim::Device>(gpusim::DeviceSpec::Rtx3090(), nullptr);
+  GheEngine engine(device);
+  Rng rng(78);
+  auto keys = engine.RsaKeyGen(256, rng).value();
+  auto ctx = crypto::RsaContext::Create(keys).value();
+  EXPECT_EQ(ctx.Decrypt(ctx.Encrypt(BigInt(99)).value()).value(), BigInt(99));
+  EXPECT_FALSE(engine.RsaKeyGen(63, rng).ok());
+}
+
+TEST(GheKeyGen, LargerKeysChargeMoreSearchTime) {
+  SimClock c1, c2;
+  auto d1 =
+      std::make_shared<gpusim::Device>(gpusim::DeviceSpec::Rtx3090(), &c1);
+  auto d2 =
+      std::make_shared<gpusim::Device>(gpusim::DeviceSpec::Rtx3090(), &c2);
+  GheEngine e1(d1), e2(d2);
+  Rng r1(79), r2(79);
+  e1.PaillierKeyGen(128, r1).value();
+  e2.PaillierKeyGen(512, r2).value();
+  EXPECT_GT(c2.Elapsed(CostKind::kGpuKernel),
+            c1.Elapsed(CostKind::kGpuKernel));
+}
+
+}  // namespace
+}  // namespace flb::ghe

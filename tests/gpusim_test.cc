@@ -1,0 +1,280 @@
+// Tests for the simulated GPU device: resource manager (block table, memory
+// pool, register/branch policy), occupancy, launch timing, utilization.
+
+#include <gtest/gtest.h>
+
+#include "src/gpusim/device.h"
+#include "src/gpusim/device_spec.h"
+#include "src/gpusim/resource_manager.h"
+
+namespace flb::gpusim {
+namespace {
+
+DeviceSpec Spec() { return DeviceSpec::Rtx3090(); }
+
+TEST(DeviceSpecTest, Rtx3090Constants) {
+  const DeviceSpec s = Spec();
+  EXPECT_EQ(s.num_sms, 82);
+  EXPECT_EQ(s.MaxResidentThreads(), 82 * 1536);
+  EXPECT_GT(s.core_clock_hz, 1e9);
+  EXPECT_GT(s.pcie_bandwidth_bytes_per_sec, 1e9);
+}
+
+// ---------------------------------------------------------------------------
+// ResourceManager: registers and branches
+// ---------------------------------------------------------------------------
+
+TEST(ResourceManagerTest, BranchCombiningKeepsRegisterDemand) {
+  ResourceManager rm(Spec(), /*branch_combining=*/true);
+  KernelDemand d;
+  d.registers_per_thread = 40;
+  d.divergent_branches = 3;
+  EXPECT_EQ(rm.EffectiveRegisters(d), 40);
+}
+
+TEST(ResourceManagerTest, UnmanagedBranchesDoubleRegistersPerRegion) {
+  ResourceManager rm(Spec(), /*branch_combining=*/false);
+  KernelDemand d;
+  d.registers_per_thread = 40;
+  d.divergent_branches = 1;
+  EXPECT_EQ(rm.EffectiveRegisters(d), 80);
+  d.divergent_branches = 2;
+  EXPECT_EQ(rm.EffectiveRegisters(d), 160);
+  d.divergent_branches = 10;  // capped at the architectural max
+  EXPECT_EQ(rm.EffectiveRegisters(d), Spec().max_registers_per_thread);
+}
+
+TEST(ResourceManagerTest, OccupancyThreadLimited) {
+  ResourceManager rm(Spec());
+  KernelDemand d;
+  d.registers_per_thread = 32;  // 32*1536 = 49152 < 65536: threads bind
+  EXPECT_DOUBLE_EQ(rm.OccupancyFor(512, d), 1.0);  // 3 blocks of 512 = 1536
+  EXPECT_DOUBLE_EQ(rm.OccupancyFor(1024, d), 1024.0 / 1536.0);  // 1 block fits
+}
+
+TEST(ResourceManagerTest, OccupancyRegisterLimited) {
+  ResourceManager rm(Spec());
+  KernelDemand d;
+  d.registers_per_thread = 80;  // 80*512 = 40960: one 512-block per SM
+  EXPECT_DOUBLE_EQ(rm.OccupancyFor(512, d), 512.0 / 1536.0);
+  auto plan = rm.PlanLaunch(100000, d).value();
+  EXPECT_STREQ(plan.limiting_resource, "registers");
+  EXPECT_LT(plan.occupancy, 1.0);
+}
+
+TEST(ResourceManagerTest, OccupancySharedMemLimited) {
+  ResourceManager rm(Spec());
+  KernelDemand d;
+  d.registers_per_thread = 16;
+  d.shared_mem_per_block = Spec().shared_mem_per_sm;  // one block per SM
+  EXPECT_DOUBLE_EQ(rm.OccupancyFor(128, d), 128.0 / 1536.0);
+}
+
+TEST(ResourceManagerTest, PlanLaunchPicksHighOccupancyBlock) {
+  ResourceManager rm(Spec());
+  KernelDemand d;
+  d.registers_per_thread = 32;
+  auto plan = rm.PlanLaunch(1 << 20, d).value();
+  EXPECT_GT(plan.block_threads, 0);
+  EXPECT_DOUBLE_EQ(plan.occupancy, 1.0);
+  EXPECT_EQ(plan.grid_blocks,
+            (1 << 20) / plan.block_threads +
+                ((1 << 20) % plan.block_threads != 0 ? 1 : 0));
+}
+
+TEST(ResourceManagerTest, PlanLaunchShrinksBlocksForTinyLaunches) {
+  ResourceManager rm(Spec());
+  KernelDemand d;
+  auto plan = rm.PlanLaunch(40, d).value();
+  EXPECT_EQ(plan.block_threads, rm.block_size_table().front());
+  EXPECT_EQ(plan.grid_blocks, 1);
+}
+
+TEST(ResourceManagerTest, PlanLaunchRejectsZeroWork) {
+  ResourceManager rm(Spec());
+  EXPECT_FALSE(rm.PlanLaunch(0, KernelDemand{}).ok());
+  EXPECT_FALSE(rm.PlanLaunch(-5, KernelDemand{}).ok());
+}
+
+// ---------------------------------------------------------------------------
+// ResourceManager: memory table
+// ---------------------------------------------------------------------------
+
+TEST(MemoryPoolTest, AllocFreeReuseCycle) {
+  ResourceManager rm(Spec());
+  auto a1 = rm.Alloc(4096).value();
+  auto a2 = rm.Alloc(4096).value();
+  EXPECT_NE(a1, a2);
+  EXPECT_EQ(rm.pool_stats().fresh_allocations, 2u);
+  EXPECT_EQ(rm.pool_stats().bytes_in_use, 8192u);
+
+  ASSERT_TRUE(rm.Free(a1).ok());
+  // Same-size alloc is served from the table (address reuse).
+  auto a3 = rm.Alloc(4096).value();
+  EXPECT_EQ(a3, a1);
+  EXPECT_EQ(rm.pool_stats().pool_hits, 1u);
+  EXPECT_EQ(rm.pool_stats().fresh_allocations, 2u);
+}
+
+TEST(MemoryPoolTest, DifferentSizeClassMisses) {
+  ResourceManager rm(Spec());
+  auto a1 = rm.Alloc(4096).value();
+  ASSERT_TRUE(rm.Free(a1).ok());
+  auto a2 = rm.Alloc(8192).value();
+  EXPECT_NE(a2, a1);
+  EXPECT_EQ(rm.pool_stats().pool_hits, 0u);
+}
+
+TEST(MemoryPoolTest, ErrorPaths) {
+  ResourceManager rm(Spec());
+  EXPECT_FALSE(rm.Alloc(0).ok());
+  EXPECT_TRUE(rm.Free(0xdead).IsNotFound());
+  auto a = rm.Alloc(64).value();
+  ASSERT_TRUE(rm.Free(a).ok());
+  EXPECT_TRUE(rm.Free(a).IsFailedPrecondition());  // double free
+}
+
+TEST(MemoryPoolTest, ExhaustionAndTrim) {
+  DeviceSpec tiny = Spec();
+  tiny.global_mem_bytes = 1024;
+  ResourceManager rm(tiny);
+  auto a = rm.Alloc(1024).value();
+  EXPECT_TRUE(rm.Alloc(1).status().IsResourceExhausted());
+  ASSERT_TRUE(rm.Free(a).ok());
+  // Freed-but-pooled memory still counts as reserved until trimmed.
+  EXPECT_TRUE(rm.Alloc(512).status().IsResourceExhausted());
+  rm.TrimPool();
+  EXPECT_TRUE(rm.Alloc(512).ok());
+}
+
+TEST(MemoryPoolTest, PeakTracksHighWater) {
+  ResourceManager rm(Spec());
+  auto a = rm.Alloc(1000).value();
+  auto b = rm.Alloc(2000).value();
+  ASSERT_TRUE(rm.Free(a).ok());
+  ASSERT_TRUE(rm.Free(b).ok());
+  EXPECT_EQ(rm.pool_stats().peak_bytes, 3000u);
+  EXPECT_EQ(rm.pool_stats().bytes_in_use, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Device: launch timing and utilization
+// ---------------------------------------------------------------------------
+
+TEST(DeviceTest, LaunchChargesClockAndRunsBody) {
+  SimClock clock;
+  Device dev(Spec(), &clock);
+  bool ran = false;
+  KernelLaunch launch;
+  launch.name = "test";
+  launch.total_threads = 1 << 16;
+  launch.ops_per_thread = 1000;
+  launch.body = [&] { ran = true; };
+  auto result = dev.Launch(launch).value();
+  EXPECT_TRUE(ran);
+  EXPECT_GT(result.sim_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(clock.Elapsed(CostKind::kGpuKernel), result.sim_seconds);
+  EXPECT_EQ(dev.stats().kernels_launched, 1u);
+}
+
+TEST(DeviceTest, MoreWorkTakesLongerProportionally) {
+  Device dev(Spec(), nullptr);
+  KernelLaunch small, large;
+  small.total_threads = large.total_threads = Spec().MaxResidentThreads();
+  small.ops_per_thread = 1000;
+  large.ops_per_thread = 10000;
+  const double lat = Spec().kernel_launch_latency_sec;
+  const double t_small = dev.Launch(small)->sim_seconds - lat;
+  const double t_large = dev.Launch(large)->sim_seconds - lat;
+  // 10x the per-thread ops -> 10x the compute time (net of launch latency).
+  EXPECT_NEAR(t_large / t_small, 10.0, 0.01);
+}
+
+TEST(DeviceTest, WavesScaleWithOversubscription) {
+  Device dev(Spec(), nullptr);
+  KernelLaunch launch;
+  launch.ops_per_thread = 1000;
+  launch.total_threads = Spec().MaxResidentThreads();
+  EXPECT_EQ(dev.Launch(launch)->waves, 1);
+  launch.total_threads = 4 * Spec().MaxResidentThreads();
+  EXPECT_EQ(dev.Launch(launch)->waves, 4);
+}
+
+TEST(DeviceTest, SmallLaunchHasLowUtilization) {
+  Device dev(Spec(), nullptr);
+  KernelLaunch launch;
+  launch.ops_per_thread = 1000;
+  launch.total_threads = 128;  // a sliver of an 125952-thread device
+  auto r = dev.Launch(launch).value();
+  EXPECT_LT(r.sm_utilization, 0.01);
+  launch.total_threads = 10 * Spec().MaxResidentThreads();
+  r = dev.Launch(launch).value();
+  EXPECT_GT(r.sm_utilization, 0.9);
+}
+
+TEST(DeviceTest, RegisterPressureLowersOccupancyAndUtilization) {
+  Device dev(Spec(), nullptr);
+  KernelLaunch light, heavy;
+  light.total_threads = heavy.total_threads = 10 * Spec().MaxResidentThreads();
+  light.ops_per_thread = heavy.ops_per_thread = 1000;
+  light.demand.registers_per_thread = 32;
+  heavy.demand.registers_per_thread = 200;
+  auto r_light = dev.Launch(light).value();
+  auto r_heavy = dev.Launch(heavy).value();
+  EXPECT_GT(r_light.occupancy, r_heavy.occupancy);
+  EXPECT_GT(r_light.sm_utilization, r_heavy.sm_utilization);
+}
+
+TEST(DeviceTest, BranchDivergenceSlowsHaflosStyleDevice) {
+  // Same kernel, branch combining on (FLBooster) vs off (HAFLO): the
+  // unmanaged device pays both register doubling and serialization.
+  KernelLaunch launch;
+  launch.total_threads = 10 * Spec().MaxResidentThreads();
+  launch.ops_per_thread = 5000;
+  launch.demand.registers_per_thread = 48;
+  launch.demand.divergent_branches = 2;
+
+  Device combined(Spec(), nullptr, /*branch_combining=*/true);
+  Device unmanaged(Spec(), nullptr, /*branch_combining=*/false);
+  auto r_combined = combined.Launch(launch).value();
+  auto r_unmanaged = unmanaged.Launch(launch).value();
+  EXPECT_LT(r_combined.sim_seconds, r_unmanaged.sim_seconds);
+  EXPECT_GE(r_combined.sm_utilization, r_unmanaged.sm_utilization);
+}
+
+TEST(DeviceTest, TransfersChargePcie) {
+  SimClock clock;
+  Device dev(Spec(), &clock);
+  const double t1 = dev.CopyToDevice(16 << 20);
+  const double t2 = dev.CopyFromDevice(16 << 20);
+  EXPECT_GT(t1, 0.0);
+  EXPECT_NEAR(clock.Elapsed(CostKind::kPcieTransfer), t1 + t2, 1e-12);
+  EXPECT_EQ(dev.stats().bytes_h2d, 16u << 20);
+  EXPECT_EQ(dev.stats().bytes_d2h, 16u << 20);
+  // Doubling bytes roughly doubles time (latency aside).
+  const double t4 = dev.CopyToDevice(32 << 20);
+  EXPECT_GT(t4, 1.8 * (t1 - Spec().pcie_latency_sec));
+}
+
+TEST(DeviceTest, MeanUtilizationAggregates) {
+  Device dev(Spec(), nullptr);
+  KernelLaunch launch;
+  launch.ops_per_thread = 1000;
+  launch.total_threads = 10 * Spec().MaxResidentThreads();
+  dev.Launch(launch).value();
+  dev.Launch(launch).value();
+  EXPECT_GT(dev.stats().MeanSmUtilization(), 0.9);
+  dev.ResetStats();
+  EXPECT_EQ(dev.stats().kernels_launched, 0u);
+  EXPECT_DOUBLE_EQ(dev.stats().MeanSmUtilization(), 0.0);
+}
+
+TEST(DeviceTest, LaunchRejectsEmptyWork) {
+  Device dev(Spec(), nullptr);
+  KernelLaunch launch;
+  launch.total_threads = 0;
+  EXPECT_FALSE(dev.Launch(launch).ok());
+}
+
+}  // namespace
+}  // namespace flb::gpusim

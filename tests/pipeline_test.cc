@@ -1,0 +1,101 @@
+// Tests for the §V pipelined-processing model.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/core/pipeline.h"
+#include "src/gpusim/device.h"
+
+namespace flb::core {
+namespace {
+
+std::vector<PipelineStage> Stages(std::initializer_list<double> secs) {
+  std::vector<PipelineStage> out;
+  int i = 0;
+  for (double s : secs) out.push_back({"s" + std::to_string(i++), s});
+  return out;
+}
+
+TEST(PipelineScheduleTest, SingleChunkEqualsSerial) {
+  auto stages = Stages({1.0, 2.0, 3.0});
+  EXPECT_DOUBLE_EQ(PipelineSchedule::OverlappedSeconds(stages, 1).value(), 6.0);
+  EXPECT_DOUBLE_EQ(PipelineSchedule::SerialSeconds(stages, 1).value(), 6.0);
+}
+
+TEST(PipelineScheduleTest, ClassicPipelineFormula) {
+  // fill (1+2+3) + (chunks-1) * bottleneck(3)
+  auto stages = Stages({1.0, 2.0, 3.0});
+  EXPECT_DOUBLE_EQ(PipelineSchedule::OverlappedSeconds(stages, 4).value(),
+                   6.0 + 3 * 3.0);
+  EXPECT_DOUBLE_EQ(PipelineSchedule::SerialSeconds(stages, 4).value(), 24.0);
+}
+
+TEST(PipelineScheduleTest, BalancedStagesApproachStageCountSpeedup) {
+  // With S equal stages and many chunks, speedup -> S.
+  auto stages = Stages({1.0, 1.0, 1.0, 1.0});
+  const int chunks = 1000;
+  const double serial = PipelineSchedule::SerialSeconds(stages, chunks).value();
+  const double overlapped =
+      PipelineSchedule::OverlappedSeconds(stages, chunks).value();
+  EXPECT_NEAR(serial / overlapped, 4.0, 0.05);
+}
+
+TEST(PipelineScheduleTest, BottleneckIdentified) {
+  auto stages = Stages({1.0, 5.0, 2.0});
+  EXPECT_EQ(PipelineSchedule::Bottleneck(stages).value().name, "s1");
+}
+
+TEST(PipelineScheduleTest, Validation) {
+  EXPECT_FALSE(PipelineSchedule::OverlappedSeconds({}, 1).ok());
+  EXPECT_FALSE(
+      PipelineSchedule::OverlappedSeconds(Stages({1.0}), 0).ok());
+  EXPECT_FALSE(
+      PipelineSchedule::OverlappedSeconds(Stages({-1.0}), 1).ok());
+}
+
+class PipelinedModelTest : public ::testing::Test {
+ protected:
+  PipelinedModelTest()
+      : device_(std::make_shared<gpusim::Device>(gpusim::DeviceSpec::Rtx3090(),
+                                                 nullptr)),
+        engine_(device_) {}
+  std::shared_ptr<gpusim::Device> device_;
+  ghe::GheEngine engine_;
+};
+
+TEST_F(PipelinedModelTest, OverlapNeverSlower) {
+  for (int chunks : {1, 2, 8, 32}) {
+    auto enc = PipelinedModel::Encrypt(engine_, 1024, 1 << 14, chunks).value();
+    EXPECT_LE(enc.overlapped_seconds, enc.serial_seconds + 1e-12);
+    EXPECT_GE(enc.speedup, 1.0);
+    auto add = PipelinedModel::HomAdd(engine_, 1024, 1 << 16, chunks).value();
+    EXPECT_LE(add.overlapped_seconds, add.serial_seconds + 1e-12);
+  }
+}
+
+TEST_F(PipelinedModelTest, TransferBoundOpGainsFromChunking) {
+  auto one = PipelinedModel::HomAdd(engine_, 2048, 1 << 18, 1).value();
+  auto many = PipelinedModel::HomAdd(engine_, 2048, 1 << 18, 16).value();
+  EXPECT_GT(many.speedup, 1.3);
+  EXPECT_LT(many.overlapped_seconds, one.overlapped_seconds);
+  // The bottleneck of a homomorphic-add chain is a PCIe stage.
+  auto bn = PipelineSchedule::Bottleneck(many.stages_per_chunk).value();
+  EXPECT_TRUE(bn.name == "h2d" || bn.name == "d2h") << bn.name;
+}
+
+TEST_F(PipelinedModelTest, KernelBoundOpBarelyChanges) {
+  auto enc = PipelinedModel::Encrypt(engine_, 4096, 1 << 14, 8).value();
+  EXPECT_LT(enc.speedup, 1.2);
+  EXPECT_EQ(PipelineSchedule::Bottleneck(enc.stages_per_chunk)->name,
+            "kernel");
+}
+
+TEST_F(PipelinedModelTest, ChunksClampedToBatch) {
+  auto r = PipelinedModel::Encrypt(engine_, 1024, 3, 100).value();
+  EXPECT_EQ(r.chunks, 3);
+  EXPECT_FALSE(PipelinedModel::Encrypt(engine_, 1024, 0, 1).ok());
+}
+
+}  // namespace
+}  // namespace flb::core
