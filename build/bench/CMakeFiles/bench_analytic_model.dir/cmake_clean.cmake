@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_analytic_model.dir/bench_analytic_model.cc.o"
+  "CMakeFiles/bench_analytic_model.dir/bench_analytic_model.cc.o.d"
+  "bench_analytic_model"
+  "bench_analytic_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_analytic_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_batchcrypt_overflow.dir/bench_batchcrypt_overflow.cc.o"
+  "CMakeFiles/bench_batchcrypt_overflow.dir/bench_batchcrypt_overflow.cc.o.d"
+  "bench_batchcrypt_overflow"
+  "bench_batchcrypt_overflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_batchcrypt_overflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

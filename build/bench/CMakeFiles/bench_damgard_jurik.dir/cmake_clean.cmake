@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_damgard_jurik.dir/bench_damgard_jurik.cc.o"
+  "CMakeFiles/bench_damgard_jurik.dir/bench_damgard_jurik.cc.o.d"
+  "bench_damgard_jurik"
+  "bench_damgard_jurik.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_damgard_jurik.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_damgard_jurik.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_device_scaling.dir/bench_device_scaling.cc.o"
+  "CMakeFiles/bench_device_scaling.dir/bench_device_scaling.cc.o.d"
+  "bench_device_scaling"
+  "bench_device_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_device_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_utilization.dir/bench_fig6_utilization.cc.o"
+  "CMakeFiles/bench_fig6_utilization.dir/bench_fig6_utilization.cc.o.d"
+  "bench_fig6_utilization"
+  "bench_fig6_utilization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_utilization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_montgomery.dir/bench_montgomery.cc.o"
+  "CMakeFiles/bench_montgomery.dir/bench_montgomery.cc.o.d"
+  "bench_montgomery"
+  "bench_montgomery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_montgomery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mpint.dir/bench_mpint.cc.o"
+  "CMakeFiles/bench_mpint.dir/bench_mpint.cc.o.d"
+  "bench_mpint"
+  "bench_mpint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mpint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

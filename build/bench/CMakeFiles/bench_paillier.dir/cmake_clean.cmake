@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_paillier.dir/bench_paillier.cc.o"
+  "CMakeFiles/bench_paillier.dir/bench_paillier.cc.o.d"
+  "bench_paillier"
+  "bench_paillier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_paillier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

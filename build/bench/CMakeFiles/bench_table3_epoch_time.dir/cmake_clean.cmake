@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_epoch_time.dir/bench_table3_epoch_time.cc.o"
+  "CMakeFiles/bench_table3_epoch_time.dir/bench_table3_epoch_time.cc.o.d"
+  "bench_table3_epoch_time"
+  "bench_table3_epoch_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_epoch_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

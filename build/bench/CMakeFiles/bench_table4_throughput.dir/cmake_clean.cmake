@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_throughput.dir/bench_table4_throughput.cc.o"
+  "CMakeFiles/bench_table4_throughput.dir/bench_table4_throughput.cc.o.d"
+  "bench_table4_throughput"
+  "bench_table4_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_components.dir/bench_table6_components.cc.o"
+  "CMakeFiles/bench_table6_components.dir/bench_table6_components.cc.o.d"
+  "bench_table6_components"
+  "bench_table6_components.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_components.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

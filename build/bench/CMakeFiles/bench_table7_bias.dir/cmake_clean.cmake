@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table7_bias.dir/bench_table7_bias.cc.o"
+  "CMakeFiles/bench_table7_bias.dir/bench_table7_bias.cc.o.d"
+  "bench_table7_bias"
+  "bench_table7_bias.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_bias.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

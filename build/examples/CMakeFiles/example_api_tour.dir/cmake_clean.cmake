@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_api_tour.dir/api_tour.cpp.o"
+  "CMakeFiles/example_api_tour.dir/api_tour.cpp.o.d"
+  "example_api_tour"
+  "example_api_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_api_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

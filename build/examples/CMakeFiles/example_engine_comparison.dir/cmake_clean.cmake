@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_engine_comparison.dir/engine_comparison.cpp.o"
+  "CMakeFiles/example_engine_comparison.dir/engine_comparison.cpp.o.d"
+  "example_engine_comparison"
+  "example_engine_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_engine_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

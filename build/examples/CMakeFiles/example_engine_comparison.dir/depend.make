@@ -1,0 +1,2 @@
+# Empty dependencies file for example_engine_comparison.
+# This may be replaced when dependencies are built.

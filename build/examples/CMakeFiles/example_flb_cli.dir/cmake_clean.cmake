@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_flb_cli.dir/flb_cli.cpp.o"
+  "CMakeFiles/example_flb_cli.dir/flb_cli.cpp.o.d"
+  "example_flb_cli"
+  "example_flb_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_flb_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_hetero_sbt_credit.dir/hetero_sbt_credit.cpp.o"
+  "CMakeFiles/example_hetero_sbt_credit.dir/hetero_sbt_credit.cpp.o.d"
+  "example_hetero_sbt_credit"
+  "example_hetero_sbt_credit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_hetero_sbt_credit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for example_hetero_sbt_credit.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_homo_lr_federated.dir/homo_lr_federated.cpp.o"
+  "CMakeFiles/example_homo_lr_federated.dir/homo_lr_federated.cpp.o.d"
+  "example_homo_lr_federated"
+  "example_homo_lr_federated.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_homo_lr_federated.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for example_homo_lr_federated.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_nn_split_training.dir/nn_split_training.cpp.o"
+  "CMakeFiles/example_nn_split_training.dir/nn_split_training.cpp.o.d"
+  "example_nn_split_training"
+  "example_nn_split_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_nn_split_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for example_nn_split_training.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_psi_alignment.dir/psi_alignment.cpp.o"
+  "CMakeFiles/example_psi_alignment.dir/psi_alignment.cpp.o.d"
+  "example_psi_alignment"
+  "example_psi_alignment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_psi_alignment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

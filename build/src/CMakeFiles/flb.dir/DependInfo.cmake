@@ -1,0 +1,55 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/codec/batch_compressor.cc" "src/CMakeFiles/flb.dir/codec/batch_compressor.cc.o" "gcc" "src/CMakeFiles/flb.dir/codec/batch_compressor.cc.o.d"
+  "/root/repo/src/codec/batchcrypt_codec.cc" "src/CMakeFiles/flb.dir/codec/batchcrypt_codec.cc.o" "gcc" "src/CMakeFiles/flb.dir/codec/batchcrypt_codec.cc.o.d"
+  "/root/repo/src/codec/fixed_point.cc" "src/CMakeFiles/flb.dir/codec/fixed_point.cc.o" "gcc" "src/CMakeFiles/flb.dir/codec/fixed_point.cc.o.d"
+  "/root/repo/src/codec/quantizer.cc" "src/CMakeFiles/flb.dir/codec/quantizer.cc.o" "gcc" "src/CMakeFiles/flb.dir/codec/quantizer.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/flb.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/flb.dir/common/rng.cc.o.d"
+  "/root/repo/src/common/sim_clock.cc" "src/CMakeFiles/flb.dir/common/sim_clock.cc.o" "gcc" "src/CMakeFiles/flb.dir/common/sim_clock.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/flb.dir/common/status.cc.o" "gcc" "src/CMakeFiles/flb.dir/common/status.cc.o.d"
+  "/root/repo/src/core/he_service.cc" "src/CMakeFiles/flb.dir/core/he_service.cc.o" "gcc" "src/CMakeFiles/flb.dir/core/he_service.cc.o.d"
+  "/root/repo/src/core/pipeline.cc" "src/CMakeFiles/flb.dir/core/pipeline.cc.o" "gcc" "src/CMakeFiles/flb.dir/core/pipeline.cc.o.d"
+  "/root/repo/src/core/platform.cc" "src/CMakeFiles/flb.dir/core/platform.cc.o" "gcc" "src/CMakeFiles/flb.dir/core/platform.cc.o.d"
+  "/root/repo/src/core/transport.cc" "src/CMakeFiles/flb.dir/core/transport.cc.o" "gcc" "src/CMakeFiles/flb.dir/core/transport.cc.o.d"
+  "/root/repo/src/crypto/damgard_jurik.cc" "src/CMakeFiles/flb.dir/crypto/damgard_jurik.cc.o" "gcc" "src/CMakeFiles/flb.dir/crypto/damgard_jurik.cc.o.d"
+  "/root/repo/src/crypto/montgomery.cc" "src/CMakeFiles/flb.dir/crypto/montgomery.cc.o" "gcc" "src/CMakeFiles/flb.dir/crypto/montgomery.cc.o.d"
+  "/root/repo/src/crypto/paillier.cc" "src/CMakeFiles/flb.dir/crypto/paillier.cc.o" "gcc" "src/CMakeFiles/flb.dir/crypto/paillier.cc.o.d"
+  "/root/repo/src/crypto/prime.cc" "src/CMakeFiles/flb.dir/crypto/prime.cc.o" "gcc" "src/CMakeFiles/flb.dir/crypto/prime.cc.o.d"
+  "/root/repo/src/crypto/rsa.cc" "src/CMakeFiles/flb.dir/crypto/rsa.cc.o" "gcc" "src/CMakeFiles/flb.dir/crypto/rsa.cc.o.d"
+  "/root/repo/src/fl/dataset.cc" "src/CMakeFiles/flb.dir/fl/dataset.cc.o" "gcc" "src/CMakeFiles/flb.dir/fl/dataset.cc.o.d"
+  "/root/repo/src/fl/hetero_lr.cc" "src/CMakeFiles/flb.dir/fl/hetero_lr.cc.o" "gcc" "src/CMakeFiles/flb.dir/fl/hetero_lr.cc.o.d"
+  "/root/repo/src/fl/hetero_nn.cc" "src/CMakeFiles/flb.dir/fl/hetero_nn.cc.o" "gcc" "src/CMakeFiles/flb.dir/fl/hetero_nn.cc.o.d"
+  "/root/repo/src/fl/hetero_sbt.cc" "src/CMakeFiles/flb.dir/fl/hetero_sbt.cc.o" "gcc" "src/CMakeFiles/flb.dir/fl/hetero_sbt.cc.o.d"
+  "/root/repo/src/fl/homo_lr.cc" "src/CMakeFiles/flb.dir/fl/homo_lr.cc.o" "gcc" "src/CMakeFiles/flb.dir/fl/homo_lr.cc.o.d"
+  "/root/repo/src/fl/homo_nn.cc" "src/CMakeFiles/flb.dir/fl/homo_nn.cc.o" "gcc" "src/CMakeFiles/flb.dir/fl/homo_nn.cc.o.d"
+  "/root/repo/src/fl/metrics.cc" "src/CMakeFiles/flb.dir/fl/metrics.cc.o" "gcc" "src/CMakeFiles/flb.dir/fl/metrics.cc.o.d"
+  "/root/repo/src/fl/model_io.cc" "src/CMakeFiles/flb.dir/fl/model_io.cc.o" "gcc" "src/CMakeFiles/flb.dir/fl/model_io.cc.o.d"
+  "/root/repo/src/fl/optimizer.cc" "src/CMakeFiles/flb.dir/fl/optimizer.cc.o" "gcc" "src/CMakeFiles/flb.dir/fl/optimizer.cc.o.d"
+  "/root/repo/src/fl/partition.cc" "src/CMakeFiles/flb.dir/fl/partition.cc.o" "gcc" "src/CMakeFiles/flb.dir/fl/partition.cc.o.d"
+  "/root/repo/src/fl/psi.cc" "src/CMakeFiles/flb.dir/fl/psi.cc.o" "gcc" "src/CMakeFiles/flb.dir/fl/psi.cc.o.d"
+  "/root/repo/src/ghe/ghe_engine.cc" "src/CMakeFiles/flb.dir/ghe/ghe_engine.cc.o" "gcc" "src/CMakeFiles/flb.dir/ghe/ghe_engine.cc.o.d"
+  "/root/repo/src/ghe/parallel_arith.cc" "src/CMakeFiles/flb.dir/ghe/parallel_arith.cc.o" "gcc" "src/CMakeFiles/flb.dir/ghe/parallel_arith.cc.o.d"
+  "/root/repo/src/ghe/parallel_montgomery.cc" "src/CMakeFiles/flb.dir/ghe/parallel_montgomery.cc.o" "gcc" "src/CMakeFiles/flb.dir/ghe/parallel_montgomery.cc.o.d"
+  "/root/repo/src/gpusim/device.cc" "src/CMakeFiles/flb.dir/gpusim/device.cc.o" "gcc" "src/CMakeFiles/flb.dir/gpusim/device.cc.o.d"
+  "/root/repo/src/gpusim/device_spec.cc" "src/CMakeFiles/flb.dir/gpusim/device_spec.cc.o" "gcc" "src/CMakeFiles/flb.dir/gpusim/device_spec.cc.o.d"
+  "/root/repo/src/gpusim/resource_manager.cc" "src/CMakeFiles/flb.dir/gpusim/resource_manager.cc.o" "gcc" "src/CMakeFiles/flb.dir/gpusim/resource_manager.cc.o.d"
+  "/root/repo/src/mpint/bigint.cc" "src/CMakeFiles/flb.dir/mpint/bigint.cc.o" "gcc" "src/CMakeFiles/flb.dir/mpint/bigint.cc.o.d"
+  "/root/repo/src/mpint/bigint_io.cc" "src/CMakeFiles/flb.dir/mpint/bigint_io.cc.o" "gcc" "src/CMakeFiles/flb.dir/mpint/bigint_io.cc.o.d"
+  "/root/repo/src/net/network.cc" "src/CMakeFiles/flb.dir/net/network.cc.o" "gcc" "src/CMakeFiles/flb.dir/net/network.cc.o.d"
+  "/root/repo/src/net/serializer.cc" "src/CMakeFiles/flb.dir/net/serializer.cc.o" "gcc" "src/CMakeFiles/flb.dir/net/serializer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/batchcrypt_test.cc" "tests/CMakeFiles/flb_tests.dir/batchcrypt_test.cc.o" "gcc" "tests/CMakeFiles/flb_tests.dir/batchcrypt_test.cc.o.d"
+  "/root/repo/tests/bigint_differential_test.cc" "tests/CMakeFiles/flb_tests.dir/bigint_differential_test.cc.o" "gcc" "tests/CMakeFiles/flb_tests.dir/bigint_differential_test.cc.o.d"
+  "/root/repo/tests/bigint_test.cc" "tests/CMakeFiles/flb_tests.dir/bigint_test.cc.o" "gcc" "tests/CMakeFiles/flb_tests.dir/bigint_test.cc.o.d"
+  "/root/repo/tests/codec_test.cc" "tests/CMakeFiles/flb_tests.dir/codec_test.cc.o" "gcc" "tests/CMakeFiles/flb_tests.dir/codec_test.cc.o.d"
+  "/root/repo/tests/common_test.cc" "tests/CMakeFiles/flb_tests.dir/common_test.cc.o" "gcc" "tests/CMakeFiles/flb_tests.dir/common_test.cc.o.d"
+  "/root/repo/tests/crypto_test.cc" "tests/CMakeFiles/flb_tests.dir/crypto_test.cc.o" "gcc" "tests/CMakeFiles/flb_tests.dir/crypto_test.cc.o.d"
+  "/root/repo/tests/damgard_jurik_test.cc" "tests/CMakeFiles/flb_tests.dir/damgard_jurik_test.cc.o" "gcc" "tests/CMakeFiles/flb_tests.dir/damgard_jurik_test.cc.o.d"
+  "/root/repo/tests/fixed_point_test.cc" "tests/CMakeFiles/flb_tests.dir/fixed_point_test.cc.o" "gcc" "tests/CMakeFiles/flb_tests.dir/fixed_point_test.cc.o.d"
+  "/root/repo/tests/fl_data_test.cc" "tests/CMakeFiles/flb_tests.dir/fl_data_test.cc.o" "gcc" "tests/CMakeFiles/flb_tests.dir/fl_data_test.cc.o.d"
+  "/root/repo/tests/ghe_test.cc" "tests/CMakeFiles/flb_tests.dir/ghe_test.cc.o" "gcc" "tests/CMakeFiles/flb_tests.dir/ghe_test.cc.o.d"
+  "/root/repo/tests/gpusim_test.cc" "tests/CMakeFiles/flb_tests.dir/gpusim_test.cc.o" "gcc" "tests/CMakeFiles/flb_tests.dir/gpusim_test.cc.o.d"
+  "/root/repo/tests/he_service_test.cc" "tests/CMakeFiles/flb_tests.dir/he_service_test.cc.o" "gcc" "tests/CMakeFiles/flb_tests.dir/he_service_test.cc.o.d"
+  "/root/repo/tests/homo_nn_test.cc" "tests/CMakeFiles/flb_tests.dir/homo_nn_test.cc.o" "gcc" "tests/CMakeFiles/flb_tests.dir/homo_nn_test.cc.o.d"
+  "/root/repo/tests/model_io_test.cc" "tests/CMakeFiles/flb_tests.dir/model_io_test.cc.o" "gcc" "tests/CMakeFiles/flb_tests.dir/model_io_test.cc.o.d"
+  "/root/repo/tests/net_test.cc" "tests/CMakeFiles/flb_tests.dir/net_test.cc.o" "gcc" "tests/CMakeFiles/flb_tests.dir/net_test.cc.o.d"
+  "/root/repo/tests/parallel_arith_test.cc" "tests/CMakeFiles/flb_tests.dir/parallel_arith_test.cc.o" "gcc" "tests/CMakeFiles/flb_tests.dir/parallel_arith_test.cc.o.d"
+  "/root/repo/tests/pipeline_test.cc" "tests/CMakeFiles/flb_tests.dir/pipeline_test.cc.o" "gcc" "tests/CMakeFiles/flb_tests.dir/pipeline_test.cc.o.d"
+  "/root/repo/tests/psi_test.cc" "tests/CMakeFiles/flb_tests.dir/psi_test.cc.o" "gcc" "tests/CMakeFiles/flb_tests.dir/psi_test.cc.o.d"
+  "/root/repo/tests/robustness_test.cc" "tests/CMakeFiles/flb_tests.dir/robustness_test.cc.o" "gcc" "tests/CMakeFiles/flb_tests.dir/robustness_test.cc.o.d"
+  "/root/repo/tests/trainers_test.cc" "tests/CMakeFiles/flb_tests.dir/trainers_test.cc.o" "gcc" "tests/CMakeFiles/flb_tests.dir/trainers_test.cc.o.d"
+  "/root/repo/tests/transport_test.cc" "tests/CMakeFiles/flb_tests.dir/transport_test.cc.o" "gcc" "tests/CMakeFiles/flb_tests.dir/transport_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/flb.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
