@@ -8,7 +8,9 @@
 #ifndef FLB_BENCH_BENCH_COMMON_H_
 #define FLB_BENCH_BENCH_COMMON_H_
 
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -21,12 +23,21 @@ using core::FlModelKind;
 using core::PlatformConfig;
 using fl::DatasetKind;
 
+// FLB_SMOKE=1 shrinks every workload grid to a CI-sized pass: one tiny key
+// size, miniature datasets. The drivers still exercise every code path;
+// only the numbers stop being meaningful.
+inline bool SmokeMode() {
+  static const bool smoke = std::getenv("FLB_SMOKE") != nullptr;
+  return smoke;
+}
+
 inline const std::vector<FlModelKind> kAllModels = {
     FlModelKind::kHomoLr, FlModelKind::kHeteroLr, FlModelKind::kHeteroSbt,
     FlModelKind::kHeteroNn};
 inline const std::vector<DatasetKind> kAllDatasets = {
     DatasetKind::kRcv1, DatasetKind::kAvazu, DatasetKind::kSynthetic};
-inline const std::vector<int> kKeySizes = {1024, 2048, 4096};
+inline const std::vector<int> kKeySizes =
+    SmokeMode() ? std::vector<int>{256} : std::vector<int>{1024, 2048, 4096};
 
 // A platform config for (model, dataset) at container scale: modeled HE,
 // one epoch, the paper's batch size where the shape allows it.
@@ -69,6 +80,14 @@ inline PlatformConfig WorkloadFor(FlModelKind model, DatasetKind dataset,
       cfg.nn.bottom_dim = 8;
       cfg.nn.interactive_dim = 8;
       break;
+  }
+  if (SmokeMode()) {
+    cfg.dataset.rows = std::min<size_t>(cfg.dataset.rows, 128);
+    cfg.dataset.cols = std::min<size_t>(cfg.dataset.cols, 32);
+    cfg.dataset.nnz_per_row =
+        std::min<size_t>(cfg.dataset.nnz_per_row, cfg.dataset.cols);
+    cfg.train.batch_size = std::min(cfg.train.batch_size, 64);
+    cfg.sbt.max_depth = std::min(cfg.sbt.max_depth, 3);
   }
   return cfg;
 }

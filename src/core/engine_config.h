@@ -30,6 +30,10 @@ struct EngineTraits {
   bool use_bc = false;           // batch compression on transmitted vectors
   bool branch_combining = true;  // resource-manager branch management
   int words_per_thread = 4;      // Algorithm 2 thread split granularity
+  // Device streams for chunked copy/compute overlap on large HE batches
+  // (§V Fig. 4). 1 = fully synchronous staging; FLBooster pipelines across
+  // 4 streams, the HAFLO/FATE baselines stay serial.
+  int gpu_streams = 1;
 };
 
 inline EngineTraits TraitsFor(EngineKind kind) {
@@ -45,11 +49,11 @@ inline EngineTraits TraitsFor(EngineKind kind) {
               .branch_combining = false,
               .words_per_thread = 16};
     case EngineKind::kFlBooster:
-      return {.gpu_he = true, .use_bc = true};
+      return {.gpu_he = true, .use_bc = true, .gpu_streams = 4};
     case EngineKind::kFlBoosterNoGhe:
       return {.gpu_he = false, .use_bc = true};
     case EngineKind::kFlBoosterNoBc:
-      return {.gpu_he = true, .use_bc = false};
+      return {.gpu_he = true, .use_bc = false, .gpu_streams = 4};
   }
   return {};
 }

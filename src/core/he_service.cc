@@ -77,6 +77,8 @@ Result<std::unique_ptr<HeService>> HeService::Create(
   if (traits.gpu_he) {
     ghe::GheConfig gcfg;
     gcfg.words_per_thread = traits.words_per_thread;
+    gcfg.streams =
+        options.gpu_streams > 0 ? options.gpu_streams : traits.gpu_streams;
     service->ghe_ = std::make_unique<ghe::GheEngine>(service->device_, gcfg);
   }
   if (traits.use_bc) {
@@ -149,24 +151,12 @@ void HeService::ChargeBatch(const char* kind, int64_t count,
                             size_t bytes_out) {
   if (count <= 0) return;
   if (traits_.gpu_he) {
-    // Model the kernel launch with the engine's geometry (charges the clock
-    // through the device).
-    const size_t s2 = CiphertextWords();
-    gpusim::KernelLaunch launch;
-    launch.name = kind;
-    const int tpe =
-        ghe::LargestValidThreadCount(s2, std::max<int>(1, static_cast<int>(s2) /
-                                                              traits_.words_per_thread));
-    launch.total_threads = count * tpe;
-    launch.ops_per_thread = limb_ops_per_elt / std::max(tpe, 1);
-    launch.demand.registers_per_thread =
-        24 + 6 * (static_cast<int>(s2) / std::max(tpe, 1)) +
-        static_cast<int>(s2) / 4;
-    launch.demand.divergent_branches = 2;
-    device_->CopyToDevice(bytes_in);
-    auto result = device_->Launch(launch);
+    // Model the batch through the engine: identical launch geometry to the
+    // real path, and with streams > 1 the same chunked copy/compute overlap
+    // (charges the clock through the device).
+    auto result = ghe_->ModelBatch(kind, count, CiphertextWords(),
+                                   limb_ops_per_elt, bytes_in, bytes_out);
     FLB_CHECK(result.ok(), result.status().ToString());
-    device_->CopyFromDevice(bytes_out);
   } else {
     options_.cpu_cost.Charge(clock_, static_cast<uint64_t>(count),
                              limb_ops_per_elt);

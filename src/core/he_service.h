@@ -85,6 +85,9 @@ struct HeServiceOptions {
   bool modeled = false;
   uint64_t seed = 20230401;
   CpuCostModel cpu_cost;
+  // Device streams for the GPU engine's chunked copy/compute overlap.
+  // 0 = take the engine default (EngineTraits::gpu_streams).
+  int gpu_streams = 0;
 };
 
 struct HeOpCounts {
@@ -162,6 +165,11 @@ class HeService {
 
   const HeOpCounts& op_counts() const { return op_counts_; }
   void ResetOpCounts() { op_counts_ = HeOpCounts{}; }
+
+  // The GPU engine backing this service, or null for CPU engines. Exposed
+  // for stream retargeting and batch-scheduling telemetry.
+  ghe::GheEngine* ghe_engine() { return ghe_.get(); }
+  const ghe::GheEngine* ghe_engine() const { return ghe_.get(); }
 
  private:
   HeService(const HeServiceOptions& options, SimClock* clock,

@@ -79,13 +79,38 @@ Result<PipelinedModelResult> BuildChain(ghe::GheEngine& engine, int key_bits,
 
   // Kernel time for one chunk via the device model (stats only; the reset
   // keeps this modeling pass out of the engine's cumulative telemetry).
+  // Streams are pinned to 1 so the chunk prices as a single launch, then
+  // restored for the device-timeline measurement below.
+  const int prev_streams = engine.config().streams;
   engine.device().ResetStats();
+  engine.set_streams(1);
   gpusim::LaunchResult launch;
   if (encrypt) {
     FLB_ASSIGN_OR_RETURN(launch, engine.ModelPaillierEncrypt(key_bits, chunk));
   } else {
     FLB_ASSIGN_OR_RETURN(launch, engine.ModelPaillierAdd(key_bits, chunk));
   }
+
+  // Device-timeline measurement: the whole batch through the engine's real
+  // execution path, serial vs chunked across streams.
+  if (encrypt) {
+    FLB_RETURN_IF_ERROR(
+        engine.ModelPaillierEncrypt(key_bits, count).status());
+  } else {
+    FLB_RETURN_IF_ERROR(engine.ModelPaillierAdd(key_bits, count).status());
+  }
+  result.device_serial_seconds = engine.last_batch().makespan_seconds;
+  engine.set_streams(chunks);
+  if (encrypt) {
+    FLB_RETURN_IF_ERROR(
+        engine.ModelPaillierEncrypt(key_bits, count).status());
+  } else {
+    FLB_RETURN_IF_ERROR(engine.ModelPaillierAdd(key_bits, count).status());
+  }
+  result.device_async_seconds = engine.last_batch().makespan_seconds;
+  result.streams_used =
+      engine.last_batch().async ? engine.last_batch().streams : 1;
+  engine.set_streams(prev_streams);
   engine.device().ResetStats();
 
   result.stages_per_chunk = {

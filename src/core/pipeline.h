@@ -59,6 +59,14 @@ struct PipelinedModelResult {
   double overlapped_seconds = 0.0;
   double speedup = 1.0;
   int chunks = 1;
+  // The same batch executed on the device's stream timeline (the engine's
+  // actual async path) rather than the closed-form stage formula: one
+  // launch at 1 stream vs chunked across `streams_used` streams. The
+  // closed-form numbers above also overlap the host stages; these two only
+  // overlap H2D/kernel/D2H, so device_async_seconds >= overlapped_seconds.
+  double device_serial_seconds = 0.0;
+  double device_async_seconds = 0.0;
+  int streams_used = 1;
 };
 
 class PipelinedModel {

@@ -53,6 +53,7 @@ Result<RunReport> Platform::Run(const PlatformConfig& config) {
   he_opts.fp_compress_slot_bits = config.fp_compress_slot_bits;
   he_opts.modeled = config.modeled;
   he_opts.seed = config.seed;
+  he_opts.gpu_streams = config.gpu_streams;
   FLB_ASSIGN_OR_RETURN(auto he,
                        HeService::Create(he_opts, clock.get(), device));
 

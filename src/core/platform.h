@@ -54,6 +54,9 @@ struct PlatformConfig {
   fl::HomoNnParams homo_nn;
   net::LinkSpec link = net::LinkSpec::GigabitEthernet();
   uint64_t seed = 20230401;
+  // Device streams for chunked HE batch overlap. 0 = engine default
+  // (4 for the FLBooster engines, 1 for the baselines).
+  int gpu_streams = 0;
 };
 
 struct RunReport {

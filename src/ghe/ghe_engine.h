@@ -48,6 +48,32 @@ struct GheConfig {
   // final conditional subtraction). The resource manager combines them when
   // branch combining is on; the HAFLO baseline leaves them unmanaged.
   int divergent_branches = 2;
+  // Device streams for batch execution. 1 = the original fully synchronous
+  // H2D → kernel → D2H path. N > 1 cuts each batch into N chunks issued
+  // round-robin across N streams, so chunk k's H2D overlaps chunk k-1's
+  // kernel and chunk k-2's D2H on the device timeline (§V / Fig. 4 overlap,
+  // HAFLO-style streamed staging).
+  int streams = 1;
+  // When true (default) the engine prices both schedules first and only
+  // chunks when the streamed timeline is strictly faster — small or
+  // kernel-bound batches keep the one-launch path, so enabling streams can
+  // never slow a workload down. Tests disable this to force chunking.
+  bool adaptive_chunking = true;
+};
+
+// Telemetry for the most recent batch call (chunked or not).
+struct GheBatchStats {
+  int chunks = 1;
+  int streams = 1;
+  bool async = false;  // true when the batch ran chunked across streams
+  // Modeled batch latency from first H2D byte to last D2H byte.
+  double makespan_seconds = 0.0;
+  double kernel_busy_seconds = 0.0;
+  double transfer_busy_seconds = 0.0;
+  // What the one-launch synchronous path would have cost, and how much the
+  // stream overlap saved against it (0 when the batch ran synchronously).
+  double serial_seconds = 0.0;
+  double overlap_saved_seconds = 0.0;
 };
 
 // Limb multiply-accumulates for one s-limb CIOS Montgomery multiplication.
@@ -62,6 +88,9 @@ class GheEngine {
 
   gpusim::Device& device() { return *device_; }
   const GheConfig& config() const { return config_; }
+  // Re-targets the stream count for subsequent batches (clamped to >= 1).
+  // Streams are created on the device lazily, on first chunked batch.
+  void set_streams(int streams);
 
   // ---- Table I: fundamental vector arithmetic -------------------------------
   // Elementwise over equal-length arrays.
@@ -142,17 +171,36 @@ class GheEngine {
   double ModelTransferToDevice(size_t bytes);
   double ModelTransferFromDevice(size_t bytes);
 
+  // Generic timing-only batch: `count` elements of `s` limbs, each costing
+  // `limb_ops_per_elt` limb operations, moving in/out bytes over PCIe. The
+  // HeService prices its modeled HE ops through this so they ride the same
+  // chunked multi-stream path as the real batches.
+  Result<gpusim::LaunchResult> ModelBatch(const char* name, int64_t count,
+                                          size_t s, uint64_t limb_ops_per_elt,
+                                          size_t bytes_in, size_t bytes_out);
+
   // Launch diagnostics of the most recent kernel (utilization telemetry).
+  // For a chunked batch this aggregates the chunks: sim_seconds is the
+  // window makespan, occupancy/utilization are time-weighted means, waves
+  // are summed.
   const gpusim::LaunchResult& last_launch() const { return last_launch_; }
+  // Scheduling diagnostics of the most recent batch call.
+  const GheBatchStats& last_batch() const { return last_batch_; }
 
  private:
   // Shared launch path: one kernel over `count` elements of `s` limbs, each
   // costing `mont_muls` Montgomery multiplications (or raw `limb_ops` when
-  // mont_muls == 0), moving in/out bytes over PCIe.
+  // mont_muls == 0), moving in/out bytes over PCIe. With config_.streams > 1
+  // the batch is chunked across streams when the streamed timeline prices
+  // faster (always, when adaptive_chunking is off).
   Result<gpusim::LaunchResult> LaunchBatch(const char* name, int64_t count,
                                            size_t s, uint64_t limb_ops_per_elt,
                                            size_t bytes_in, size_t bytes_out,
                                            std::function<void()> body);
+  Result<gpusim::LaunchResult> LaunchBatchAsync(
+      const gpusim::KernelLaunch& proto, int64_t count, int64_t tpe,
+      size_t bytes_in, size_t bytes_out, double serial_seconds,
+      std::function<void()> body);
 
   gpusim::KernelDemand DemandFor(size_t s, int threads_per_elt) const;
   int ThreadsPerElement(size_t s) const;
@@ -160,6 +208,9 @@ class GheEngine {
   std::shared_ptr<gpusim::Device> device_;
   GheConfig config_;
   gpusim::LaunchResult last_launch_;
+  GheBatchStats last_batch_;
+  // Device streams owned by this engine, created lazily.
+  std::vector<gpusim::StreamId> stream_ids_;
 };
 
 }  // namespace flb::ghe

@@ -12,15 +12,12 @@ Device::Device(DeviceSpec spec, SimClock* clock, bool branch_combining)
       clock_(clock),
       rm_(spec_, branch_combining) {}
 
-Result<LaunchResult> Device::Launch(const KernelLaunch& launch) {
+Result<LaunchResult> Device::EstimateLaunch(const KernelLaunch& launch) const {
   if (launch.total_threads <= 0) {
     return Status::InvalidArgument("Launch: total_threads must be > 0");
   }
   FLB_ASSIGN_OR_RETURN(BlockPlan plan,
                        rm_.PlanLaunch(launch.total_threads, launch.demand));
-
-  // Execute the real arithmetic.
-  if (launch.body) launch.body();
 
   // Resident (concurrently executing) threads across the device.
   const double resident =
@@ -73,21 +70,36 @@ Result<LaunchResult> Device::Launch(const KernelLaunch& launch) {
   result.sm_utilization =
       waves == 1 ? last_wave_util
                  : ((waves - 1) * full_waves_util + last_wave_util) / waves;
+  return result;
+}
 
-  // Telemetry + clock.
+void Device::RecordKernelStats(const LaunchResult& result) {
   ++stats_.kernels_launched;
   stats_.kernel_seconds += result.sim_seconds;
   stats_.util_sum += result.sm_utilization * result.sim_seconds;
   stats_.util_weight += result.sim_seconds;
+}
+
+Result<LaunchResult> Device::Launch(const KernelLaunch& launch) {
+  FLB_ASSIGN_OR_RETURN(LaunchResult result, EstimateLaunch(launch));
+
+  // Execute the real arithmetic.
+  if (launch.body) launch.body();
+
+  RecordKernelStats(result);
   if (clock_ != nullptr) {
     clock_->Charge(CostKind::kGpuKernel, result.sim_seconds);
   }
   return result;
 }
 
+double Device::TransferSeconds(size_t bytes) const {
+  return spec_.pcie_latency_sec +
+         bytes / spec_.pcie_bandwidth_bytes_per_sec;
+}
+
 double Device::CopyToDevice(size_t bytes) {
-  const double sec =
-      spec_.pcie_latency_sec + bytes / spec_.pcie_bandwidth_bytes_per_sec;
+  const double sec = TransferSeconds(bytes);
   ++stats_.h2d_copies;
   stats_.bytes_h2d += bytes;
   stats_.transfer_seconds += sec;
@@ -96,13 +108,137 @@ double Device::CopyToDevice(size_t bytes) {
 }
 
 double Device::CopyFromDevice(size_t bytes) {
-  const double sec =
-      spec_.pcie_latency_sec + bytes / spec_.pcie_bandwidth_bytes_per_sec;
+  const double sec = TransferSeconds(bytes);
   ++stats_.d2h_copies;
   stats_.bytes_d2h += bytes;
   stats_.transfer_seconds += sec;
   if (clock_ != nullptr) clock_->Charge(CostKind::kPcieTransfer, sec);
   return sec;
+}
+
+// ---------------------------------------------------------------------------
+// Streams and events
+// ---------------------------------------------------------------------------
+
+Status Device::CheckStream(StreamId stream) const {
+  if (stream < 0 || stream >= num_streams()) {
+    return Status::InvalidArgument("Device: unknown stream " +
+                                   std::to_string(stream));
+  }
+  return Status::OK();
+}
+
+StreamId Device::CreateStream() {
+  stream_ready_.push_back(0.0);
+  ++stats_.streams_created;
+  return static_cast<StreamId>(stream_ready_.size()) - 1;
+}
+
+Result<LaunchResult> Device::LaunchAsync(const KernelLaunch& launch,
+                                         StreamId stream) {
+  FLB_RETURN_IF_ERROR(CheckStream(stream));
+  FLB_ASSIGN_OR_RETURN(LaunchResult result, EstimateLaunch(launch));
+
+  // The real arithmetic still runs host-side, immediately: only the modeled
+  // schedule is deferred, so async results stay bit-exact with the
+  // synchronous path.
+  if (launch.body) launch.body();
+
+  const double start = std::max(stream_ready_[stream], compute_free_);
+  const double end = start + result.sim_seconds;
+  result.start_seconds = start;
+  result.end_seconds = end;
+  stream_ready_[stream] = end;
+  compute_free_ = end;
+  window_kernel_busy_ += result.sim_seconds;
+  RecordKernelStats(result);
+  return result;
+}
+
+Result<CopyResult> Device::CopyAsync(size_t bytes, StreamId stream,
+                                     bool to_device) {
+  FLB_RETURN_IF_ERROR(CheckStream(stream));
+  CopyResult copy;
+  copy.seconds = TransferSeconds(bytes);
+  double& engine = to_device ? h2d_free_ : d2h_free_;
+  double& other = to_device ? d2h_free_ : h2d_free_;
+  double start = std::max(stream_ready_[stream], engine);
+  // A half-duplex link has one DMA engine shared by both directions.
+  if (!spec_.pcie_full_duplex) start = std::max(start, other);
+  copy.start_seconds = start;
+  copy.end_seconds = start + copy.seconds;
+  engine = copy.end_seconds;
+  if (!spec_.pcie_full_duplex) other = copy.end_seconds;
+  stream_ready_[stream] = copy.end_seconds;
+  window_transfer_busy_ += copy.seconds;
+  if (to_device) {
+    ++stats_.h2d_copies;
+    stats_.bytes_h2d += bytes;
+  } else {
+    ++stats_.d2h_copies;
+    stats_.bytes_d2h += bytes;
+  }
+  stats_.transfer_seconds += copy.seconds;
+  return copy;
+}
+
+Result<CopyResult> Device::CopyToDeviceAsync(size_t bytes, StreamId stream) {
+  return CopyAsync(bytes, stream, /*to_device=*/true);
+}
+
+Result<CopyResult> Device::CopyFromDeviceAsync(size_t bytes, StreamId stream) {
+  return CopyAsync(bytes, stream, /*to_device=*/false);
+}
+
+Result<EventId> Device::RecordEvent(StreamId stream) {
+  FLB_RETURN_IF_ERROR(CheckStream(stream));
+  events_.push_back(stream_ready_[stream]);
+  ++stats_.events_recorded;
+  return static_cast<EventId>(events_.size()) - 1;
+}
+
+Status Device::WaitEvent(StreamId stream, EventId event) {
+  FLB_RETURN_IF_ERROR(CheckStream(stream));
+  if (event < 0 || event >= static_cast<EventId>(events_.size())) {
+    return Status::InvalidArgument("Device: unknown event " +
+                                   std::to_string(event));
+  }
+  stream_ready_[stream] = std::max(stream_ready_[stream], events_[event]);
+  return Status::OK();
+}
+
+Result<double> Device::StreamReadySeconds(StreamId stream) const {
+  FLB_RETURN_IF_ERROR(CheckStream(stream));
+  return stream_ready_[stream];
+}
+
+double Device::Synchronize() {
+  double makespan = 0.0;
+  for (double ready : stream_ready_) makespan = std::max(makespan, ready);
+
+  // Kernels serialize on the compute engine, so the window is never shorter
+  // than its kernel busy time; everything beyond that is transfer time the
+  // overlap failed to hide.
+  const double exposed_transfer =
+      std::max(0.0, makespan - window_kernel_busy_);
+  if (clock_ != nullptr) {
+    if (window_kernel_busy_ > 0.0) {
+      clock_->Charge(CostKind::kGpuKernel, window_kernel_busy_);
+    }
+    if (exposed_transfer > 0.0) {
+      clock_->Charge(CostKind::kPcieTransfer, exposed_transfer);
+    }
+  }
+  stats_.overlap_saved_seconds +=
+      window_kernel_busy_ + window_transfer_busy_ - makespan;
+  ++stats_.synchronizations;
+
+  // Fresh window origin.
+  std::fill(stream_ready_.begin(), stream_ready_.end(), 0.0);
+  compute_free_ = h2d_free_ = d2h_free_ = 0.0;
+  events_.clear();
+  window_kernel_busy_ = window_transfer_busy_ = 0.0;
+  return makespan;
 }
 
 }  // namespace flb::gpusim

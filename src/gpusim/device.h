@@ -15,6 +15,23 @@
 // CopyFromDevice charge PCIe time the same way (paper Eq. 10's
 // beta_transfer term).
 //
+// Async execution (§IV / §V copy-compute overlap): the device also exposes
+// CUDA-style streams and events. Each stream is an in-order queue with its
+// own timeline; work on different streams overlaps subject to the shared
+// hardware engines:
+//
+//   * one compute engine — kernels serialize device-wide (the HE kernels
+//     saturate the SMs, so concurrent kernels would not help);
+//   * one DMA engine per PCIe direction — same-direction copies serialize,
+//     H2D and D2H overlap when the spec's link is full duplex.
+//
+// Async ops advance the stream/engine timelines but charge nothing until
+// Synchronize(), which charges the SimClock with the window's kernel busy
+// time plus only the *exposed* PCIe time (makespan - kernel busy): copies
+// hidden behind kernels are free, exactly the overlap Fig. 4 banks on. A
+// single-stream window degenerates to the old serialized H2D → kernel →
+// D2H accounting bit-for-bit.
+//
 // The device also keeps the utilization telemetry behind Fig. 6: a
 // work-weighted average of SM utilization across launches.
 
@@ -32,6 +49,12 @@
 #include "src/gpusim/resource_manager.h"
 
 namespace flb::gpusim {
+
+// Stream 0 always exists (the default stream); CreateStream returns 1, 2, ...
+using StreamId = int;
+using EventId = int;
+
+inline constexpr StreamId kDefaultStream = 0;
 
 struct KernelLaunch {
   std::string name;
@@ -53,6 +76,17 @@ struct LaunchResult {
   int block_threads = 0;
   int grid_blocks = 0;
   const char* limiting_resource = "threads";
+  // Async launches only: position on the current window's timeline
+  // (seconds since the window origin). Zero for synchronous launches.
+  double start_seconds = 0.0;
+  double end_seconds = 0.0;
+};
+
+// Timeline placement of one async PCIe copy.
+struct CopyResult {
+  double seconds = 0.0;  // modeled transfer duration
+  double start_seconds = 0.0;
+  double end_seconds = 0.0;
 };
 
 struct DeviceStats {
@@ -63,6 +97,13 @@ struct DeviceStats {
   uint64_t bytes_d2h = 0;
   double kernel_seconds = 0.0;
   double transfer_seconds = 0.0;
+  // Async-window telemetry.
+  uint64_t streams_created = 0;
+  uint64_t events_recorded = 0;
+  uint64_t synchronizations = 0;
+  // Sum over windows of (busy kernel + busy transfer) - makespan: the time
+  // the stream overlap hid relative to fully serial execution.
+  double overlap_saved_seconds = 0.0;
   // Work-weighted mean SM utilization (Fig. 6 metric).
   double MeanSmUtilization() const {
     return util_weight == 0.0 ? 0.0 : util_sum / util_weight;
@@ -85,18 +126,67 @@ class Device {
   // Runs the kernel body and charges modeled time.
   Result<LaunchResult> Launch(const KernelLaunch& launch);
 
+  // Pure timing/geometry model of a launch: no body execution, no stats,
+  // no clock. Launch/LaunchAsync price the identical result.
+  Result<LaunchResult> EstimateLaunch(const KernelLaunch& launch) const;
+
   // PCIe transfers (paper Eq. 10's beta_transfer terms).
   double CopyToDevice(size_t bytes);
   double CopyFromDevice(size_t bytes);
+  // Modeled duration of one transfer of `bytes` (latency + bytes/bandwidth).
+  double TransferSeconds(size_t bytes) const;
+
+  // ---- Streams and events (async timeline) ---------------------------------
+
+  // Creates a new stream, idle at the current window origin.
+  StreamId CreateStream();
+  int num_streams() const { return static_cast<int>(stream_ready_.size()); }
+
+  // Enqueues work on a stream. The body (if any) runs immediately — results
+  // are bit-exact regardless of the modeled schedule — while the modeled
+  // time lands on the stream timeline. Charges nothing until Synchronize().
+  Result<LaunchResult> LaunchAsync(const KernelLaunch& launch, StreamId stream);
+  Result<CopyResult> CopyToDeviceAsync(size_t bytes, StreamId stream);
+  Result<CopyResult> CopyFromDeviceAsync(size_t bytes, StreamId stream);
+
+  // Records the stream's current timeline position; WaitEvent makes another
+  // stream's next op start no earlier than that position (cross-stream
+  // ordering, cudaStreamWaitEvent semantics). Events are window-local and
+  // cleared by Synchronize().
+  Result<EventId> RecordEvent(StreamId stream);
+  Status WaitEvent(StreamId stream, EventId event);
+
+  // Seconds since the window origin at which the stream's enqueued work
+  // completes.
+  Result<double> StreamReadySeconds(StreamId stream) const;
+
+  // Drains every stream: charges the SimClock with the window's kernel busy
+  // time and the exposed (non-overlapped) transfer time, resets all stream
+  // and engine timelines to a fresh window origin, and returns the window
+  // makespan in seconds.
+  double Synchronize();
 
   const DeviceStats& stats() const { return stats_; }
   void ResetStats() { stats_ = DeviceStats{}; }
 
  private:
+  Status CheckStream(StreamId stream) const;
+  Result<CopyResult> CopyAsync(size_t bytes, StreamId stream, bool to_device);
+  void RecordKernelStats(const LaunchResult& result);
+
   DeviceSpec spec_;
   SimClock* clock_;
   ResourceManager rm_;
   DeviceStats stats_;
+
+  // Async window state: all values are seconds since the window origin.
+  std::vector<double> stream_ready_{0.0};  // index 0 = default stream
+  double compute_free_ = 0.0;              // the single kernel engine
+  double h2d_free_ = 0.0;                  // per-direction DMA engines
+  double d2h_free_ = 0.0;
+  std::vector<double> events_;
+  double window_kernel_busy_ = 0.0;
+  double window_transfer_busy_ = 0.0;
 };
 
 }  // namespace flb::gpusim

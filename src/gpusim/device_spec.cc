@@ -37,6 +37,9 @@ DeviceSpec DeviceSpec::JetsonClass() {
   spec.pcie_bandwidth_bytes_per_sec = 4.0e9;
   spec.pcie_latency_sec = 20e-6;
   spec.kernel_launch_latency_sec = 8e-6;
+  // Edge modules hang the GPU off a shared memory path: copies in the two
+  // directions contend instead of overlapping.
+  spec.pcie_full_duplex = false;
   return spec;
 }
 

@@ -33,6 +33,11 @@ struct DeviceSpec {
   double pcie_bandwidth_bytes_per_sec = 0;
   double pcie_latency_sec = 0;      // per-transfer fixed cost
   double kernel_launch_latency_sec = 0;
+  // Whether the PCIe link carries H2D and D2H traffic concurrently (one DMA
+  // engine per direction, as on every discrete desktop GPU). When false the
+  // async timeline serializes the two directions on a single engine — the
+  // integrated/edge-device case where copies share one memory path.
+  bool pcie_full_duplex = true;
 
   // Instruction model: average core cycles retired per 32-bit
   // multiply-accumulate limb operation, including issue overheads. One

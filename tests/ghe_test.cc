@@ -354,6 +354,125 @@ TEST(GheKeyGen, RsaKeysWork) {
   EXPECT_FALSE(engine.RsaKeyGen(63, rng).ok());
 }
 
+// ---------------------------------------------------------------------------
+// Multi-stream chunked batches (copy/compute overlap)
+// ---------------------------------------------------------------------------
+
+TEST(GheStreams, SingleStreamConfigMatchesLegacyPathExactly) {
+  // streams=1 must reproduce the original serialized H2D -> kernel -> D2H
+  // accounting bit-for-bit: identical clock charges and launch telemetry.
+  SimClock legacy_clock, streams_clock;
+  GheConfig one_stream;
+  one_stream.streams = 1;
+  GheEngine legacy(MakeDevice(&legacy_clock));
+  GheEngine configured(MakeDevice(&streams_clock), one_stream);
+
+  legacy.ModelPaillierAdd(2048, 1 << 14).value();
+  configured.ModelPaillierAdd(2048, 1 << 14).value();
+  EXPECT_DOUBLE_EQ(streams_clock.Elapsed(CostKind::kGpuKernel),
+                   legacy_clock.Elapsed(CostKind::kGpuKernel));
+  EXPECT_DOUBLE_EQ(streams_clock.Elapsed(CostKind::kPcieTransfer),
+                   legacy_clock.Elapsed(CostKind::kPcieTransfer));
+  EXPECT_DOUBLE_EQ(configured.last_launch().sim_seconds,
+                   legacy.last_launch().sim_seconds);
+  EXPECT_FALSE(configured.last_batch().async);
+  EXPECT_EQ(configured.last_batch().chunks, 1);
+}
+
+TEST(GheStreams, ChunkedBatchIsBitExactWithSynchronousPath) {
+  // Real Paillier arithmetic through a forced 4-way chunked schedule must
+  // produce ciphertexts identical to the synchronous path: the modeled
+  // timeline never touches the math.
+  Rng rng(21);
+  auto keys = crypto::PaillierKeyGen(256, rng).value();
+  auto ctx = crypto::PaillierContext::Create(keys).value();
+  std::vector<BigInt> ms;
+  for (uint64_t i = 1; i <= 64; ++i) ms.push_back(BigInt(i * 31));
+
+  GheConfig chunked_cfg;
+  chunked_cfg.streams = 4;
+  chunked_cfg.adaptive_chunking = false;  // force chunking even when slower
+  GheEngine sync_engine(MakeDevice());
+  GheEngine chunked(MakeDevice(), chunked_cfg);
+
+  // Same RNG seed on both engines so encryption randomness matches.
+  Rng r_sync(22), r_chunked(22);
+  const auto cs_sync = sync_engine.PaillierEncrypt(ctx, ms, r_sync).value();
+  const auto cs_chunked = chunked.PaillierEncrypt(ctx, ms, r_chunked).value();
+  ASSERT_EQ(cs_sync.size(), cs_chunked.size());
+  for (size_t i = 0; i < cs_sync.size(); ++i) {
+    EXPECT_EQ(cs_sync[i], cs_chunked[i]);
+  }
+  EXPECT_TRUE(chunked.last_batch().async);
+  EXPECT_EQ(chunked.last_batch().chunks, 4);
+
+  const auto sum_sync = sync_engine.PaillierAdd(ctx, cs_sync, cs_sync).value();
+  const auto sum_chunked =
+      chunked.PaillierAdd(ctx, cs_chunked, cs_chunked).value();
+  for (size_t i = 0; i < sum_sync.size(); ++i) {
+    EXPECT_EQ(sum_sync[i], sum_chunked[i]);
+  }
+  // And the results decrypt correctly.
+  const auto dec = chunked.PaillierDecrypt(ctx, sum_chunked).value();
+  for (size_t i = 0; i < ms.size(); ++i) {
+    EXPECT_EQ(dec[i], BigInt::Add(ms[i], ms[i]));
+  }
+}
+
+TEST(GheStreams, OverlapBeatsSerialOnTransferBoundBatches) {
+  // Large hom-add batches are PCIe-bound: chunking across 4 streams hides
+  // most of one transfer direction behind the kernel + the other direction.
+  SimClock serial_clock, overlap_clock;
+  GheConfig four;
+  four.streams = 4;
+  GheEngine serial(MakeDevice(&serial_clock));
+  GheEngine overlapped(MakeDevice(&overlap_clock), four);
+
+  serial.ModelPaillierAdd(2048, 1 << 16).value();
+  overlapped.ModelPaillierAdd(2048, 1 << 16).value();
+
+  EXPECT_TRUE(overlapped.last_batch().async);
+  EXPECT_EQ(overlapped.last_batch().streams, 4);
+  EXPECT_LT(overlap_clock.Now(), serial_clock.Now());
+  EXPECT_GT(overlapped.last_batch().overlap_saved_seconds, 0.0);
+  // The makespan can never beat the kernel busy time nor the sum of all
+  // engine busy time.
+  const auto& stats = overlapped.last_batch();
+  EXPECT_GE(stats.makespan_seconds, stats.kernel_busy_seconds);
+  EXPECT_LE(stats.makespan_seconds,
+            stats.kernel_busy_seconds + stats.transfer_busy_seconds);
+}
+
+TEST(GheStreams, AdaptiveChunkingKeepsSmallBatchesSerial) {
+  // Per-chunk PCIe latency and kernel launch latency make chunking a loss
+  // for small batches; the adaptive engine must keep them on the serial
+  // path — and therefore never price worse than a 1-stream engine.
+  SimClock one_clock, four_clock;
+  GheConfig four;
+  four.streams = 4;
+  GheEngine one(MakeDevice(&one_clock));
+  GheEngine adaptive(MakeDevice(&four_clock), four);
+
+  one.ModelPaillierEncrypt(1024, 64).value();
+  adaptive.ModelPaillierEncrypt(1024, 64).value();
+  EXPECT_FALSE(adaptive.last_batch().async);
+  EXPECT_DOUBLE_EQ(four_clock.Now(), one_clock.Now());
+}
+
+TEST(GheStreams, SetStreamsRetargetsSubsequentBatches) {
+  GheEngine engine(MakeDevice());
+  engine.ModelPaillierAdd(2048, 1 << 16).value();
+  EXPECT_FALSE(engine.last_batch().async);
+  engine.set_streams(4);
+  engine.ModelPaillierAdd(2048, 1 << 16).value();
+  EXPECT_TRUE(engine.last_batch().async);
+  const double overlapped = engine.last_batch().makespan_seconds;
+  EXPECT_LT(overlapped, engine.last_batch().serial_seconds);
+  engine.set_streams(1);
+  engine.ModelPaillierAdd(2048, 1 << 16).value();
+  EXPECT_FALSE(engine.last_batch().async);
+}
+
 TEST(GheKeyGen, LargerKeysChargeMoreSearchTime) {
   SimClock c1, c2;
   auto d1 =

@@ -276,5 +276,171 @@ TEST(DeviceTest, LaunchRejectsEmptyWork) {
   EXPECT_FALSE(dev.Launch(launch).ok());
 }
 
+// ---------------------------------------------------------------------------
+// Streams and events: the async timeline
+// ---------------------------------------------------------------------------
+
+KernelLaunch SmallKernel(int64_t threads = 1 << 16,
+                         uint64_t ops = 1000) {
+  KernelLaunch launch;
+  launch.name = "async";
+  launch.total_threads = threads;
+  launch.ops_per_thread = ops;
+  return launch;
+}
+
+TEST(DeviceStreamTest, EstimateLaunchIsPureAndMatchesLaunch) {
+  SimClock clock;
+  Device dev(Spec(), &clock);
+  const auto est = dev.EstimateLaunch(SmallKernel()).value();
+  EXPECT_EQ(dev.stats().kernels_launched, 0u);
+  EXPECT_DOUBLE_EQ(clock.Now(), 0.0);
+  const auto real = dev.Launch(SmallKernel()).value();
+  EXPECT_DOUBLE_EQ(est.sim_seconds, real.sim_seconds);
+  EXPECT_EQ(est.waves, real.waves);
+  EXPECT_DOUBLE_EQ(est.occupancy, real.occupancy);
+}
+
+TEST(DeviceStreamTest, SingleStreamWindowMatchesSyncCharges) {
+  // The same H2D -> kernel -> D2H sequence, synchronous vs enqueued on the
+  // default stream: one stream means no overlap, so Synchronize must charge
+  // the clock exactly what the serial path does.
+  const size_t bytes = 8 << 20;
+  SimClock sync_clock;
+  Device sync_dev(Spec(), &sync_clock);
+  sync_dev.CopyToDevice(bytes);
+  sync_dev.Launch(SmallKernel()).value();
+  sync_dev.CopyFromDevice(bytes / 2);
+
+  SimClock async_clock;
+  Device async_dev(Spec(), &async_clock);
+  bool ran = false;
+  KernelLaunch launch = SmallKernel();
+  launch.body = [&] { ran = true; };
+  async_dev.CopyToDeviceAsync(bytes, kDefaultStream).value();
+  async_dev.LaunchAsync(launch, kDefaultStream).value();
+  async_dev.CopyFromDeviceAsync(bytes / 2, kDefaultStream).value();
+  const double makespan = async_dev.Synchronize();
+
+  EXPECT_TRUE(ran);
+  EXPECT_NEAR(makespan, sync_clock.Now(), 1e-15);
+  EXPECT_NEAR(async_clock.Elapsed(CostKind::kGpuKernel),
+              sync_clock.Elapsed(CostKind::kGpuKernel), 1e-15);
+  EXPECT_NEAR(async_clock.Elapsed(CostKind::kPcieTransfer),
+              sync_clock.Elapsed(CostKind::kPcieTransfer), 1e-15);
+}
+
+TEST(DeviceStreamTest, TwoStreamsOverlapCopiesWithCompute) {
+  // Two independent chunks on two streams: stream 1's H2D runs during
+  // stream 0's kernel, so the window is shorter than the serial sum.
+  Device dev(Spec(), nullptr);
+  const StreamId s1 = dev.CreateStream();
+  const size_t bytes = 32 << 20;
+
+  double serial = 0.0;
+  for (const StreamId s : {kDefaultStream, s1}) {
+    dev.CopyToDeviceAsync(bytes, s).value();
+    const auto r = dev.LaunchAsync(SmallKernel(), s).value();
+    dev.CopyFromDeviceAsync(bytes, s).value();
+    serial += 2 * dev.TransferSeconds(bytes) + r.sim_seconds;
+  }
+  const double makespan = dev.Synchronize();
+  EXPECT_LT(makespan, serial);
+  EXPECT_GT(dev.stats().overlap_saved_seconds, 0.0);
+  EXPECT_EQ(dev.stats().streams_created, 1u);
+  EXPECT_EQ(dev.stats().synchronizations, 1u);
+}
+
+TEST(DeviceStreamTest, KernelsSerializeAcrossStreams) {
+  // One compute engine: a kernel on stream 1 cannot start until stream 0's
+  // kernel finishes, even with no data dependency.
+  Device dev(Spec(), nullptr);
+  const StreamId s1 = dev.CreateStream();
+  const auto r0 = dev.LaunchAsync(SmallKernel(), kDefaultStream).value();
+  const auto r1 = dev.LaunchAsync(SmallKernel(), s1).value();
+  EXPECT_DOUBLE_EQ(r1.start_seconds, r0.end_seconds);
+}
+
+TEST(DeviceStreamTest, SameDirectionCopiesSerializeOppositeOverlap) {
+  // Full-duplex PCIe: each direction has one DMA engine. Same-direction
+  // copies on different streams queue; opposite directions run concurrently.
+  Device dev(Spec(), nullptr);
+  const StreamId s1 = dev.CreateStream();
+  const StreamId s2 = dev.CreateStream();
+  const size_t bytes = 16 << 20;
+  const auto h2d_a = dev.CopyToDeviceAsync(bytes, kDefaultStream).value();
+  const auto h2d_b = dev.CopyToDeviceAsync(bytes, s1).value();
+  const auto d2h = dev.CopyFromDeviceAsync(bytes, s2).value();
+  EXPECT_DOUBLE_EQ(h2d_b.start_seconds, h2d_a.end_seconds);
+  EXPECT_DOUBLE_EQ(d2h.start_seconds, 0.0);
+}
+
+TEST(DeviceStreamTest, HalfDuplexLinkSerializesBothDirections) {
+  Device dev(DeviceSpec::JetsonClass(), nullptr);
+  ASSERT_FALSE(dev.spec().pcie_full_duplex);
+  const StreamId s1 = dev.CreateStream();
+  const size_t bytes = 16 << 20;
+  const auto h2d = dev.CopyToDeviceAsync(bytes, kDefaultStream).value();
+  const auto d2h = dev.CopyFromDeviceAsync(bytes, s1).value();
+  EXPECT_DOUBLE_EQ(d2h.start_seconds, h2d.end_seconds);
+}
+
+TEST(DeviceStreamTest, EventsOrderCrossStreamWork) {
+  // cudaStreamWaitEvent semantics: stream 1 must not start its kernel until
+  // stream 0 reaches the recorded event.
+  Device dev(Spec(), nullptr);
+  const StreamId s1 = dev.CreateStream();
+  const size_t bytes = 64 << 20;
+  dev.CopyToDeviceAsync(bytes, kDefaultStream).value();
+  const EventId staged = dev.RecordEvent(kDefaultStream).value();
+  const double staged_at =
+      dev.StreamReadySeconds(kDefaultStream).value();
+  ASSERT_TRUE(dev.WaitEvent(s1, staged).ok());
+  const auto r = dev.LaunchAsync(SmallKernel(), s1).value();
+  EXPECT_GE(r.start_seconds, staged_at);
+  EXPECT_EQ(dev.stats().events_recorded, 1u);
+}
+
+TEST(DeviceStreamTest, SynchronizeChargesExposedTransferOnly) {
+  // Charged PCIe time is makespan - kernel busy: copies hidden behind
+  // kernels cost nothing, copies the overlap failed to hide cost in full.
+  SimClock clock;
+  Device dev(Spec(), &clock);
+  const StreamId s1 = dev.CreateStream();
+  double kernel_busy = 0.0;
+  const size_t bytes = 32 << 20;
+  for (const StreamId s : {kDefaultStream, s1}) {
+    dev.CopyToDeviceAsync(bytes, s).value();
+    kernel_busy += dev.LaunchAsync(SmallKernel(), s).value().sim_seconds;
+    dev.CopyFromDeviceAsync(bytes, s).value();
+  }
+  const double makespan = dev.Synchronize();
+  EXPECT_NEAR(clock.Elapsed(CostKind::kGpuKernel), kernel_busy, 1e-15);
+  EXPECT_NEAR(clock.Elapsed(CostKind::kPcieTransfer),
+              makespan - kernel_busy, 1e-12);
+  EXPECT_NEAR(clock.Now(), makespan, 1e-12);
+}
+
+TEST(DeviceStreamTest, SynchronizeResetsTheWindow) {
+  SimClock clock;
+  Device dev(Spec(), &clock);
+  const StreamId s1 = dev.CreateStream();
+  dev.CopyToDeviceAsync(1 << 20, s1).value();
+  EXPECT_GT(dev.Synchronize(), 0.0);
+  const double charged = clock.Now();
+  // Fresh window: timelines back at the origin, empty Synchronize is free.
+  EXPECT_DOUBLE_EQ(dev.StreamReadySeconds(s1).value(), 0.0);
+  EXPECT_DOUBLE_EQ(dev.Synchronize(), 0.0);
+  EXPECT_DOUBLE_EQ(clock.Now(), charged);
+}
+
+TEST(DeviceStreamTest, RejectsUnknownStreamsAndEvents) {
+  Device dev(Spec(), nullptr);
+  EXPECT_FALSE(dev.LaunchAsync(SmallKernel(), 7).ok());
+  EXPECT_FALSE(dev.CopyToDeviceAsync(1024, -1).ok());
+  EXPECT_FALSE(dev.RecordEvent(3).ok());
+  EXPECT_FALSE(dev.WaitEvent(kDefaultStream, 0).ok());  // no events yet
+}
+
 }  // namespace
 }  // namespace flb::gpusim

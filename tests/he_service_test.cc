@@ -279,6 +279,73 @@ TEST(HeServiceTest, CreateValidation) {
   EXPECT_FALSE(HeService::Create(opts, &clock, MakeDevice(&clock)).ok());
 }
 
+TEST(HeServiceStreams, TraitsCarryStreamCounts) {
+  EXPECT_EQ(TraitsFor(EngineKind::kFlBooster).gpu_streams, 4);
+  EXPECT_EQ(TraitsFor(EngineKind::kFlBoosterNoBc).gpu_streams, 4);
+  EXPECT_EQ(TraitsFor(EngineKind::kFate).gpu_streams, 1);
+  EXPECT_EQ(TraitsFor(EngineKind::kHaflo).gpu_streams, 1);
+  EXPECT_EQ(TraitsFor(EngineKind::kFlBoosterNoGhe).gpu_streams, 1);
+}
+
+TEST(HeServiceStreams, OptionsOverrideEngineDefault) {
+  SimClock clock;
+  auto device = MakeDevice(&clock);
+  HeServiceOptions opts = SmallRealOptions(EngineKind::kFlBooster);
+  auto by_trait = HeService::Create(opts, &clock, device).value();
+  ASSERT_NE(by_trait->ghe_engine(), nullptr);
+  EXPECT_EQ(by_trait->ghe_engine()->config().streams, 4);
+
+  opts.gpu_streams = 1;
+  auto forced_serial = HeService::Create(opts, &clock, device).value();
+  ASSERT_NE(forced_serial->ghe_engine(), nullptr);
+  EXPECT_EQ(forced_serial->ghe_engine()->config().streams, 1);
+
+  // CPU engines have no GPU HE engine to configure.
+  auto cpu = HeService::Create(SmallRealOptions(EngineKind::kFate), &clock,
+                               MakeDevice(&clock))
+                 .value();
+  EXPECT_EQ(cpu->ghe_engine(), nullptr);
+}
+
+TEST(HeServiceStreams, MultiStreamNeverChargesMoreAndStaysBitExact) {
+  // The adaptive engine only chunks when the modeled timeline is strictly
+  // faster, so the 4-stream service can never charge more HE time than the
+  // forced-serial one — and the ciphertext math is identical either way.
+  SimClock serial_clock, async_clock;
+  auto serial_dev = MakeDevice(&serial_clock);
+  auto async_dev = MakeDevice(&async_clock);
+  HeServiceOptions opts = SmallRealOptions(EngineKind::kFlBooster);
+  opts.gpu_streams = 1;
+  auto serial = HeService::Create(opts, &serial_clock, serial_dev).value();
+  opts.gpu_streams = 4;
+  auto async = HeService::Create(opts, &async_clock, async_dev).value();
+
+  std::vector<double> a(512), b(512);
+  for (int i = 0; i < 512; ++i) {
+    a[i] = 0.001 * i - 0.2;
+    b[i] = 0.25 - 0.0005 * i;
+  }
+  auto sdec =
+      serial
+          ->DecryptValues(serial
+                              ->AddCipher(serial->EncryptValues(a).value(),
+                                          serial->EncryptValues(b).value())
+                              .value())
+          .value();
+  auto adec =
+      async
+          ->DecryptValues(async
+                              ->AddCipher(async->EncryptValues(a).value(),
+                                          async->EncryptValues(b).value())
+                              .value())
+          .value();
+  ASSERT_EQ(sdec.size(), adec.size());
+  for (size_t i = 0; i < sdec.size(); ++i) {
+    EXPECT_DOUBLE_EQ(sdec[i], adec[i]) << i;
+  }
+  EXPECT_LE(async_clock.HeSeconds(), serial_clock.HeSeconds() + 1e-12);
+}
+
 TEST(HeServiceTest, TransportRoundTrip) {
   SimClock clock;
   net::Network network(net::LinkSpec::GigabitEthernet(), &clock);

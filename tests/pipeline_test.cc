@@ -97,5 +97,27 @@ TEST_F(PipelinedModelTest, ChunksClampedToBatch) {
   EXPECT_FALSE(PipelinedModel::Encrypt(engine_, 1024, 0, 1).ok());
 }
 
+TEST_F(PipelinedModelTest, DeviceTimelineAgreesWithClosedForm) {
+  // The device's actual stream timeline for a transfer-bound op: chunked
+  // execution beats the serial launch. (The closed-form overlapped bound
+  // also pipelines host stages, so it is not compared directly.)
+  auto r = PipelinedModel::HomAdd(engine_, 2048, 1 << 16, 4).value();
+  EXPECT_EQ(r.streams_used, 4);
+  EXPECT_GT(r.device_async_seconds, 0.0);
+  EXPECT_LT(r.device_async_seconds, r.device_serial_seconds);
+  // Measurement passes must not leak into the engine/device telemetry.
+  EXPECT_EQ(engine_.device().stats().kernels_launched, 0u);
+  // The engine's configured stream count is restored afterwards.
+  EXPECT_EQ(engine_.config().streams, 1);
+}
+
+TEST_F(PipelinedModelTest, KernelBoundOpStaysSerialOnDevice) {
+  // Encryption is kernel-bound: the adaptive engine declines to chunk, so
+  // the device-timeline numbers coincide.
+  auto r = PipelinedModel::Encrypt(engine_, 2048, 1 << 10, 4).value();
+  EXPECT_EQ(r.streams_used, 1);
+  EXPECT_DOUBLE_EQ(r.device_async_seconds, r.device_serial_seconds);
+}
+
 }  // namespace
 }  // namespace flb::core
