@@ -12,9 +12,13 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/core/platform.h"
+#include "src/obs/json_util.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 namespace flb::bench {
 
@@ -92,6 +96,122 @@ inline PlatformConfig WorkloadFor(FlModelKind model, DatasetKind dataset,
   return cfg;
 }
 
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n==== %s ====\n", title.c_str());
+}
+
+// Machine-readable bench results: one {bench, section, metric, value, unit}
+// record per printed number that matters. Serialized as
+// {"bench": "...", "results": [...]} to the FLB_BENCH_JSON path at exit.
+class BenchJson {
+ public:
+  static BenchJson& Global() {
+    static BenchJson instance;
+    return instance;
+  }
+
+  void set_bench(std::string name) { bench_ = std::move(name); }
+  const std::string& bench() const { return bench_; }
+  void set_section(std::string section) { section_ = std::move(section); }
+
+  void Record(const std::string& metric, double value,
+              const std::string& unit) {
+    rows_.push_back({section_, metric, unit, value});
+  }
+  void Record(const std::string& section, const std::string& metric,
+              double value, const std::string& unit) {
+    rows_.push_back({section, metric, unit, value});
+  }
+
+  size_t num_records() const { return rows_.size(); }
+
+  std::string ToJson() const {
+    std::string out = "{\"bench\":" + obs::JsonQuote(bench_);
+    out += ",\"results\":[";
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      if (i > 0) out += ",";
+      out += "\n{\"bench\":" + obs::JsonQuote(bench_);
+      out += ",\"section\":" + obs::JsonQuote(rows_[i].section);
+      out += ",\"metric\":" + obs::JsonQuote(rows_[i].metric);
+      out += ",\"value\":" + obs::JsonNumber(rows_[i].value);
+      out += ",\"unit\":" + obs::JsonQuote(rows_[i].unit) + "}";
+    }
+    out += "\n]}";
+    return out;
+  }
+
+  Status WriteJson(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      return Status::IoError("BenchJson: cannot open " + path);
+    }
+    const std::string json = ToJson();
+    const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    if (written != json.size()) {
+      return Status::IoError("BenchJson: short write to " + path);
+    }
+    return Status::OK();
+  }
+
+ private:
+  struct Row {
+    std::string section;
+    std::string metric;
+    std::string unit;
+    double value = 0.0;
+  };
+  std::string bench_ = "bench";
+  std::string section_;
+  std::vector<Row> rows_;
+};
+
+// Starts a new bench section: prints the header, scopes subsequent
+// BenchJson::Record calls, and resets the unified metrics plane (registry
+// counters AND every registered source — DeviceStats, NetworkStats, HE op
+// counts) so per-section numbers are never cumulative.
+inline void BeginSection(const std::string& title) {
+  PrintHeader(title);
+  BenchJson::Global().set_section(title);
+  obs::MetricsRegistry::Global().ResetAll();
+}
+
+// At-exit export of the observability artifacts, gated on the environment:
+//   FLB_TRACE_OUT   — Chrome trace-event JSON of the (last) run's timeline
+//   FLB_METRICS_OUT — unified metrics snapshot
+//   FLB_BENCH_JSON  — this bench's {bench, section, metric, value, unit} rows
+// The constructor touches every singleton it will read so they are
+// constructed first and therefore destroyed after this exporter runs.
+class ObsExporter {
+ public:
+  ObsExporter() {
+    obs::TraceRecorder::Global();
+    obs::MetricsRegistry::Global();
+    BenchJson::Global();
+    const char* bench_name = std::getenv("FLB_BENCH_NAME");
+    if (bench_name != nullptr) BenchJson::Global().set_bench(bench_name);
+  }
+
+  ~ObsExporter() { Export(); }
+
+  static void Export() {
+    // Trace + metrics export lives in obs (atexit-registered for every
+    // binary, idempotent); only the bench rows are bench-specific.
+    obs::ExportEnvConfigured();
+    if (const char* path = std::getenv("FLB_BENCH_JSON")) {
+      const Status s = BenchJson::Global().WriteJson(path);
+      if (!s.ok()) {
+        std::fprintf(stderr, "bench json export failed: %s\n",
+                     s.ToString().c_str());
+      } else {
+        std::fprintf(stderr, "[obs] wrote bench results to %s\n", path);
+      }
+    }
+  }
+};
+
+inline ObsExporter obs_exporter_at_exit;
+
 inline core::RunReport MustRun(const PlatformConfig& cfg) {
   auto report = core::Platform::Run(cfg);
   if (!report.ok()) {
@@ -100,10 +220,6 @@ inline core::RunReport MustRun(const PlatformConfig& cfg) {
     std::abort();
   }
   return std::move(report).value();
-}
-
-inline void PrintHeader(const std::string& title) {
-  std::printf("\n==== %s ====\n", title.c_str());
 }
 
 inline std::string Short(FlModelKind model) {

@@ -50,8 +50,9 @@ void PrintStreamOverlapSection() {
     identical = cs1[i] == cs4[i] && sum1[i] == sum4[i];
   }
 
+  flb::bench::BeginSection("stream_overlap");
   std::printf(
-      "\nMulti-stream async GHE — modeled hom-add batch throughput "
+      "Multi-stream async GHE — modeled hom-add batch throughput "
       "(values/s)\n");
   std::printf("%5s %9s %12s %12s %8s\n", "key", "batch", "streams=1",
               "streams=4", "speedup");
@@ -74,6 +75,13 @@ void PrintStreamOverlapSection() {
     std::printf("%5d %9lld %12.0f %12.0f %7.2fx\n", key,
                 static_cast<long long>(batch), batch / t1, batch / t4,
                 t1 / t4);
+    const std::string suffix = "key=" + std::to_string(key);
+    auto& json = flb::bench::BenchJson::Global();
+    json.Record("hom_add_throughput_streams1," + suffix, batch / t1,
+                "values/s");
+    json.Record("hom_add_throughput_streams4," + suffix, batch / t4,
+                "values/s");
+    json.Record("stream_overlap_speedup," + suffix, t1 / t4, "x");
   }
   std::printf("Ciphertext outputs identical across paths: %s\n",
               identical ? "yes" : "NO — MISMATCH");
@@ -83,7 +91,7 @@ void PrintStreamOverlapSection() {
 
 int main() {
   using namespace flb::bench;
-  PrintHeader("Table IV — HE-op throughput (values per second)");
+  BeginSection("Table IV — HE-op throughput (values per second)");
   std::printf("%-12s %-10s %5s %12s %12s %12s\n", "Model", "Dataset", "key",
               "FATE", "HAFLO", "FLBooster");
   for (auto model : kAllModels) {
@@ -92,9 +100,16 @@ int main() {
         double tp[3];
         const EngineKind engines[] = {EngineKind::kFate, EngineKind::kHaflo,
                                       EngineKind::kFlBooster};
+        const char* engine_names[] = {"fate", "haflo", "flbooster"};
         for (int e = 0; e < 3; ++e) {
           tp[e] = MustRun(WorkloadFor(model, dataset, engines[e], key))
                       .he_throughput;
+          BenchJson::Global().Record(
+              "he_throughput,engine=" + std::string(engine_names[e]) +
+                  ",model=" + Short(model) +
+                  ",dataset=" + flb::fl::DatasetName(dataset) +
+                  ",key=" + std::to_string(key),
+              tp[e], "values/s");
         }
         std::printf("%-12s %-10s %5d %12.0f %12.0f %12.0f\n",
                     Short(model).c_str(),

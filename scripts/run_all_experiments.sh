@@ -50,10 +50,48 @@ for bench in "$REPO_ROOT/$BUILD_DIR"/bench/bench_*; do
       "$bench" "${GBENCH_ARGS[@]}" | tee "$RESULTS/$name.txt" | tail -3
       ;;
     *)
-      "$bench" | tee "$RESULTS/$name.txt" | tail -3
+      # Table/figure drivers export the observability artifacts: bench
+      # result records, a unified metrics snapshot, and the (last run's)
+      # simulated-time trace.
+      FLB_BENCH_NAME="$name" \
+      FLB_BENCH_JSON="$RESULTS/BENCH_$name.json" \
+      FLB_METRICS_OUT="$RESULTS/$name.metrics.json" \
+      FLB_TRACE_OUT="$RESULTS/$name.trace.json" \
+        "$bench" | tee "$RESULTS/$name.txt" | tail -3
       ;;
   esac
 done
+
+# Fold every driver's metrics snapshot and bench records into one
+# results/summary.json keyed by driver name.
+python3 - "$RESULTS" <<'PYEOF'
+import json, pathlib, sys
+
+results = pathlib.Path(sys.argv[1])
+summary = {"benches": {}}
+for path in sorted(results.glob("BENCH_*.json")):
+    name = path.stem[len("BENCH_"):]
+    with open(path) as f:
+        data = json.load(f)
+    summary["benches"].setdefault(name, {})["results"] = data.get("results", [])
+for path in sorted(results.glob("*.metrics.json")):
+    name = path.name[: -len(".metrics.json")]
+    with open(path) as f:
+        data = json.load(f)
+    summary["benches"].setdefault(name, {})["metrics"] = data.get("metrics", [])
+n_results = sum(len(b.get("results", [])) for b in summary["benches"].values())
+n_metrics = sum(len(b.get("metrics", [])) for b in summary["benches"].values())
+summary["totals"] = {
+    "benches": len(summary["benches"]),
+    "results": n_results,
+    "metrics": n_metrics,
+}
+out = results / "summary.json"
+with open(out, "w") as f:
+    json.dump(summary, f, indent=1)
+print(f"wrote {out}: {len(summary['benches'])} benches, "
+      f"{n_results} result rows, {n_metrics} metrics")
+PYEOF
 
 echo
 echo "All outputs in $RESULTS/."

@@ -153,14 +153,28 @@ void HeService::ChargeBatch(const char* kind, int64_t count,
   if (traits_.gpu_he) {
     // Model the batch through the engine: identical launch geometry to the
     // real path, and with streams > 1 the same chunked copy/compute overlap
-    // (charges the clock through the device).
+    // (charges the clock through the device). The device traces the kernel
+    // and PCIe spans; the outer span shows the whole batch on the HE track.
+    obs::ScopedSpan span(
+        clock_, obs::TraceRecorder::Global().RegisterTrack("he", "batches"),
+        kind, "he");
+    span.AddArg(obs::Arg("count", count));
     auto result = ghe_->ModelBatch(kind, count, CiphertextWords(),
                                    limb_ops_per_elt, bytes_in, bytes_out);
     FLB_CHECK(result.ok(), result.status().ToString());
   } else {
-    options_.cpu_cost.Charge(clock_, static_cast<uint64_t>(count),
-                             limb_ops_per_elt);
+    ChargeCpu(kind, static_cast<uint64_t>(count), limb_ops_per_elt);
   }
+}
+
+void HeService::ChargeCpu(const char* kind, uint64_t count,
+                          uint64_t limb_ops_per_elt) {
+  // Charge + span in one step: the span's extent is exactly the simulated
+  // CPU-HE time the cost model adds.
+  ChargeSpan(clock_, CostKind::kCpuHe,
+             options_.cpu_cost.SecondsFor(count, limb_ops_per_elt),
+             obs::TraceRecorder::Global().RegisterTrack("he", "batches"), kind,
+             "he", {obs::Arg("count", count)});
 }
 
 // ---------------------------------------------------------------------------
@@ -171,11 +185,12 @@ Result<EncVec> HeService::EncryptValues(const std::vector<double>& values) {
   if (values.empty()) {
     return Status::InvalidArgument("EncryptValues: empty input");
   }
-  if (clock_ != nullptr) {
-    // Encoding/quantization/packing cost: a handful of float+integer ops per
-    // value — "extremely small" per the paper, but accounted for honestly.
-    clock_->Charge(CostKind::kEncoding, values.size() * 4e-9);
-  }
+  // Encoding/quantization/packing cost: a handful of float+integer ops per
+  // value — "extremely small" per the paper, but accounted for honestly.
+  ChargeSpan(clock_, CostKind::kEncoding, values.size() * 4e-9,
+             obs::TraceRecorder::Global().RegisterTrack("he", "encode"),
+             "he.encode", "encode",
+             {obs::Arg("values", static_cast<uint64_t>(values.size()))});
   // Quantize (+ pack).
   std::vector<BigInt> plains;
   if (traits_.use_bc) {
@@ -208,8 +223,7 @@ Result<EncVec> HeService::EncryptValues(const std::vector<double>& values) {
       FLB_ASSIGN_OR_RETURN(BigInt c, paillier_->Encrypt(m, rng_));
       out.data.push_back(std::move(c));
     }
-    options_.cpu_cost.Charge(clock_, plains.size(),
-                             EncryptLimbOps(options_.key_bits));
+    ChargeCpu("he.encrypt", plains.size(), EncryptLimbOps(options_.key_bits));
   }
   op_counts_.encrypts += static_cast<uint64_t>(n_cipher);
   op_counts_.values_encrypted += values.size();
@@ -245,8 +259,7 @@ Result<EncVec> HeService::AddCipher(const EncVec& a, const EncVec& b) {
     for (size_t i = 0; i < a.data.size(); ++i) {
       FLB_ASSIGN_OR_RETURN(out.data[i], paillier_->Add(a.data[i], b.data[i]));
     }
-    options_.cpu_cost.Charge(clock_, a.data.size(),
-                             AddLimbOps(options_.key_bits));
+    ChargeCpu("he.add", a.data.size(), AddLimbOps(options_.key_bits));
   }
   op_counts_.hom_adds += a.data.size();
   return out;
@@ -290,8 +303,8 @@ Result<EncVec> HeService::AddPlainValues(const EncVec& c,
       FLB_ASSIGN_OR_RETURN(out.data[i],
                            paillier_->AddPlain(c.data[i], plains[i]));
     }
-    options_.cpu_cost.Charge(clock_, plains.size(),
-                             AddPlainLimbOps(options_.key_bits));
+    ChargeCpu("he.add_plain", plains.size(),
+              AddPlainLimbOps(options_.key_bits));
   }
   op_counts_.hom_adds += plains.size();
   return out;
@@ -314,14 +327,14 @@ Result<std::vector<double>> HeService::DecryptValues(const EncVec& c) {
       FLB_ASSIGN_OR_RETURN(BigInt m, paillier_->Decrypt(ct));
       plains.push_back(std::move(m));
     }
-    options_.cpu_cost.Charge(clock_, c.data.size(),
-                             DecryptLimbOps(options_.key_bits));
+    ChargeCpu("he.decrypt", c.data.size(), DecryptLimbOps(options_.key_bits));
   }
   op_counts_.decrypts += c.data.size();
   op_counts_.values_decrypted += c.count;
-  if (clock_ != nullptr) {
-    clock_->Charge(CostKind::kEncoding, c.count * 4e-9);
-  }
+  ChargeSpan(clock_, CostKind::kEncoding, c.count * 4e-9,
+             obs::TraceRecorder::Global().RegisterTrack("he", "encode"),
+             "he.decode", "encode",
+             {obs::Arg("values", static_cast<uint64_t>(c.count))});
   if (traits_.use_bc) {
     return compressor_->Unpack(plains, c.count, c.contributors);
   }
@@ -369,8 +382,8 @@ Result<EncVec> HeService::EncryptFixedPoint(const std::vector<double>& values) {
       FLB_ASSIGN_OR_RETURN(BigInt c, paillier_->Encrypt(m, rng_));
       out.data.push_back(std::move(c));
     }
-    options_.cpu_cost.Charge(clock_, plains.size(),
-                             EncryptLimbOps(options_.key_bits));
+    ChargeCpu("he.fp_encrypt", plains.size(),
+              EncryptLimbOps(options_.key_bits));
   }
   op_counts_.encrypts += static_cast<uint64_t>(n_cipher);
   op_counts_.values_encrypted += values.size();
@@ -401,8 +414,7 @@ Result<EncVec> HeService::AddFixedPoint(const EncVec& a, const EncVec& b) {
     for (size_t i = 0; i < a.data.size(); ++i) {
       FLB_ASSIGN_OR_RETURN(out.data[i], paillier_->Add(a.data[i], b.data[i]));
     }
-    options_.cpu_cost.Charge(clock_, a.data.size(),
-                             AddLimbOps(options_.key_bits));
+    ChargeCpu("he.fp_add", a.data.size(), AddLimbOps(options_.key_bits));
   }
   op_counts_.hom_adds += a.data.size();
   return out;
@@ -441,9 +453,8 @@ Result<EncVec> HeService::ScalarMulFixedPoint(
       FLB_ASSIGN_OR_RETURN(out.data[i],
                            paillier_->ScalarMul(c.data[i], ks[i]));
     }
-    options_.cpu_cost.Charge(
-        clock_, c.data.size(),
-        ScalarMulLimbOps(options_.key_bits, EffectiveScalarBits()));
+    ChargeCpu("he.fp_scalar_mul", c.data.size(),
+              ScalarMulLimbOps(options_.key_bits, EffectiveScalarBits()));
   }
   op_counts_.scalar_muls += c.data.size();
   return out;
@@ -583,8 +594,8 @@ Result<std::vector<double>> HeService::DecryptFixedPoint(const EncVec& c) {
       FLB_ASSIGN_OR_RETURN(BigInt m, paillier_->Decrypt(ct));
       plains.push_back(std::move(m));
     }
-    options_.cpu_cost.Charge(clock_, c.data.size(),
-                             DecryptLimbOps(options_.key_bits));
+    ChargeCpu("he.fp_decrypt", c.data.size(),
+              DecryptLimbOps(options_.key_bits));
   }
   op_counts_.decrypts += c.data.size();
   op_counts_.values_decrypted += c.count;
@@ -681,6 +692,24 @@ Result<EncVec> HeService::CompressForTransmission(const EncVec& c) {
   op_counts_.hom_adds += adds + addplains;
   op_counts_.scalar_muls += scalar_muls;
   return out;
+}
+
+void HeService::CollectMetrics(std::vector<obs::MetricValue>& out) const {
+  const std::string labels = "engine=" + EngineName(options_.engine);
+  auto counter = [&](const char* name, uint64_t value) {
+    obs::MetricValue m;
+    m.name = name;
+    m.labels = labels;
+    m.type = obs::MetricType::kCounter;
+    m.value = static_cast<double>(value);
+    out.push_back(std::move(m));
+  };
+  counter("flb.he.encrypts", op_counts_.encrypts);
+  counter("flb.he.decrypts", op_counts_.decrypts);
+  counter("flb.he.hom_adds", op_counts_.hom_adds);
+  counter("flb.he.scalar_muls", op_counts_.scalar_muls);
+  counter("flb.he.values_encrypted", op_counts_.values_encrypted);
+  counter("flb.he.values_decrypted", op_counts_.values_decrypted);
 }
 
 }  // namespace flb::core

@@ -46,6 +46,8 @@
 #include "src/crypto/paillier.h"
 #include "src/ghe/ghe_engine.h"
 #include "src/mpint/bigint.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 namespace flb::core {
 
@@ -101,7 +103,7 @@ struct HeOpCounts {
   uint64_t values_decrypted = 0;
 };
 
-class HeService {
+class HeService : public obs::MetricsSource {
  public:
   // Generates fresh keys (real mode) or a synthetic modulus (modeled mode).
   // `clock` may be null; `device` is required when the engine runs on GPU.
@@ -166,6 +168,10 @@ class HeService {
   const HeOpCounts& op_counts() const { return op_counts_; }
   void ResetOpCounts() { op_counts_ = HeOpCounts{}; }
 
+  // obs::MetricsSource: HeOpCounts exposed through the unified registry.
+  void CollectMetrics(std::vector<obs::MetricValue>& out) const override;
+  void ResetMetrics() override { ResetOpCounts(); }
+
   // The GPU engine backing this service, or null for CPU engines. Exposed
   // for stream retargeting and batch-scheduling telemetry.
   ghe::GheEngine* ghe_engine() { return ghe_.get(); }
@@ -178,6 +184,8 @@ class HeService {
   // Charges CPU or GPU time for a batch of ops described by total limb work.
   void ChargeBatch(const char* kind, int64_t count, uint64_t limb_ops_per_elt,
                    size_t bytes_in, size_t bytes_out);
+  // CPU-path charge with a matching trace span (real CPU engines).
+  void ChargeCpu(const char* kind, uint64_t count, uint64_t limb_ops_per_elt);
   Status CheckLayout(const EncVec& v, EncLayout expected,
                      const char* op) const;
   int fp_compress_slot_bits() const;
@@ -204,6 +212,10 @@ class HeService {
   Rng rng_;
 
   HeOpCounts op_counts_;
+
+  // Registers the op counts with the global MetricsRegistry for the
+  // service's lifetime (declared last: registration after the counts exist).
+  obs::ScopedMetricsSource metrics_registration_{this};
 };
 
 }  // namespace flb::core

@@ -6,6 +6,8 @@
 #include "src/fl/hetero_lr.h"
 #include "src/fl/homo_lr.h"
 #include "src/fl/partition.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 namespace flb::core {
 
@@ -31,6 +33,12 @@ Result<RunReport> Platform::Run(const PlatformConfig& config) {
   }
   const EngineTraits traits = TraitsFor(config.engine);
 
+  // One coherent timeline per run: grid drivers call Run many times, each
+  // with a fresh SimClock starting at 0, so stale events from earlier runs
+  // would overlap the new ones. The exported trace is the last run's.
+  auto& recorder = obs::TraceRecorder::Global();
+  if (recorder.enabled()) recorder.Clear();
+
   auto clock = std::make_unique<SimClock>();
   std::shared_ptr<gpusim::Device> device;
   if (traits.gpu_he) {
@@ -42,6 +50,9 @@ Result<RunReport> Platform::Run(const PlatformConfig& config) {
 
   const int parties =
       config.model == FlModelKind::kHeteroNn ? 2 : config.num_parties;
+
+  const obs::Track run_track = recorder.RegisterTrack("platform", "run");
+  const double setup_start = clock->Now();
 
   HeServiceOptions he_opts;
   he_opts.engine = config.engine;
@@ -64,6 +75,16 @@ Result<RunReport> Platform::Run(const PlatformConfig& config) {
   session.he = he.get();
   session.network = &network;
   session.clock = clock.get();
+
+  if (recorder.enabled()) {
+    recorder.Span(run_track, "platform.setup", "platform", setup_start,
+                  clock->Now(),
+                  {obs::Arg("engine", EngineName(config.engine)),
+                   obs::Arg("model", ModelName(config.model)),
+                   obs::Arg("key_bits", config.key_bits),
+                   obs::Arg("parties", parties)});
+  }
+  const double train_start = clock->Now();
 
   RunReport report;
   switch (config.model) {
@@ -107,6 +128,11 @@ Result<RunReport> Platform::Run(const PlatformConfig& config) {
     }
   }
 
+  if (recorder.enabled()) {
+    recorder.Span(run_track, "platform.train", "platform", train_start,
+                  clock->Now(), {obs::Arg("model", ModelName(config.model))});
+  }
+
   report.total_seconds = clock->Now();
   report.he_seconds = clock->HeSeconds();
   report.comm_seconds = clock->CommSeconds();
@@ -125,6 +151,24 @@ Result<RunReport> Platform::Run(const PlatformConfig& config) {
     report.pack_ratio = static_cast<double>(report.he_ops.values_encrypted) /
                         report.he_ops.encrypts;
   }
+
+  // Per-run report gauges: the last completed run for each (engine, model,
+  // key) cell of a grid driver stays visible in the metrics snapshot.
+  auto& metrics = obs::MetricsRegistry::Global();
+  const std::string run_labels =
+      "engine=" + EngineName(config.engine) +
+      ",key_bits=" + std::to_string(config.key_bits) +
+      ",model=" + ModelName(config.model);
+  metrics.Set("flb.platform.total_seconds", report.total_seconds, run_labels);
+  metrics.Set("flb.platform.he_seconds", report.he_seconds, run_labels);
+  metrics.Set("flb.platform.comm_seconds", report.comm_seconds, run_labels);
+  metrics.Set("flb.platform.other_seconds", report.other_seconds, run_labels);
+  metrics.Set("flb.platform.comm_bytes",
+              static_cast<double>(report.comm_bytes), run_labels);
+  metrics.Set("flb.platform.he_throughput", report.he_throughput, run_labels);
+  metrics.Set("flb.platform.sm_utilization", report.sm_utilization,
+              run_labels);
+  metrics.Set("flb.platform.pack_ratio", report.pack_ratio, run_labels);
   return report;
 }
 

@@ -129,6 +129,7 @@ Result<TrainResult> HomoLrTrainer::Train() {
     record.loss = GlobalLoss(&record.accuracy);
     const ClockSnapshot after = ClockSnapshot::Take(session_.clock, &net);
     FillEpochTiming(before, after, &record);
+    TraceEpoch("homo_lr", record);
     result.epochs.push_back(record);
 
     if (std::fabs(prev_loss - record.loss) < config_.tolerance) {

@@ -201,6 +201,7 @@ Result<TrainResult> HomoNnTrainer::Train() {
     record.accuracy = acc / total;
     const ClockSnapshot after = ClockSnapshot::Take(session_.clock, &net);
     FillEpochTiming(before, after, &record);
+    TraceEpoch("homo_nn", record);
     result.epochs.push_back(record);
     if (std::fabs(prev_loss - record.loss) < config_.tolerance) {
       result.converged = true;

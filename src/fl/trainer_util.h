@@ -11,6 +11,8 @@
 #include "src/common/sim_clock.h"
 #include "src/fl/fl_types.h"
 #include "src/net/network.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 namespace flb::fl {
 
@@ -48,6 +50,28 @@ inline void FillEpochTiming(const ClockSnapshot& before,
   record->other_seconds =
       record->epoch_seconds - record->he_seconds - record->comm_seconds;
   record->comm_bytes = after.bytes - before.bytes;
+}
+
+// Records the finished epoch on the trainer's trace track (span args carry
+// the Table VI component breakdown) and in the metrics registry. Call right
+// after FillEpochTiming.
+inline void TraceEpoch(const char* trainer, const EpochRecord& record) {
+  auto& metrics = obs::MetricsRegistry::Global();
+  const std::string labels = std::string("model=") + trainer;
+  metrics.Count("flb.fl.epochs", 1, labels);
+  metrics.Observe("flb.fl.epoch_seconds", record.epoch_seconds, labels);
+  auto& rec = obs::TraceRecorder::Global();
+  if (!rec.enabled()) return;
+  rec.Span(rec.RegisterTrack("trainer", trainer),
+           "epoch " + std::to_string(record.epoch), "epoch",
+           record.sim_seconds_cum - record.epoch_seconds,
+           record.sim_seconds_cum,
+           {obs::Arg("he_seconds", record.he_seconds),
+            obs::Arg("comm_seconds", record.comm_seconds),
+            obs::Arg("other_seconds", record.other_seconds),
+            obs::Arg("comm_bytes", record.comm_bytes),
+            obs::Arg("loss", record.loss),
+            obs::Arg("accuracy", record.accuracy)});
 }
 
 }  // namespace flb::fl

@@ -7,6 +7,8 @@
 #include "src/common/check.h"
 #include "src/crypto/montgomery.h"
 #include "src/ghe/parallel_montgomery.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 namespace flb::ghe {
 
@@ -143,6 +145,7 @@ Result<gpusim::LaunchResult> GheEngine::LaunchBatch(
                                   serial_est.sim_seconds +
                                   device_->TransferSeconds(bytes_out);
     bool chunk = true;
+    double pipelined_seconds = 0.0;
     if (config_.adaptive_chunking) {
       // Price the chunked schedule first: per-transfer PCIe latency and
       // per-chunk launch latency mean small or kernel-bound batches lose
@@ -168,10 +171,25 @@ Result<gpusim::LaunchResult> GheEngine::LaunchBatch(
         in_done = in_next;
         out_done = out_next;
       }
-      chunk = PipelinedMakespan(plan, streams,
-                                device_->spec().pcie_full_duplex) <
-              serial_seconds;
+      pipelined_seconds = PipelinedMakespan(plan, streams,
+                                            device_->spec().pcie_full_duplex);
+      chunk = pipelined_seconds < serial_seconds;
     }
+    // The scheduler's pricing decision, visible on the trace timeline and
+    // countable in the metrics snapshot.
+    auto& rec = obs::TraceRecorder::Global();
+    if (rec.enabled()) {
+      rec.Instant(rec.RegisterTrack("ghe", "scheduler"), "ghe.chunk_decision",
+                  "ghe", device_->TimelineNow(),
+                  {obs::Arg("op", name), obs::Arg("count", count),
+                   obs::Arg("serial_seconds", serial_seconds),
+                   obs::Arg("pipelined_seconds", pipelined_seconds),
+                   obs::Arg("adaptive", config_.adaptive_chunking),
+                   obs::Arg("chunked", chunk)});
+    }
+    obs::MetricsRegistry::Global().Count(
+        "flb.ghe.chunk_decisions", 1,
+        chunk ? "choice=chunked" : "choice=serial");
     if (chunk) {
       return LaunchBatchAsync(launch, count, tpe, bytes_in, bytes_out,
                               serial_seconds, std::move(body));
@@ -189,6 +207,10 @@ Result<gpusim::LaunchResult> GheEngine::LaunchBatch(
   last_batch_.kernel_busy_seconds = last_launch_.sim_seconds;
   last_batch_.transfer_busy_seconds = in_sec + out_sec;
   last_batch_.serial_seconds = last_batch_.makespan_seconds;
+  auto& metrics = obs::MetricsRegistry::Global();
+  metrics.Count("flb.ghe.batches", 1, "path=serial");
+  metrics.Observe("flb.ghe.batch_makespan_seconds",
+                  last_batch_.makespan_seconds, "path=serial");
   return last_launch_;
 }
 
@@ -279,6 +301,12 @@ Result<gpusim::LaunchResult> GheEngine::LaunchBatchAsync(
   last_batch_.transfer_busy_seconds = transfer_busy;
   last_batch_.serial_seconds = serial_seconds;
   last_batch_.overlap_saved_seconds = serial_seconds - makespan;
+  auto& metrics = obs::MetricsRegistry::Global();
+  metrics.Count("flb.ghe.batches", 1, "path=chunked");
+  metrics.Count("flb.ghe.chunks", chunks, "path=chunked");
+  metrics.Count("flb.ghe.overlap_saved_seconds",
+                last_batch_.overlap_saved_seconds, "path=chunked");
+  metrics.Observe("flb.ghe.batch_makespan_seconds", makespan, "path=chunked");
   return last_launch_;
 }
 

@@ -10,7 +10,40 @@ namespace flb::gpusim {
 Device::Device(DeviceSpec spec, SimClock* clock, bool branch_combining)
     : spec_(std::move(spec)),
       clock_(clock),
-      rm_(spec_, branch_combining) {}
+      rm_(spec_, branch_combining),
+      instance_(obs::TraceRecorder::Global().UniqueProcessName("gpu")) {}
+
+double Device::TimelineNow() const {
+  return clock_ != nullptr ? clock_->Now() : local_now_;
+}
+
+void Device::AdvanceLocalTime(double seconds) {
+  if (clock_ == nullptr) local_now_ += seconds;
+}
+
+obs::Track Device::StreamTrack(StreamId stream) const {
+  return obs::TraceRecorder::Global().RegisterTrack(
+      instance_, "stream " + std::to_string(stream));
+}
+
+obs::Track Device::DmaTrack(bool to_device) const {
+  return obs::TraceRecorder::Global().RegisterTrack(
+      instance_, to_device ? "dma h2d" : "dma d2h");
+}
+
+// Kernel span plus the sawtooth occupancy counter track (Fig. 6 telemetry
+// made visible on the timeline).
+void Device::TraceKernel(obs::Track track, const std::string& name,
+                         double start, double end, double occupancy,
+                         int stream) const {
+  auto& rec = obs::TraceRecorder::Global();
+  rec.Span(track, name, "kernel", start, end,
+           {obs::Arg("occupancy", occupancy), obs::Arg("stream", stream)});
+  const obs::Track counter =
+      rec.RegisterTrack(instance_, "occupancy counter");
+  rec.Counter(counter, "occupancy", start, occupancy);
+  rec.Counter(counter, "occupancy", end, 0.0);
+}
 
 Result<LaunchResult> Device::EstimateLaunch(const KernelLaunch& launch) const {
   if (launch.total_threads <= 0) {
@@ -87,9 +120,15 @@ Result<LaunchResult> Device::Launch(const KernelLaunch& launch) {
   if (launch.body) launch.body();
 
   RecordKernelStats(result);
+  if (obs::TraceRecorder::Global().enabled()) {
+    const double t0 = TimelineNow();
+    TraceKernel(StreamTrack(kDefaultStream), launch.name, t0,
+                t0 + result.sim_seconds, result.occupancy, kDefaultStream);
+  }
   if (clock_ != nullptr) {
     clock_->Charge(CostKind::kGpuKernel, result.sim_seconds);
   }
+  AdvanceLocalTime(result.sim_seconds);
   return result;
 }
 
@@ -103,7 +142,14 @@ double Device::CopyToDevice(size_t bytes) {
   ++stats_.h2d_copies;
   stats_.bytes_h2d += bytes;
   stats_.transfer_seconds += sec;
+  auto& rec = obs::TraceRecorder::Global();
+  if (rec.enabled()) {
+    const double t0 = TimelineNow();
+    rec.Span(DmaTrack(true), "h2d", "pcie", t0, t0 + sec,
+             {obs::Arg("bytes", static_cast<uint64_t>(bytes))});
+  }
   if (clock_ != nullptr) clock_->Charge(CostKind::kPcieTransfer, sec);
+  AdvanceLocalTime(sec);
   return sec;
 }
 
@@ -112,7 +158,14 @@ double Device::CopyFromDevice(size_t bytes) {
   ++stats_.d2h_copies;
   stats_.bytes_d2h += bytes;
   stats_.transfer_seconds += sec;
+  auto& rec = obs::TraceRecorder::Global();
+  if (rec.enabled()) {
+    const double t0 = TimelineNow();
+    rec.Span(DmaTrack(false), "d2h", "pcie", t0, t0 + sec,
+             {obs::Arg("bytes", static_cast<uint64_t>(bytes))});
+  }
   if (clock_ != nullptr) clock_->Charge(CostKind::kPcieTransfer, sec);
+  AdvanceLocalTime(sec);
   return sec;
 }
 
@@ -152,6 +205,10 @@ Result<LaunchResult> Device::LaunchAsync(const KernelLaunch& launch,
   compute_free_ = end;
   window_kernel_busy_ += result.sim_seconds;
   RecordKernelStats(result);
+  if (obs::TraceRecorder::Global().enabled()) {
+    pending_trace_.push_back({PendingTraceOp::Kind::kKernel, launch.name,
+                              stream, start, end, result.occupancy, 0});
+  }
   return result;
 }
 
@@ -179,6 +236,12 @@ Result<CopyResult> Device::CopyAsync(size_t bytes, StreamId stream,
     stats_.bytes_d2h += bytes;
   }
   stats_.transfer_seconds += copy.seconds;
+  if (obs::TraceRecorder::Global().enabled()) {
+    pending_trace_.push_back(
+        {to_device ? PendingTraceOp::Kind::kH2d : PendingTraceOp::Kind::kD2h,
+         to_device ? "h2d" : "d2h", stream, copy.start_seconds,
+         copy.end_seconds, 0.0, bytes});
+  }
   return copy;
 }
 
@@ -221,6 +284,31 @@ double Device::Synchronize() {
   // overlap failed to hide.
   const double exposed_transfer =
       std::max(0.0, makespan - window_kernel_busy_);
+
+  // Flush the window's buffered async ops onto the trace. Charges below sum
+  // to the makespan, so the window occupies [t0, t0 + makespan] on the
+  // simulated timeline and every op lands at t0 + its window offset.
+  auto& rec = obs::TraceRecorder::Global();
+  if (rec.enabled() && !pending_trace_.empty()) {
+    const double t0 = TimelineNow();
+    for (const PendingTraceOp& op : pending_trace_) {
+      if (op.kind == PendingTraceOp::Kind::kKernel) {
+        TraceKernel(StreamTrack(op.stream), op.name, t0 + op.start,
+                    t0 + op.end, op.occupancy, op.stream);
+      } else {
+        rec.Span(DmaTrack(op.kind == PendingTraceOp::Kind::kH2d), op.name,
+                 "pcie", t0 + op.start, t0 + op.end,
+                 {obs::Arg("bytes", op.bytes), obs::Arg("stream", op.stream)});
+      }
+    }
+    rec.Instant(rec.RegisterTrack(instance_, "sync"), "device.sync",
+                "device", t0 + makespan,
+                {obs::Arg("makespan_seconds", makespan),
+                 obs::Arg("kernel_busy_seconds", window_kernel_busy_),
+                 obs::Arg("exposed_transfer_seconds", exposed_transfer)});
+  }
+  pending_trace_.clear();
+
   if (clock_ != nullptr) {
     if (window_kernel_busy_ > 0.0) {
       clock_->Charge(CostKind::kGpuKernel, window_kernel_busy_);
@@ -238,7 +326,41 @@ double Device::Synchronize() {
   compute_free_ = h2d_free_ = d2h_free_ = 0.0;
   events_.clear();
   window_kernel_busy_ = window_transfer_busy_ = 0.0;
+  AdvanceLocalTime(makespan);
   return makespan;
+}
+
+void Device::CollectMetrics(std::vector<obs::MetricValue>& out) const {
+  const std::string labels = "device=" + instance_;
+  auto counter = [&](const char* name, double value) {
+    obs::MetricValue m;
+    m.name = name;
+    m.labels = labels;
+    m.type = obs::MetricType::kCounter;
+    m.value = value;
+    out.push_back(std::move(m));
+  };
+  counter("flb.gpusim.kernels_launched",
+          static_cast<double>(stats_.kernels_launched));
+  counter("flb.gpusim.h2d_copies", static_cast<double>(stats_.h2d_copies));
+  counter("flb.gpusim.d2h_copies", static_cast<double>(stats_.d2h_copies));
+  counter("flb.gpusim.bytes_h2d", static_cast<double>(stats_.bytes_h2d));
+  counter("flb.gpusim.bytes_d2h", static_cast<double>(stats_.bytes_d2h));
+  counter("flb.gpusim.kernel_seconds", stats_.kernel_seconds);
+  counter("flb.gpusim.transfer_seconds", stats_.transfer_seconds);
+  counter("flb.gpusim.streams_created",
+          static_cast<double>(stats_.streams_created));
+  counter("flb.gpusim.events_recorded",
+          static_cast<double>(stats_.events_recorded));
+  counter("flb.gpusim.synchronizations",
+          static_cast<double>(stats_.synchronizations));
+  counter("flb.gpusim.overlap_saved_seconds", stats_.overlap_saved_seconds);
+  obs::MetricValue util;
+  util.name = "flb.gpusim.mean_sm_utilization";
+  util.labels = labels;
+  util.type = obs::MetricType::kGauge;
+  util.value = stats_.MeanSmUtilization();
+  out.push_back(std::move(util));
 }
 
 }  // namespace flb::gpusim

@@ -47,6 +47,8 @@
 #include "src/common/sim_clock.h"
 #include "src/gpusim/device_spec.h"
 #include "src/gpusim/resource_manager.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 namespace flb::gpusim {
 
@@ -112,7 +114,7 @@ struct DeviceStats {
   double util_weight = 0.0;  // sum of kernel_seconds
 };
 
-class Device {
+class Device : public obs::MetricsSource {
  public:
   // `clock` may be null (timing still returned per launch, just not
   // accumulated). `branch_combining` selects the resource-manager policy;
@@ -169,15 +171,46 @@ class Device {
   const DeviceStats& stats() const { return stats_; }
   void ResetStats() { stats_ = DeviceStats{}; }
 
+  // Position on this device's trace timeline: the SimClock when one is
+  // attached, otherwise a local cursor that advances with every charged
+  // operation (so clock-less bench devices still emit monotonic traces).
+  double TimelineNow() const;
+  // Unique trace/metrics instance name ("gpu", "gpu#2", ...).
+  const std::string& instance_name() const { return instance_; }
+
+  // obs::MetricsSource: DeviceStats exposed through the unified registry.
+  void CollectMetrics(std::vector<obs::MetricValue>& out) const override;
+  void ResetMetrics() override { ResetStats(); }
+
  private:
+  // Buffered trace record for one async op; flushed at Synchronize() when
+  // the window's absolute timeline position is known.
+  struct PendingTraceOp {
+    enum class Kind { kKernel, kH2d, kD2h } kind = Kind::kKernel;
+    std::string name;
+    StreamId stream = 0;
+    double start = 0.0;  // seconds since window origin
+    double end = 0.0;
+    double occupancy = 0.0;  // kernels
+    uint64_t bytes = 0;      // copies
+  };
+
   Status CheckStream(StreamId stream) const;
   Result<CopyResult> CopyAsync(size_t bytes, StreamId stream, bool to_device);
   void RecordKernelStats(const LaunchResult& result);
+  void AdvanceLocalTime(double seconds);
+  obs::Track StreamTrack(StreamId stream) const;
+  obs::Track DmaTrack(bool to_device) const;
+  void TraceKernel(obs::Track track, const std::string& name, double start,
+                   double end, double occupancy, int stream) const;
 
   DeviceSpec spec_;
   SimClock* clock_;
   ResourceManager rm_;
   DeviceStats stats_;
+  std::string instance_;
+  double local_now_ = 0.0;  // trace cursor when clock_ == nullptr
+  std::vector<PendingTraceOp> pending_trace_;
 
   // Async window state: all values are seconds since the window origin.
   std::vector<double> stream_ready_{0.0};  // index 0 = default stream
@@ -187,6 +220,10 @@ class Device {
   std::vector<double> events_;
   double window_kernel_busy_ = 0.0;
   double window_transfer_busy_ = 0.0;
+
+  // Registers DeviceStats with the global MetricsRegistry for the device's
+  // lifetime (declared last: registration after the stats exist).
+  obs::ScopedMetricsSource metrics_registration_{this};
 };
 
 }  // namespace flb::gpusim

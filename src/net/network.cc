@@ -16,7 +16,14 @@ Status Network::Send(const std::string& from, const std::string& to,
   stats_.bytes += wire_bytes;
   stats_.bytes_by_topic[topic] += wire_bytes;
   stats_.seconds += sec;
-  if (clock_ != nullptr) clock_->Charge(CostKind::kNetwork, sec);
+  // Charge + trace span on the sender's track: one span per message, sized
+  // by its transfer time, with the routing details in the args.
+  obs::ChargeSpan(
+      clock_, CostKind::kNetwork, sec,
+      obs::TraceRecorder::Global().RegisterTrack(instance_, from), topic,
+      "network",
+      {obs::Arg("to", to), obs::Arg("bytes", static_cast<uint64_t>(wire_bytes)),
+       obs::Arg("objects", static_cast<uint64_t>(objects))});
 
   Message msg;
   msg.from = from;
@@ -47,6 +54,26 @@ Result<Message> Network::Receive(const std::string& to,
 size_t Network::PendingFor(const std::string& to) const {
   auto it = inboxes_.find(to);
   return it == inboxes_.end() ? 0 : it->second.size();
+}
+
+void Network::CollectMetrics(std::vector<obs::MetricValue>& out) const {
+  const std::string labels = "net=" + instance_;
+  auto counter = [&](const char* name, double value,
+                     const std::string& extra = "") {
+    obs::MetricValue m;
+    m.name = name;
+    m.labels = extra.empty() ? labels : labels + "," + extra;
+    m.type = obs::MetricType::kCounter;
+    m.value = value;
+    out.push_back(std::move(m));
+  };
+  counter("flb.net.messages", static_cast<double>(stats_.messages));
+  counter("flb.net.bytes", static_cast<double>(stats_.bytes));
+  counter("flb.net.seconds", stats_.seconds);
+  for (const auto& [topic, bytes] : stats_.bytes_by_topic) {
+    counter("flb.net.bytes_by_topic", static_cast<double>(bytes),
+            "topic=" + topic);
+  }
 }
 
 }  // namespace flb::net

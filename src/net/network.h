@@ -19,6 +19,8 @@
 
 #include "src/common/result.h"
 #include "src/common/sim_clock.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 namespace flb::net {
 
@@ -53,12 +55,14 @@ struct NetworkStats {
   double seconds = 0.0;
 };
 
-class Network {
+class Network : public obs::MetricsSource {
  public:
   // `clock` may be null (bytes still counted, no time charged).
   explicit Network(LinkSpec link = LinkSpec::GigabitEthernet(),
                    SimClock* clock = nullptr)
-      : link_(link), clock_(clock) {}
+      : link_(link),
+        clock_(clock),
+        instance_(obs::TraceRecorder::Global().UniqueProcessName("net")) {}
 
   const LinkSpec& link() const { return link_; }
 
@@ -81,6 +85,10 @@ class Network {
   const NetworkStats& stats() const { return stats_; }
   void ResetStats() { stats_ = NetworkStats{}; }
 
+  // obs::MetricsSource: NetworkStats exposed through the unified registry.
+  void CollectMetrics(std::vector<obs::MetricValue>& out) const override;
+  void ResetMetrics() override { ResetStats(); }
+
   // Transfer time this link would charge for `bytes` carrying `objects`
   // serialized HE objects (exposed for the analytic model benches).
   double TransferSeconds(size_t bytes, size_t objects = 0) const {
@@ -93,8 +101,13 @@ class Network {
 
   LinkSpec link_;
   SimClock* clock_;
+  std::string instance_;
   std::map<std::string, std::deque<Message>> inboxes_;
   NetworkStats stats_;
+
+  // Registers NetworkStats with the global MetricsRegistry for the
+  // network's lifetime (declared last: registration after the stats exist).
+  obs::ScopedMetricsSource metrics_registration_{this};
 };
 
 }  // namespace flb::net

@@ -1,0 +1,271 @@
+#include "src/obs/trace.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <set>
+#include <utility>
+
+#include "src/obs/json_util.h"
+#include "src/obs/metrics.h"
+
+namespace flb::obs {
+
+TraceArg Arg(std::string key, double value) {
+  return TraceArg{std::move(key), JsonNumber(value)};
+}
+TraceArg Arg(std::string key, int value) {
+  return TraceArg{std::move(key), JsonNumber(value)};
+}
+TraceArg Arg(std::string key, int64_t value) {
+  return TraceArg{std::move(key), JsonNumber(value)};
+}
+TraceArg Arg(std::string key, uint64_t value) {
+  return TraceArg{std::move(key), JsonNumber(value)};
+}
+TraceArg Arg(std::string key, bool value) {
+  return TraceArg{std::move(key), value ? "true" : "false"};
+}
+TraceArg Arg(std::string key, const char* value) {
+  return TraceArg{std::move(key), JsonQuote(value)};
+}
+TraceArg Arg(std::string key, const std::string& value) {
+  return TraceArg{std::move(key), JsonQuote(value)};
+}
+
+TraceRecorder::TraceRecorder() {
+  // Exported traces are env-gated (see header); either variable enables.
+  enabled_ = std::getenv("FLB_TRACE_OUT") != nullptr ||
+             std::getenv("FLB_TRACE") != nullptr;
+}
+
+TraceRecorder& TraceRecorder::Global() {
+  static TraceRecorder recorder;
+  // Registered after the recorder is constructed, so the handler runs
+  // before its destructor.
+  static const int atexit_registered = std::atexit(ExportEnvConfigured);
+  (void)atexit_registered;
+  return recorder;
+}
+
+Track TraceRecorder::RegisterTrack(const std::string& process,
+                                   const std::string& thread) {
+  auto key = std::make_pair(process, thread);
+  auto it = tracks_.find(key);
+  if (it != tracks_.end()) return it->second;
+
+  auto pid_it = pids_.find(process);
+  if (pid_it == pids_.end()) {
+    pid_it = pids_.emplace(process, next_pid_++).first;
+  }
+  // tids are dense per process, in registration order.
+  int tid = 0;
+  for (const auto& [k, t] : tracks_) {
+    if (k.first == process) tid = std::max(tid, t.tid + 1);
+  }
+  Track track{pid_it->second, tid};
+  tracks_.emplace(std::move(key), track);
+  return track;
+}
+
+std::string TraceRecorder::UniqueProcessName(const std::string& base) {
+  const int n = ++unique_counts_[base];
+  return n == 1 ? base : base + "#" + std::to_string(n);
+}
+
+void TraceRecorder::Push(TraceEvent event) {
+  if (!enabled_) return;
+  if (events_.size() >= max_events_) {
+    ++dropped_;
+    return;
+  }
+  events_.push_back(std::move(event));
+}
+
+void TraceRecorder::Span(Track track, std::string name, std::string category,
+                         double start_sec, double end_sec,
+                         std::vector<TraceArg> args) {
+  if (!enabled_) return;
+  TraceEvent e;
+  e.phase = TraceEvent::Phase::kComplete;
+  e.name = std::move(name);
+  e.category = std::move(category);
+  e.track = track;
+  e.ts_us = start_sec * 1e6;
+  e.dur_us = (end_sec - start_sec) * 1e6;
+  if (e.dur_us < 0.0) e.dur_us = 0.0;
+  e.args = std::move(args);
+  Push(std::move(e));
+}
+
+void TraceRecorder::Instant(Track track, std::string name,
+                            std::string category, double ts_sec,
+                            std::vector<TraceArg> args) {
+  if (!enabled_) return;
+  TraceEvent e;
+  e.phase = TraceEvent::Phase::kInstant;
+  e.name = std::move(name);
+  e.category = std::move(category);
+  e.track = track;
+  e.ts_us = ts_sec * 1e6;
+  e.args = std::move(args);
+  Push(std::move(e));
+}
+
+void TraceRecorder::Counter(Track track, std::string name, double ts_sec,
+                            double value) {
+  if (!enabled_) return;
+  TraceEvent e;
+  e.phase = TraceEvent::Phase::kCounter;
+  e.name = std::move(name);
+  e.category = "counter";
+  e.track = track;
+  e.ts_us = ts_sec * 1e6;
+  e.value = value;
+  Push(std::move(e));
+}
+
+void TraceRecorder::Clear() {
+  events_.clear();
+  dropped_ = 0;
+}
+
+std::string TraceRecorder::ToJson() const {
+  // Metadata only for tracks that actually carry events.
+  std::set<int> used_pids;
+  std::set<std::pair<int, int>> used_tracks;
+  for (const TraceEvent& e : events_) {
+    used_pids.insert(e.track.pid);
+    used_tracks.insert({e.track.pid, e.track.tid});
+  }
+
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  auto append = [&](const std::string& obj) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n" + obj;
+  };
+
+  for (const auto& [name, pid] : pids_) {
+    if (used_pids.count(pid) == 0) continue;
+    append("{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":" +
+           JsonNumber(pid) + ",\"tid\":0,\"ts\":0,\"args\":{\"name\":" +
+           JsonQuote(name) + "}}");
+  }
+  for (const auto& [key, track] : tracks_) {
+    if (used_tracks.count({track.pid, track.tid}) == 0) continue;
+    append("{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":" +
+           JsonNumber(track.pid) + ",\"tid\":" + JsonNumber(track.tid) +
+           ",\"ts\":0,\"args\":{\"name\":" + JsonQuote(key.second) + "}}");
+  }
+
+  for (const TraceEvent& e : events_) {
+    std::string obj = "{\"ph\":\"";
+    obj += static_cast<char>(e.phase);
+    obj += "\",\"name\":" + JsonQuote(e.name);
+    obj += ",\"cat\":" + JsonQuote(e.category.empty() ? "flb" : e.category);
+    obj += ",\"pid\":" + JsonNumber(e.track.pid);
+    obj += ",\"tid\":" + JsonNumber(e.track.tid);
+    obj += ",\"ts\":" + JsonNumber(e.ts_us);
+    switch (e.phase) {
+      case TraceEvent::Phase::kComplete:
+        obj += ",\"dur\":" + JsonNumber(e.dur_us);
+        break;
+      case TraceEvent::Phase::kInstant:
+        obj += ",\"s\":\"t\"";  // thread-scoped instant
+        break;
+      case TraceEvent::Phase::kCounter:
+        break;
+    }
+    if (e.phase == TraceEvent::Phase::kCounter) {
+      obj += ",\"args\":{\"value\":" + JsonNumber(e.value) + "}";
+    } else if (!e.args.empty()) {
+      obj += ",\"args\":{";
+      for (size_t i = 0; i < e.args.size(); ++i) {
+        if (i > 0) obj += ",";
+        obj += JsonQuote(e.args[i].key) + ":" + e.args[i].json_value;
+      }
+      obj += "}";
+    }
+    obj += "}";
+    append(obj);
+  }
+
+  out += "\n],\"otherData\":{\"clock\":\"simulated\",\"dropped_events\":" +
+         JsonNumber(dropped_) + "}}";
+  return out;
+}
+
+Status TraceRecorder::WriteJson(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IoError("TraceRecorder: cannot open " + path);
+  }
+  const std::string json = ToJson();
+  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  if (written != json.size()) {
+    return Status::IoError("TraceRecorder: short write to " + path);
+  }
+  return Status::OK();
+}
+
+ScopedSpan::ScopedSpan(const SimClock* clock, Track track, std::string name,
+                       std::string category, TraceRecorder* recorder)
+    : recorder_(recorder),
+      clock_(clock),
+      track_(track),
+      name_(std::move(name)),
+      category_(std::move(category)) {
+  active_ = recorder_ != nullptr && recorder_->enabled() && clock_ != nullptr;
+  if (active_) start_sec_ = clock_->Now();
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (!active_) return;
+  recorder_->Span(track_, std::move(name_), std::move(category_), start_sec_,
+                  clock_->Now(), std::move(args_));
+}
+
+ScopedSpan& ScopedSpan::AddArg(TraceArg arg) {
+  if (active_) args_.push_back(std::move(arg));
+  return *this;
+}
+
+void ChargeSpan(SimClock* clock, CostKind kind, double seconds, Track track,
+                std::string name, std::string category,
+                std::vector<TraceArg> args, TraceRecorder* recorder) {
+  if (clock == nullptr) return;
+  const double start = clock->Now();
+  clock->Charge(kind, seconds);
+  if (recorder != nullptr && recorder->enabled()) {
+    args.push_back(Arg("cost_kind", CostKindName(kind)));
+    recorder->Span(track, std::move(name), std::move(category), start,
+                   start + seconds, std::move(args));
+  }
+}
+
+void ExportEnvConfigured() {
+  static bool done = false;
+  if (done) return;
+  done = true;
+  if (const char* path = std::getenv("FLB_TRACE_OUT")) {
+    const Status s = TraceRecorder::Global().WriteJson(path);
+    if (!s.ok()) {
+      std::fprintf(stderr, "trace export failed: %s\n", s.ToString().c_str());
+    } else {
+      std::fprintf(stderr, "[obs] wrote trace to %s\n", path);
+    }
+  }
+  if (const char* path = std::getenv("FLB_METRICS_OUT")) {
+    const Status s = MetricsRegistry::Global().WriteJson(path);
+    if (!s.ok()) {
+      std::fprintf(stderr, "metrics export failed: %s\n",
+                   s.ToString().c_str());
+    } else {
+      std::fprintf(stderr, "[obs] wrote metrics to %s\n", path);
+    }
+  }
+}
+
+}  // namespace flb::obs

@@ -1,0 +1,192 @@
+// TraceRecorder: simulated-time tracing for the whole platform.
+//
+// Every layer of the reproduction — gpusim kernels and DMA transfers, GHE
+// chunk scheduling, HeService batches, network messages, trainer epochs —
+// records spans, instants, and counter samples here, stamped with
+// *simulated* seconds from the SimClock / device stream timelines (there is
+// no wall-clock anywhere in a trace). The recorder exports Chrome
+// trace-event JSON, loadable in Perfetto or chrome://tracing, so a run's
+// timeline can be inspected visually: whether multi-stream GHE H2D copies
+// actually hide under kernels, where an epoch's communication sits relative
+// to its HE batches, and so on.
+//
+// Track model: a Track is a (process, thread) pair in the trace-viewer
+// sense. Processes group component instances ("gpu", "net", "trainer",
+// "host"); threads are individual timelines within one ("stream 1",
+// "dma h2d", a sending party's name). Components that can have several live
+// instances (devices, networks) take a fresh process name from
+// UniqueProcessName() so their timelines never share a track.
+//
+// The recorder is process-global (TraceRecorder::Global()) and disabled by
+// default; it auto-enables when FLB_TRACE_OUT or FLB_TRACE is set in the
+// environment, and every recording call is a cheap no-op while disabled.
+// Platform::Run clears the global recorder at the start of each run, so
+// grid drivers (one binary, many runs) export the trace of their most
+// recent run — one coherent timeline per file.
+
+#ifndef FLB_OBS_TRACE_H_
+#define FLB_OBS_TRACE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/sim_clock.h"
+#include "src/common/status.h"
+
+namespace flb::obs {
+
+// A (process, thread) pair identifying one timeline in the exported trace.
+struct Track {
+  int pid = 0;
+  int tid = 0;
+};
+
+// One key/value pair attached to a trace event. The value is stored
+// already-JSON-encoded (numbers verbatim, strings quoted+escaped); build
+// them with the Arg() helpers.
+struct TraceArg {
+  std::string key;
+  std::string json_value;
+};
+
+TraceArg Arg(std::string key, double value);
+TraceArg Arg(std::string key, int value);
+TraceArg Arg(std::string key, int64_t value);
+TraceArg Arg(std::string key, uint64_t value);
+TraceArg Arg(std::string key, bool value);
+TraceArg Arg(std::string key, const char* value);
+TraceArg Arg(std::string key, const std::string& value);
+
+struct TraceEvent {
+  enum class Phase : char {
+    kComplete = 'X',  // span: ts + dur
+    kInstant = 'i',   // point event
+    kCounter = 'C',   // sampled counter value
+  };
+  Phase phase = Phase::kComplete;
+  std::string name;
+  std::string category;
+  Track track;
+  double ts_us = 0.0;   // simulated microseconds
+  double dur_us = 0.0;  // complete events only
+  double value = 0.0;   // counter events only
+  std::vector<TraceArg> args;
+};
+
+class TraceRecorder {
+ public:
+  TraceRecorder();
+
+  // The process-global recorder every instrumented component reports to.
+  static TraceRecorder& Global();
+
+  bool enabled() const { return enabled_; }
+  void set_enabled(bool enabled) { enabled_ = enabled; }
+
+  // Returns the Track for (process, thread), registering it on first use.
+  // Idempotent: the same name pair always maps to the same pid/tid.
+  Track RegisterTrack(const std::string& process, const std::string& thread);
+
+  // Returns `base` the first time it is asked for, then "base#2", "base#3",
+  // ... — used by multi-instance components to keep their tracks separate.
+  std::string UniqueProcessName(const std::string& base);
+
+  // All timestamps are simulated seconds; the recorder converts to the
+  // trace format's microseconds. Calls are no-ops while disabled.
+  void Span(Track track, std::string name, std::string category,
+            double start_sec, double end_sec, std::vector<TraceArg> args = {});
+  void Instant(Track track, std::string name, std::string category,
+               double ts_sec, std::vector<TraceArg> args = {});
+  void Counter(Track track, std::string name, double ts_sec, double value);
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  // Events discarded after the max_events cap was hit.
+  uint64_t dropped_events() const { return dropped_; }
+  // Safety valve for epoch-scale runs; default 1M events.
+  void set_max_events(size_t n) { max_events_ = n; }
+
+  // Drops recorded events (and the dropped counter). Track registrations
+  // persist so cached Track handles and unique names stay valid.
+  void Clear();
+
+  // Chrome trace-event JSON: {"traceEvents": [...], ...}. Metadata
+  // (process/thread names) is emitted only for tracks that appear in at
+  // least one event.
+  std::string ToJson() const;
+  Status WriteJson(const std::string& path) const;
+
+ private:
+  void Push(TraceEvent event);
+
+  bool enabled_ = false;
+  size_t max_events_ = 1000000;
+  uint64_t dropped_ = 0;
+  std::vector<TraceEvent> events_;
+  // (process, thread) name -> track; process name -> pid.
+  std::map<std::pair<std::string, std::string>, Track> tracks_;
+  std::map<std::string, int> pids_;
+  std::map<std::string, int> unique_counts_;
+  int next_pid_ = 1;
+};
+
+// RAII span: reads the simulated clock at construction and destruction and
+// records the [start, end] window as a complete event. Inactive (free) when
+// the recorder is disabled or the clock is null.
+class ScopedSpan {
+ public:
+  ScopedSpan(const SimClock* clock, Track track, std::string name,
+             std::string category = "span",
+             TraceRecorder* recorder = &TraceRecorder::Global());
+  ~ScopedSpan();
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  // Attaches a key/value to the span (shown in the trace viewer's detail
+  // pane). No-op when inactive.
+  ScopedSpan& AddArg(TraceArg arg);
+
+ private:
+  TraceRecorder* recorder_;
+  const SimClock* clock_;
+  Track track_;
+  std::string name_;
+  std::string category_;
+  double start_sec_ = 0.0;
+  bool active_ = false;
+  std::vector<TraceArg> args_;
+};
+
+// Charges `seconds` to `kind` on `clock` and records the matching span in
+// one call — the single-step form of "this component just spent simulated
+// time doing X". No-op charge when clock is null (span is skipped too,
+// since there is no timeline position without a clock).
+void ChargeSpan(SimClock* clock, CostKind kind, double seconds, Track track,
+                std::string name, std::string category,
+                std::vector<TraceArg> args = {},
+                TraceRecorder* recorder = &TraceRecorder::Global());
+
+// Writes the global recorder to FLB_TRACE_OUT and the global registry to
+// FLB_METRICS_OUT (when set), once per process — later calls are no-ops.
+// The Global() singletons register this atexit, so every binary (benches,
+// examples, the CLI) honors the env vars without wiring an exporter.
+void ExportEnvConfigured();
+
+#define FLB_OBS_CONCAT_INNER(a, b) a##b
+#define FLB_OBS_CONCAT(a, b) FLB_OBS_CONCAT_INNER(a, b)
+
+// Declares a scoped span on the (process, thread) track for the rest of the
+// enclosing block: FLB_TRACE_SPAN(clock, "trainer", "homo_lr", "epoch 0");
+#define FLB_TRACE_SPAN(clock, process, thread, name)                     \
+  ::flb::obs::ScopedSpan FLB_OBS_CONCAT(flb_trace_span_, __LINE__)(      \
+      (clock),                                                           \
+      ::flb::obs::TraceRecorder::Global().RegisterTrack((process),       \
+                                                        (thread)),       \
+      (name))
+
+}  // namespace flb::obs
+
+#endif  // FLB_OBS_TRACE_H_
