@@ -1,25 +1,47 @@
 #!/usr/bin/env bash
 # Regenerates every paper table/figure plus the extension benches into
 # results/, then runs the test suite. Usage:
-#   ./scripts/run_all_experiments.sh [--smoke] [build-dir]
+#   ./scripts/run_all_experiments.sh [--smoke] [--chaos[=plan]] [build-dir]
 #
 # --smoke: CI-sized pass — FLB_SMOKE=1 shrinks the workload grids to a
 # single tiny key size (256-bit) and one epoch over miniature datasets, and
 # the microbenchmarks run one timing batch each. Exercises every driver
 # end-to-end in minutes instead of hours; the numbers are meaningless.
+#
+# --chaos[=plan]: run the table/figure drivers under a fault plan
+# (FLB_FAULT_PLAN; grammar in src/net/fault.h). Without a plan argument a
+# canned mix of loss, duplication, reordering, corruption, a straggler, a
+# crash window, and a partition window is used. The plan applies ONLY to
+# the bench drivers — ctest always runs fault-free.
 set -euo pipefail
 
+DEFAULT_CHAOS_PLAN='seed=7;drop=0.02;dup=0.005;reorder=0.01;corrupt=0.002;straggler=party1:4;crash=party2@0.4-0.9;partition=party0|server@0.2-0.3'
+
 SMOKE=0
-if [ "${1:-}" = "--smoke" ]; then
-  SMOKE=1
-  shift
-fi
-case "${1:-}" in
-  --*)
-    echo "unknown flag: $1 (usage: $0 [--smoke] [build-dir])" >&2
-    exit 2
-    ;;
-esac
+CHAOS_PLAN=""
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --smoke)
+      SMOKE=1
+      shift
+      ;;
+    --chaos)
+      CHAOS_PLAN="$DEFAULT_CHAOS_PLAN"
+      shift
+      ;;
+    --chaos=*)
+      CHAOS_PLAN="${1#--chaos=}"
+      shift
+      ;;
+    --*)
+      echo "unknown flag: $1 (usage: $0 [--smoke] [--chaos[=plan]] [build-dir])" >&2
+      exit 2
+      ;;
+    *)
+      break
+      ;;
+  esac
+done
 
 BUILD_DIR="${1:-build}"
 REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
@@ -35,6 +57,11 @@ GBENCH_ARGS=()
 if [ "$SMOKE" = 1 ]; then
   export FLB_SMOKE=1
   GBENCH_ARGS=(--benchmark_min_time=0 --benchmark_filter='.*(256|512|1024)')
+fi
+
+if [ -n "$CHAOS_PLAN" ]; then
+  echo "== chaos mode: bench drivers run under FLB_FAULT_PLAN =="
+  echo "   $CHAOS_PLAN"
 fi
 
 echo "== tests =="
@@ -53,6 +80,9 @@ for bench in "$REPO_ROOT/$BUILD_DIR"/bench/bench_*; do
       # Table/figure drivers export the observability artifacts: bench
       # result records, a unified metrics snapshot, and the (last run's)
       # simulated-time trace.
+      # An empty FLB_FAULT_PLAN is ignored by the platform, so chaos mode
+      # is a pure pass-through here.
+      FLB_FAULT_PLAN="$CHAOS_PLAN" \
       FLB_BENCH_NAME="$name" \
       FLB_BENCH_JSON="$RESULTS/BENCH_$name.json" \
       FLB_METRICS_OUT="$RESULTS/$name.metrics.json" \

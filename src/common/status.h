@@ -27,6 +27,12 @@ enum class StatusCode : int {
   kArithmeticError = 9,
   kCryptoError = 10,
   kIoError = 11,
+  // Transport/reliability codes (gRPC-style): a deadline budget ran out, a
+  // peer is (possibly transiently) unreachable, or data failed an integrity
+  // check. Callers treat these as recoverable degradation, not protocol bugs.
+  kDeadlineExceeded = 12,
+  kUnavailable = 13,
+  kDataLoss = 14,
 };
 
 // Returns a stable, human-readable name for a status code ("InvalidArgument").
@@ -71,6 +77,15 @@ class Status {
   static Status IoError(std::string msg) {
     return Status(StatusCode::kIoError, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -94,6 +109,11 @@ class Status {
   }
   bool IsCryptoError() const { return code_ == StatusCode::kCryptoError; }
   bool IsIoError() const { return code_ == StatusCode::kIoError; }
+  bool IsDeadlineExceeded() const {
+    return code_ == StatusCode::kDeadlineExceeded;
+  }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
+  bool IsDataLoss() const { return code_ == StatusCode::kDataLoss; }
 
   // "OK" or "<CodeName>: <message>".
   std::string ToString() const;

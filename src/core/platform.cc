@@ -1,5 +1,6 @@
 #include "src/core/platform.h"
 
+#include <cstdlib>
 #include <memory>
 #include <utility>
 
@@ -48,6 +49,28 @@ Result<RunReport> Platform::Run(const PlatformConfig& config) {
   }
   net::Network network(config.link, clock.get());
 
+  // Chaos mode: an explicit plan in the config wins; else the
+  // FLB_FAULT_PLAN environment variable (read fresh on every run so test
+  // fixtures can set/unset it). An active plan attaches the fault injector
+  // and reroutes all traffic through a reliable channel.
+  std::string fault_spec = config.fault_plan;
+  if (fault_spec.empty()) {
+    const char* env = std::getenv("FLB_FAULT_PLAN");
+    if (env != nullptr) fault_spec = env;
+  }
+  std::unique_ptr<net::FaultInjector> injector;
+  std::unique_ptr<net::ReliableChannel> reliable;
+  if (!fault_spec.empty()) {
+    FLB_ASSIGN_OR_RETURN(net::FaultPlan plan,
+                         net::FaultPlan::Parse(fault_spec));
+    injector = std::make_unique<net::FaultInjector>(std::move(plan),
+                                                    clock.get());
+    reliable = std::make_unique<net::ReliableChannel>(&network,
+                                                      config.reliable);
+    network.set_fault_injector(injector.get());
+    network.set_reliable_channel(reliable.get());
+  }
+
   const int parties =
       config.model == FlModelKind::kHeteroNn ? 2 : config.num_parties;
 
@@ -75,6 +98,7 @@ Result<RunReport> Platform::Run(const PlatformConfig& config) {
   session.he = he.get();
   session.network = &network;
   session.clock = clock.get();
+  session.faults = injector.get();
 
   if (recorder.enabled()) {
     recorder.Span(run_track, "platform.setup", "platform", setup_start,
@@ -151,6 +175,9 @@ Result<RunReport> Platform::Run(const PlatformConfig& config) {
     report.pack_ratio = static_cast<double>(report.he_ops.values_encrypted) /
                         report.he_ops.encrypts;
   }
+  report.robustness = report.train.robustness;
+  if (injector != nullptr) report.fault_stats = injector->stats();
+  if (reliable != nullptr) report.channel_stats = reliable->stats();
 
   // Per-run report gauges: the last completed run for each (engine, model,
   // key) cell of a grid driver stays visible in the metrics snapshot.
@@ -169,6 +196,22 @@ Result<RunReport> Platform::Run(const PlatformConfig& config) {
   metrics.Set("flb.platform.sm_utilization", report.sm_utilization,
               run_labels);
   metrics.Set("flb.platform.pack_ratio", report.pack_ratio, run_labels);
+  if (injector != nullptr) {
+    metrics.Set("flb.platform.fault_injected",
+                static_cast<double>(report.fault_stats.TotalInjected()),
+                run_labels);
+    metrics.Set("flb.platform.retransmits",
+                static_cast<double>(report.channel_stats.retransmits),
+                run_labels);
+    metrics.Set("flb.platform.timeouts",
+                static_cast<double>(report.channel_stats.timeouts),
+                run_labels);
+    metrics.Set("flb.platform.dropouts",
+                static_cast<double>(report.robustness.TotalDropouts()),
+                run_labels);
+    metrics.Set("flb.platform.resumes",
+                static_cast<double>(report.robustness.resumes), run_labels);
+  }
   return report;
 }
 

@@ -18,7 +18,9 @@
 #include "src/fl/hetero_nn.h"
 #include "src/fl/hetero_sbt.h"
 #include "src/fl/homo_nn.h"
+#include "src/net/fault.h"
 #include "src/net/network.h"
+#include "src/net/reliable_channel.h"
 
 namespace flb::core {
 
@@ -57,6 +59,12 @@ struct PlatformConfig {
   // Device streams for chunked HE batch overlap. 0 = engine default
   // (4 for the FLBooster engines, 1 for the baselines).
   int gpu_streams = 0;
+  // Fault plan spec (net/fault.h grammar). Empty = consult FLB_FAULT_PLAN;
+  // both empty = healthy run with the legacy raw transport. A non-empty
+  // plan attaches a FaultInjector and routes all traffic through a
+  // ReliableChannel (framing + ack/retransmit).
+  std::string fault_plan;
+  net::ReliableOptions reliable;
 };
 
 struct RunReport {
@@ -76,6 +84,10 @@ struct RunReport {
   // Pre-encryption packing ratio actually achieved: values encrypted per
   // ciphertext produced (Fig. 7 input).
   double pack_ratio = 1.0;
+  // Chaos-run accounting (all zero without a fault plan).
+  fl::RobustnessCounters robustness;
+  net::FaultStats fault_stats;
+  net::ChannelStats channel_stats;
 
   double SecondsPerEpoch() const {
     return train.epochs.empty() ? 0.0

@@ -21,6 +21,36 @@ struct TrainConfig {
   // Convergence: stop when |loss_t - loss_{t-1}| < tolerance (paper: 1e-6).
   double tolerance = 1e-6;
   OptimizerKind optimizer = OptimizerKind::kAdam;
+
+  // Graceful degradation under a fault plan (both gates are inert unless the
+  // platform attaches a FaultInjector). A party that misses the round
+  // deadline is excluded and the server aggregates the partial participant
+  // set with FedAvg renormalization.
+  //
+  // Absolute gate: per-round simulated-seconds budget per party (compute +
+  // estimated upload); 0 = the server waits forever.
+  double straggler_deadline_sec = 0;
+  // Relative gate: drop a party whose straggler slowdown factor exceeds
+  // this multiple of a healthy party's round time; 0 = off. The server
+  // stops waiting at the gate, so the straggler's excess compute beyond
+  // factor x (healthy time) is not charged to the global timeline.
+  double straggler_deadline_factor = 0;
+};
+
+// Dropout / degradation bookkeeping for a run under a fault plan (all zero
+// in healthy runs).
+struct RobustnessCounters {
+  uint64_t straggler_dropouts = 0;  // parties past the round deadline
+  uint64_t crash_dropouts = 0;      // parties down at round start
+  uint64_t transport_dropouts = 0;  // sends/receives that exhausted retries
+  uint64_t partial_rounds = 0;      // rounds aggregated with < all parties
+  uint64_t skipped_rounds = 0;      // rounds with zero contributions
+  uint64_t checkpoints = 0;         // epoch-boundary model snapshots
+  uint64_t resumes = 0;             // server crash-resume restorations
+
+  uint64_t TotalDropouts() const {
+    return straggler_dropouts + crash_dropouts + transport_dropouts;
+  }
 };
 
 struct EpochRecord {
@@ -42,6 +72,7 @@ struct TrainResult {
   double final_loss = 0.0;
   double final_accuracy = 0.0;
   bool converged = false;
+  RobustnessCounters robustness;
 
   double TotalSimSeconds() const {
     return epochs.empty() ? 0.0 : epochs.back().sim_seconds_cum;
@@ -56,6 +87,10 @@ struct FlSession {
   core::HeService* he = nullptr;
   net::Network* network = nullptr;
   SimClock* clock = nullptr;  // may be null
+  // Set when a fault plan is active: trainers consult it for party
+  // liveness and straggler factors (transport faults are injected inside
+  // Network and handled by the ReliableChannel without trainer help).
+  net::FaultInjector* faults = nullptr;
 };
 
 }  // namespace flb::fl

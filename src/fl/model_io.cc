@@ -1,5 +1,7 @@
 #include "src/fl/model_io.h"
 
+#include <cstdio>
+
 #include "src/net/serializer.h"
 
 namespace flb::fl {
@@ -8,6 +10,7 @@ namespace {
 
 constexpr uint32_t kLrMagic = 0x464C4252;   // "FLBR"
 constexpr uint32_t kSbtMagic = 0x464C4253;  // "FLBS"
+constexpr uint32_t kCkptMagic = 0x464C4243;  // "FLBC"
 constexpr uint32_t kVersion = 1;
 
 uint64_t Checksum(const std::vector<uint8_t>& bytes, size_t from) {
@@ -127,6 +130,76 @@ Result<SbtModel> DeserializeSbtModel(const std::vector<uint8_t>& bytes) {
     model.trees.push_back(std::move(tree));
   }
   return model;
+}
+
+std::vector<uint8_t> SerializeCheckpoint(int epoch,
+                                         const std::vector<double>& weights) {
+  net::Serializer payload;
+  payload.PutU32(static_cast<uint32_t>(epoch + 1));  // -1 stored as 0
+  payload.PutDoubleVector(weights);
+  net::Serializer out;
+  out.PutU32(kCkptMagic);
+  out.PutU32(kVersion);
+  out.PutU64(Checksum(payload.bytes(), 0));
+  auto bytes = out.TakeBytes();
+  const auto& p = payload.bytes();
+  bytes.insert(bytes.end(), p.begin(), p.end());
+  return bytes;
+}
+
+Result<TrainCheckpoint> DeserializeCheckpoint(
+    const std::vector<uint8_t>& bytes) {
+  net::Deserializer d(bytes);
+  FLB_ASSIGN_OR_RETURN(uint32_t magic, d.GetU32());
+  if (magic != kCkptMagic) {
+    return Status::InvalidArgument("checkpoint: bad magic");
+  }
+  FLB_ASSIGN_OR_RETURN(uint32_t version, d.GetU32());
+  if (version != kVersion) {
+    return Status::NotSupported("checkpoint: unsupported version");
+  }
+  FLB_ASSIGN_OR_RETURN(uint64_t checksum, d.GetU64());
+  if (checksum != Checksum(bytes, 16)) {
+    return Status::IoError("checkpoint: checksum mismatch (corrupt file)");
+  }
+  TrainCheckpoint ckpt;
+  FLB_ASSIGN_OR_RETURN(uint32_t epoch, d.GetU32());
+  ckpt.epoch = static_cast<int>(epoch) - 1;
+  FLB_ASSIGN_OR_RETURN(ckpt.weights, d.GetDoubleVector());
+  return ckpt;
+}
+
+Status WriteModelFile(const std::string& path,
+                      const std::vector<uint8_t>& bytes) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IoError("WriteModelFile: cannot open " + path);
+  }
+  const size_t written = bytes.empty()
+                             ? 0
+                             : std::fwrite(bytes.data(), 1, bytes.size(), f);
+  const bool ok = std::fclose(f) == 0 && written == bytes.size();
+  if (!ok) return Status::IoError("WriteModelFile: short write to " + path);
+  return Status::OK();
+}
+
+Result<std::vector<uint8_t>> ReadModelFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::NotFound("ReadModelFile: cannot open " + path);
+  }
+  std::vector<uint8_t> bytes;
+  uint8_t buf[4096];
+  size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    bytes.insert(bytes.end(), buf, buf + n);
+  }
+  const bool had_error = std::ferror(f) != 0;
+  std::fclose(f);
+  if (had_error) {
+    return Status::IoError("ReadModelFile: read error on " + path);
+  }
+  return bytes;
 }
 
 }  // namespace flb::fl

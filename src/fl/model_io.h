@@ -6,6 +6,7 @@
 #define FLB_FL_MODEL_IO_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "src/common/result.h"
@@ -26,6 +27,23 @@ struct SbtModel {
   double learning_rate = 0.0;
 };
 Result<SbtModel> DeserializeSbtModel(const std::vector<uint8_t>& bytes);
+
+// Epoch-boundary training checkpoint (crash-resume for the homo trainers):
+// the epoch just completed plus the model weights at its end. Same
+// magic + version + FNV-1a checksum envelope as the model formats.
+struct TrainCheckpoint {
+  int epoch = -1;  // -1 = initial weights, before any epoch completed
+  std::vector<double> weights;
+};
+std::vector<uint8_t> SerializeCheckpoint(int epoch,
+                                         const std::vector<double>& weights);
+Result<TrainCheckpoint> DeserializeCheckpoint(
+    const std::vector<uint8_t>& bytes);
+
+// Whole-file helpers for model/checkpoint blobs.
+Status WriteModelFile(const std::string& path,
+                      const std::vector<uint8_t>& bytes);
+Result<std::vector<uint8_t>> ReadModelFile(const std::string& path);
 
 }  // namespace flb::fl
 

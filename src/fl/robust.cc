@@ -1,0 +1,139 @@
+#include "src/fl/robust.h"
+
+#include <cstdlib>
+#include <utility>
+
+#include "src/fl/model_io.h"
+#include "src/fl/trainer_util.h"
+#include "src/net/fault.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
+namespace flb::fl {
+
+RobustCoordinator::RobustCoordinator(const FlSession& session,
+                                     const TrainConfig& config,
+                                     std::string trainer)
+    : session_(session), config_(config), trainer_(std::move(trainer)) {
+  const char* dir = std::getenv("FLB_CHECKPOINT_DIR");
+  if (dir != nullptr && dir[0] != '\0') {
+    checkpoint_path_ = std::string(dir) + "/" + trainer_ + ".ckpt";
+  }
+}
+
+bool RobustCoordinator::IsUp(const std::string& party) const {
+  return session_.faults == nullptr || !session_.faults->IsCrashed(party);
+}
+
+bool RobustCoordinator::PartyUp(const std::string& party) {
+  if (IsUp(party)) return true;
+  counters_.crash_dropouts += 1;
+  RecordEvent("crash_dropout", party);
+  return false;
+}
+
+bool RobustCoordinator::ServerDown() const { return !IsUp(kServerName); }
+
+bool RobustCoordinator::AdmitUpload(const std::string& party,
+                                    double compute_sec, double send_sec) {
+  if (!active()) return true;
+  const double scale = session_.faults->StragglerFactor(party);
+  const double gate = config_.straggler_deadline_factor;
+  const bool past_gate = gate > 0 && scale > gate;
+  // The server waits for the straggler only up to the gate, so the extra
+  // compute charged to the shared timeline is capped at factor `gate`.
+  const double eff = past_gate ? gate : scale;
+  if (session_.clock != nullptr && compute_sec > 0 && eff > 1.0) {
+    session_.clock->Charge(CostKind::kModelCompute,
+                           (eff - 1.0) * compute_sec);
+  }
+  if (past_gate) {
+    counters_.straggler_dropouts += 1;
+    RecordEvent("straggler_dropout", party);
+    return false;
+  }
+  if (config_.straggler_deadline_sec > 0 &&
+      eff * compute_sec + scale * send_sec > config_.straggler_deadline_sec) {
+    counters_.straggler_dropouts += 1;
+    RecordEvent("straggler_dropout", party);
+    return false;
+  }
+  return true;
+}
+
+bool RobustCoordinator::Recoverable(const Status& status) {
+  return status.IsUnavailable() || status.IsDeadlineExceeded() ||
+         status.IsDataLoss();
+}
+
+void RobustCoordinator::CountTransportDropout(const std::string& party,
+                                              const Status& status) {
+  counters_.transport_dropouts += 1;
+  RecordEvent(status.IsDataLoss() ? "data_loss_dropout" : "transport_dropout",
+              party);
+}
+
+void RobustCoordinator::CountSkippedRound() {
+  counters_.skipped_rounds += 1;
+  RecordEvent("skipped_round", kServerName);
+}
+
+void RobustCoordinator::CountPartialRound() {
+  counters_.partial_rounds += 1;
+  RecordEvent("partial_round", kServerName);
+}
+
+void RobustCoordinator::Checkpoint(int epoch,
+                                   const std::vector<double>& weights) {
+  if (!active()) return;
+  last_checkpoint_ = SerializeCheckpoint(epoch, weights);
+  if (!checkpoint_path_.empty()) {
+    // Best effort: the in-memory copy is authoritative for resume.
+    (void)WriteModelFile(checkpoint_path_, last_checkpoint_);
+  }
+  counters_.checkpoints += 1;
+  RecordEvent("checkpoint", kServerName);
+}
+
+Result<int> RobustCoordinator::Resume(std::vector<double>* weights) {
+  if (!active()) {
+    return Status::InvalidArgument("Resume: no fault plan active");
+  }
+  if (session_.faults->IsCrashed(kServerName)) {
+    const double recover = session_.faults->CrashRecoverTime(kServerName);
+    if (recover < 0) {
+      return Status::Unavailable(
+          "RobustCoordinator: server crashed permanently; cannot resume");
+    }
+    SimClock* clock = session_.clock;
+    if (clock != nullptr && recover > clock->Now()) {
+      // Training stalls until the server restarts.
+      clock->Charge(CostKind::kOther, recover - clock->Now());
+    }
+  }
+  if (last_checkpoint_.empty()) {
+    return Status::NotFound("RobustCoordinator: no checkpoint to resume from");
+  }
+  FLB_ASSIGN_OR_RETURN(TrainCheckpoint ckpt,
+                       DeserializeCheckpoint(last_checkpoint_));
+  *weights = ckpt.weights;
+  // The restarted server lost all in-flight round state.
+  if (session_.network != nullptr) session_.network->PurgeInboxes();
+  counters_.resumes += 1;
+  RecordEvent("resume", kServerName);
+  return ckpt.epoch + 1;
+}
+
+void RobustCoordinator::RecordEvent(const char* kind,
+                                    const std::string& party) {
+  obs::MetricsRegistry::Global().Count(
+      "flb.fl.robust.events", 1,
+      "kind=" + std::string(kind) + ",party=" + party + ",model=" + trainer_);
+  auto& rec = obs::TraceRecorder::Global();
+  if (!rec.enabled()) return;
+  const double now = session_.clock != nullptr ? session_.clock->Now() : 0.0;
+  rec.Instant(rec.RegisterTrack("robust", trainer_), kind, "robust", now,
+              {obs::Arg("party", party)});
+}
+
+}  // namespace flb::fl

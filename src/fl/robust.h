@@ -1,0 +1,95 @@
+// RobustCoordinator: graceful degradation for the homo trainers under a
+// fault plan (DESIGN.md §6).
+//
+// When the platform attaches a FaultInjector the trainers face crashed
+// parties, stragglers past their deadline, and transport errors that the
+// ReliableChannel could not hide (kUnavailable / kDeadlineExceeded /
+// kDataLoss after retries). The coordinator centralizes the policy:
+//
+//   * liveness gating — a party down at round start is excluded (crash
+//     dropout) and rejoins automatically when it recovers, picking up the
+//     current global model from the next broadcast;
+//   * straggler gating — a slow party's extra compute time is charged to
+//     the timeline only up to the relative deadline factor; past either the
+//     relative or the absolute per-round budget the server stops waiting
+//     and the party's contribution is dropped (straggler dropout);
+//   * partial aggregation — the server averages over the k gradients it
+//     actually received (FedAvg renormalization: divide by k, not p);
+//   * checkpoint / resume — epoch-boundary model snapshots (model_io
+//     "FLBC" format, optionally persisted to FLB_CHECKPOINT_DIR); when the
+//     aggregation server crashes, Resume() waits out the downtime on the
+//     SimClock, restores the last checkpoint, and purges in-flight
+//     messages (server-restart semantics).
+//
+// Every hook is a no-op when no fault injector is attached, so the healthy
+// path keeps byte-for-byte the legacy accounting.
+
+#ifndef FLB_FL_ROBUST_H_
+#define FLB_FL_ROBUST_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/fl/fl_types.h"
+
+namespace flb::fl {
+
+class RobustCoordinator {
+ public:
+  RobustCoordinator(const FlSession& session, const TrainConfig& config,
+                    std::string trainer);
+
+  // True when a fault plan is active; every other method is a cheap no-op
+  // otherwise.
+  bool active() const { return session_.faults != nullptr; }
+
+  // Liveness at the current simulated time, without dropout accounting
+  // (broadcast/decrypt phases re-check parties already counted at upload).
+  bool IsUp(const std::string& party) const;
+  // Liveness at round start; a down party counts as one crash dropout.
+  bool PartyUp(const std::string& party);
+  bool ServerDown() const;
+
+  // Straggler model for one party's upload: charges the extra compute its
+  // slow host adds on top of the already-charged healthy `compute_sec`
+  // (capped at the relative deadline gate — the server stops waiting
+  // there), then applies both deadline gates to the slowed compute plus
+  // the slowed `send_sec` transfer estimate. Returns false when the party
+  // missed the round deadline (caller skips the upload).
+  bool AdmitUpload(const std::string& party, double compute_sec,
+                   double send_sec);
+
+  // Transport errors the trainers absorb as a dropout instead of aborting.
+  static bool Recoverable(const Status& status);
+  void CountTransportDropout(const std::string& party, const Status& status);
+  void CountSkippedRound();
+  void CountPartialRound();
+
+  // Snapshots the model at an epoch boundary (epoch = -1 for the initial
+  // weights). No-op when inactive.
+  void Checkpoint(int epoch, const std::vector<double>& weights);
+
+  // Server crash recovery: waits out remaining downtime on the SimClock
+  // (kUnavailable if the server never recovers), restores the last
+  // checkpoint into `weights`, purges in-flight messages, and returns the
+  // first epoch to re-run.
+  Result<int> Resume(std::vector<double>* weights);
+
+  const RobustnessCounters& counters() const { return counters_; }
+
+ private:
+  void RecordEvent(const char* kind, const std::string& party);
+
+  FlSession session_;
+  TrainConfig config_;
+  std::string trainer_;
+  std::string checkpoint_path_;  // empty = in-memory only
+  std::vector<uint8_t> last_checkpoint_;
+  RobustnessCounters counters_;
+};
+
+}  // namespace flb::fl
+
+#endif  // FLB_FL_ROBUST_H_

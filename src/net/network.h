@@ -55,6 +55,18 @@ struct NetworkStats {
   double seconds = 0.0;
 };
 
+class FaultInjector;
+class ReliableChannel;
+
+// Delivery outcome of one SendDirect attempt, as decided by the attached
+// FaultInjector (all-true-delivery when none is attached). ReliableChannel
+// reads this to drive its ack/retransmit loop.
+struct SendOutcome {
+  bool delivered = true;
+  bool corrupted = false;
+  bool duplicated = false;
+};
+
 class Network : public obs::MetricsSource {
  public:
   // `clock` may be null (bytes still counted, no time charged).
@@ -65,19 +77,54 @@ class Network : public obs::MetricsSource {
         instance_(obs::TraceRecorder::Global().UniqueProcessName("net")) {}
 
   const LinkSpec& link() const { return link_; }
+  SimClock* clock() const { return clock_; }
+
+  // Optional fault injection: when set, every SendDirect consults the
+  // injector (drop/duplicate/reorder/corrupt/delay + partitions + crashes)
+  // and transfer time from straggler parties is slowed by their factor.
+  void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
+  FaultInjector* fault_injector() const { return injector_; }
+
+  // Optional reliability: when set, Send/Receive route through the channel
+  // (framing, ack/retransmit, duplicate suppression); the channel itself
+  // uses the *Direct entry points below. Platform attaches a channel
+  // whenever a fault plan is configured; without one the direct path is
+  // byte-for-byte the legacy behavior.
+  void set_reliable_channel(ReliableChannel* channel) { reliable_ = channel; }
+  ReliableChannel* reliable_channel() const { return reliable_; }
 
   // Enqueues the message at `to` and charges transfer time. A small framing
   // overhead (headers) is added to the payload size; `objects` is the
   // number of serialized HE objects in the payload, each charged the link's
-  // per-object protocol overhead (see LinkSpec).
+  // per-object protocol overhead (see LinkSpec). Routes through the
+  // reliable channel when one is attached.
   Status Send(const std::string& from, const std::string& to,
               const std::string& topic, std::vector<uint8_t> payload,
               size_t objects = 0);
 
   // Pops the oldest message for `to` with the given topic. NotFound if none
-  // is pending — in this sequential harness that is a protocol bug, so
-  // callers generally treat it as fatal.
+  // is pending — without a reliable channel that is a protocol bug in this
+  // sequential harness, so callers generally treat it as fatal; with one,
+  // absence becomes a typed recoverable error (kUnavailable).
   Result<Message> Receive(const std::string& to, const std::string& topic);
+
+  // The raw transport under the reliable channel: one delivery attempt /
+  // one inbox pop, no framing or retransmission. `outcome` (may be null)
+  // reports what the fault injector did to the attempt.
+  Status SendDirect(const std::string& from, const std::string& to,
+                    const std::string& topic, std::vector<uint8_t> payload,
+                    size_t objects = 0, SendOutcome* outcome = nullptr);
+  Result<Message> ReceiveDirect(const std::string& to,
+                                const std::string& topic);
+
+  // Charges wire time + bytes for a control message (acks) without
+  // enqueuing anything: counted under bytes_by_topic[topic], not messages.
+  void ChargeControl(const std::string& from, const std::string& to,
+                     const std::string& topic, size_t bytes);
+
+  // Drops every pending message (server-restart semantics: in-flight state
+  // is lost when the aggregator recovers from a crash).
+  void PurgeInboxes() { inboxes_.clear(); }
 
   // Number of pending messages for a party (any topic).
   size_t PendingFor(const std::string& to) const;
@@ -101,6 +148,8 @@ class Network : public obs::MetricsSource {
 
   LinkSpec link_;
   SimClock* clock_;
+  FaultInjector* injector_ = nullptr;
+  ReliableChannel* reliable_ = nullptr;
   std::string instance_;
   std::map<std::string, std::deque<Message>> inboxes_;
   NetworkStats stats_;

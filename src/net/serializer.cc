@@ -43,6 +43,84 @@ void Serializer::PutBigIntBatchFixed(const std::vector<BigInt>& v,
   for (const BigInt& x : v) PutBigIntFixed(x, words);
 }
 
+namespace {
+
+constexpr uint32_t kFrameMagic = 0x464C4246;  // "FLBF"
+
+const uint32_t* Crc32Table() {
+  static const auto table = [] {
+    static uint32_t t[256];
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32(const uint8_t* data, size_t len) {
+  const uint32_t* table = Crc32Table();
+  uint32_t c = 0xFFFFFFFFu;
+  for (size_t i = 0; i < len; ++i) {
+    c = table[(c ^ data[i]) & 0xFF] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+uint32_t Crc32(const std::vector<uint8_t>& bytes) {
+  return Crc32(bytes.data(), bytes.size());
+}
+
+std::vector<uint8_t> EncodeFrame(uint64_t seq,
+                                 const std::vector<uint8_t>& payload) {
+  Serializer body;
+  body.PutU64(seq);
+  body.PutU32(static_cast<uint32_t>(payload.size()));
+  Serializer out;
+  out.PutU32(kFrameMagic);
+  // CRC over [seq][len][payload] — the body built so far plus the payload
+  // appended verbatim below.
+  uint32_t crc = 0xFFFFFFFFu;
+  const uint32_t* table = Crc32Table();
+  for (uint8_t b : body.bytes()) crc = table[(crc ^ b) & 0xFF] ^ (crc >> 8);
+  for (uint8_t b : payload) crc = table[(crc ^ b) & 0xFF] ^ (crc >> 8);
+  out.PutU32(crc ^ 0xFFFFFFFFu);
+  std::vector<uint8_t> bytes = out.TakeBytes();
+  const auto& head = body.bytes();
+  bytes.insert(bytes.end(), head.begin(), head.end());
+  bytes.insert(bytes.end(), payload.begin(), payload.end());
+  return bytes;
+}
+
+Result<Frame> DecodeFrame(const std::vector<uint8_t>& bytes) {
+  if (bytes.size() < 20) {  // magic + crc + seq + len
+    return Status::DataLoss("frame: truncated header");
+  }
+  Deserializer d(bytes);
+  FLB_ASSIGN_OR_RETURN(uint32_t magic, d.GetU32());
+  if (magic != kFrameMagic) {
+    return Status::DataLoss("frame: bad magic (corrupted or unframed)");
+  }
+  FLB_ASSIGN_OR_RETURN(uint32_t crc, d.GetU32());
+  if (crc != Crc32(bytes.data() + 8, bytes.size() - 8)) {
+    return Status::DataLoss("frame: CRC32 mismatch (payload corrupted)");
+  }
+  Frame frame;
+  FLB_ASSIGN_OR_RETURN(frame.seq, d.GetU64());
+  FLB_ASSIGN_OR_RETURN(uint32_t len, d.GetU32());
+  if (len != d.remaining()) {
+    return Status::DataLoss("frame: length disagrees with buffer");
+  }
+  frame.payload.assign(bytes.end() - len, bytes.end());
+  return frame;
+}
+
 Status Deserializer::Need(size_t n) const {
   if (pos_ + n > bytes_.size()) {
     return Status::OutOfRange("Deserializer: truncated message");

@@ -41,6 +41,31 @@ class Serializer {
   std::vector<uint8_t> bytes_;
 };
 
+// CRC-32 (IEEE 802.3 polynomial, reflected). Used as the integrity check on
+// reliable-transport frames and anywhere a cheap end-to-end payload guard is
+// needed; detects every single-bit flip.
+uint32_t Crc32(const uint8_t* data, size_t len);
+uint32_t Crc32(const std::vector<uint8_t>& bytes);
+
+// Reliable-transport frame: the unit ReliableChannel puts on the wire.
+//
+//   [magic u32][crc u32][seq u64][len u32][payload]
+//
+// The CRC covers everything after the crc field (seq + len + payload), so a
+// bit flip anywhere in the routed content surfaces as kDataLoss at the
+// receiver; a corrupted magic is equally fatal. `seq` is the per-link
+// sequence number duplicate suppression keys on.
+struct Frame {
+  uint64_t seq = 0;
+  std::vector<uint8_t> payload;
+};
+
+std::vector<uint8_t> EncodeFrame(uint64_t seq,
+                                 const std::vector<uint8_t>& payload);
+// kDataLoss on bad magic, checksum mismatch, or a length that disagrees
+// with the buffer — the caller treats all three as a corrupted frame.
+Result<Frame> DecodeFrame(const std::vector<uint8_t>& bytes);
+
 class Deserializer {
  public:
   explicit Deserializer(const std::vector<uint8_t>& bytes) : bytes_(bytes) {}

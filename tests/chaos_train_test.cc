@@ -1,0 +1,224 @@
+// End-to-end chaos tests: federated training under a fault plan must stay
+// deterministic for a fixed seed, degrade gracefully (partial aggregation,
+// straggler dropouts), and survive a mid-training server crash by resuming
+// from the last epoch checkpoint.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "src/core/he_service.h"
+#include "src/core/platform.h"
+#include "src/fl/homo_lr.h"
+#include "src/fl/partition.h"
+#include "src/net/fault.h"
+#include "src/net/reliable_channel.h"
+
+namespace flb {
+namespace {
+
+using core::EngineKind;
+using core::HeService;
+using core::HeServiceOptions;
+
+// A full chaos harness: clock + faulty network + reliable channel + modeled
+// HE, all deterministic for a fixed plan.
+struct ChaosHarness {
+  SimClock clock;
+  std::shared_ptr<gpusim::Device> device;
+  net::Network network{net::LinkSpec::GigabitEthernet(), &clock};
+  std::unique_ptr<net::FaultInjector> injector;
+  std::unique_ptr<net::ReliableChannel> channel;
+  std::unique_ptr<HeService> he;
+
+  fl::FlSession session() {
+    return fl::FlSession{he.get(), &network, &clock, injector.get()};
+  }
+};
+
+std::unique_ptr<ChaosHarness> MakeChaosHarness(const std::string& plan_spec,
+                                               int parties) {
+  auto h = std::make_unique<ChaosHarness>();
+  h->device = std::make_shared<gpusim::Device>(
+      gpusim::DeviceSpec::Rtx3090(), &h->clock,
+      core::TraitsFor(EngineKind::kFlBooster).branch_combining);
+  if (!plan_spec.empty()) {
+    auto plan = net::FaultPlan::Parse(plan_spec);
+    EXPECT_TRUE(plan.ok()) << plan.status().ToString();
+    h->injector = std::make_unique<net::FaultInjector>(std::move(plan).value(),
+                                                       &h->clock);
+    h->channel = std::make_unique<net::ReliableChannel>(&h->network);
+    h->network.set_fault_injector(h->injector.get());
+    h->network.set_reliable_channel(h->channel.get());
+  }
+  HeServiceOptions opts;
+  opts.engine = EngineKind::kFlBooster;
+  opts.key_bits = 256;
+  opts.r_bits = 14;
+  opts.participants = parties;
+  opts.frac_bits = 16;
+  opts.fp_compress_slot_bits = 40;
+  opts.modeled = true;
+  auto he = HeService::Create(opts, &h->clock, h->device);
+  EXPECT_TRUE(he.ok()) << he.status().ToString();
+  h->he = std::move(he).value();
+  return h;
+}
+
+std::vector<fl::Dataset> Shards(int parties) {
+  fl::DatasetSpec spec;
+  spec.kind = fl::DatasetKind::kSynthetic;
+  spec.rows = 240;
+  spec.cols = 12;
+  spec.nnz_per_row = 12;
+  auto dataset = fl::GenerateDataset(spec).value();
+  return fl::HorizontalSplit(dataset, parties).value();
+}
+
+fl::TrainConfig ChaosConfig() {
+  fl::TrainConfig cfg;
+  cfg.max_epochs = 2;
+  cfg.batch_size = 32;
+  cfg.learning_rate = 0.1;
+  cfg.tolerance = 1e-9;
+  cfg.straggler_deadline_factor = 2.0;
+  return cfg;
+}
+
+constexpr char kChaosPlan[] =
+    "seed=5;drop=0.3;dup=0.05;corrupt=0.05;straggler=party1:4";
+
+TEST(ChaosTrainTest, SameSeedIsBitIdentical) {
+  const int parties = 3;
+  auto run = [&] {
+    auto h = MakeChaosHarness(kChaosPlan, parties);
+    fl::HomoLrTrainer trainer(Shards(parties), h->session(), ChaosConfig());
+    auto result = trainer.Train();
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    struct Out {
+      std::vector<double> weights;
+      uint64_t retransmits, crc_failures, bytes, drops;
+      fl::RobustnessCounters robustness;
+      double sim_seconds;
+    } out;
+    out.weights = trainer.weights();
+    out.retransmits = h->channel->stats().retransmits;
+    out.crc_failures = h->channel->stats().crc_failures;
+    out.bytes = h->network.stats().bytes;
+    out.drops = h->injector->stats().drops;
+    out.robustness = result->robustness;
+    out.sim_seconds = h->clock.Now();
+    return out;
+  };
+  auto a = run();
+  auto b = run();
+  // Same plan + seed: the entire chaos run is bit-reproducible.
+  ASSERT_EQ(a.weights.size(), b.weights.size());
+  for (size_t i = 0; i < a.weights.size(); ++i) {
+    EXPECT_EQ(a.weights[i], b.weights[i]) << i;  // exact, not approximate
+  }
+  EXPECT_EQ(a.retransmits, b.retransmits);
+  EXPECT_EQ(a.crc_failures, b.crc_failures);
+  EXPECT_EQ(a.bytes, b.bytes);
+  EXPECT_EQ(a.drops, b.drops);
+  EXPECT_EQ(a.robustness.straggler_dropouts, b.robustness.straggler_dropouts);
+  EXPECT_EQ(a.robustness.transport_dropouts, b.robustness.transport_dropouts);
+  EXPECT_EQ(a.sim_seconds, b.sim_seconds);
+  // The chaos was real: 30% loss forced retransmissions, and the factor-4
+  // straggler sits past the 2x deadline gate every round.
+  EXPECT_GT(a.retransmits, 0u);
+  EXPECT_GT(a.drops, 0u);
+  EXPECT_GT(a.robustness.straggler_dropouts, 0u);
+  EXPECT_GT(a.robustness.partial_rounds, 0u);
+}
+
+TEST(ChaosTrainTest, CleanRunHasZeroRobustnessCounters) {
+  const int parties = 3;
+  auto h = MakeChaosHarness("", parties);
+  fl::HomoLrTrainer trainer(Shards(parties), h->session(), ChaosConfig());
+  auto result = trainer.Train().value();
+  EXPECT_EQ(result.robustness.TotalDropouts(), 0u);
+  EXPECT_EQ(result.robustness.partial_rounds, 0u);
+  EXPECT_EQ(result.robustness.skipped_rounds, 0u);
+  EXPECT_EQ(result.robustness.checkpoints, 0u);
+  EXPECT_EQ(result.robustness.resumes, 0u);
+}
+
+core::PlatformConfig ChaosPlatformConfig() {
+  core::PlatformConfig cfg;
+  cfg.engine = EngineKind::kFlBooster;
+  cfg.model = core::FlModelKind::kHomoLr;
+  cfg.dataset = fl::DatasetSpec{fl::DatasetKind::kSynthetic, 256, 16, 16, 5};
+  cfg.num_parties = 4;
+  cfg.key_bits = 1024;
+  cfg.modeled = true;
+  // Train to near-convergence so the clean accuracy is a stable reference
+  // for the 2-point degradation bound.
+  cfg.train.max_epochs = 8;
+  cfg.train.batch_size = 32;
+  cfg.train.tolerance = 1e-9;
+  return cfg;
+}
+
+TEST(ChaosTrainTest, PlatformChaosRunDegradesGracefully) {
+  // The acceptance scenario: 2% loss, one 4x straggler past the deadline
+  // gate, and one party crashing mid-training. The run must complete with
+  // accuracy within 2 points of the fault-free run.
+  auto clean = core::Platform::Run(ChaosPlatformConfig()).value();
+  EXPECT_EQ(clean.fault_stats.decisions, 0u);
+  EXPECT_EQ(clean.channel_stats.sends, 0u);
+  EXPECT_EQ(clean.robustness.TotalDropouts(), 0u);
+
+  auto cfg = ChaosPlatformConfig();
+  cfg.train.straggler_deadline_factor = 2.0;
+  const double t1 = 0.35 * clean.total_seconds;
+  const double t2 = 0.75 * clean.total_seconds;
+  cfg.fault_plan = "seed=7;drop=0.02;straggler=party1:4;crash=party2@" +
+                   std::to_string(t1) + "-" + std::to_string(t2);
+  auto chaos = core::Platform::Run(cfg).value();
+
+  EXPECT_EQ(chaos.train.epochs.size(), 8u);
+  EXPECT_NEAR(chaos.train.final_accuracy, clean.train.final_accuracy, 0.02);
+  EXPECT_GT(chaos.fault_stats.decisions, 0u);
+  EXPECT_GT(chaos.robustness.straggler_dropouts, 0u);
+  EXPECT_GT(chaos.robustness.partial_rounds, 0u);
+  EXPECT_GT(chaos.channel_stats.sends, 0u);
+  EXPECT_GT(chaos.robustness.checkpoints, 0u);
+  // Roughly comparable timeline: retransmits and straggler waits add time,
+  // while rounds the crashed party sits out save its compute.
+  EXPECT_GE(chaos.total_seconds, clean.total_seconds * 0.9);
+}
+
+TEST(ChaosTrainTest, ServerCrashResumesFromCheckpoint) {
+  auto clean = core::Platform::Run(ChaosPlatformConfig()).value();
+  auto cfg = ChaosPlatformConfig();
+  // Server down for a window spanning several rounds mid-training; short
+  // retry budgets so the clients give up instead of riding it out.
+  const double t1 = 0.3 * clean.total_seconds;
+  const double t2 = 0.8 * clean.total_seconds;
+  cfg.fault_plan =
+      "seed=3;crash=server@" + std::to_string(t1) + "-" + std::to_string(t2);
+  cfg.reliable.deadline_sec = 0.02 * clean.total_seconds;
+  auto chaos = core::Platform::Run(cfg).value();
+
+  EXPECT_GE(chaos.robustness.resumes, 1u);
+  EXPECT_GT(chaos.robustness.checkpoints, 0u);
+  EXPECT_EQ(chaos.train.epochs.size(), 8u);  // completed despite the outage
+  // The run stalls through the outage window, so it ends after recovery.
+  EXPECT_GT(chaos.total_seconds, t2);
+  EXPECT_NEAR(chaos.train.final_accuracy, clean.train.final_accuracy, 0.05);
+}
+
+TEST(ChaosTrainTest, PermanentServerCrashIsATypedError) {
+  auto cfg = ChaosPlatformConfig();
+  cfg.fault_plan = "seed=3;crash=server@0";  // never recovers
+  cfg.reliable.deadline_sec = 0.01;
+  cfg.reliable.max_attempts = 3;
+  auto chaos = core::Platform::Run(cfg);
+  ASSERT_FALSE(chaos.ok());
+  EXPECT_TRUE(chaos.status().IsUnavailable()) << chaos.status().ToString();
+}
+
+}  // namespace
+}  // namespace flb
