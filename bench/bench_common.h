@@ -15,6 +15,8 @@
 #include <utility>
 #include <vector>
 
+#include "src/common/thread_pool.h"
+#include "src/common/timer.h"
 #include "src/core/platform.h"
 #include "src/obs/json_util.h"
 #include "src/obs/metrics.h"
@@ -113,6 +115,8 @@ class BenchJson {
   void set_bench(std::string name) { bench_ = std::move(name); }
   const std::string& bench() const { return bench_; }
   void set_section(std::string section) { section_ = std::move(section); }
+  void set_host_threads(int n) { host_threads_ = n; }
+  void set_wall_ms(double ms) { wall_ms_ = ms; }
 
   void Record(const std::string& metric, double value,
               const std::string& unit) {
@@ -127,6 +131,8 @@ class BenchJson {
 
   std::string ToJson() const {
     std::string out = "{\"bench\":" + obs::JsonQuote(bench_);
+    out += ",\"host_threads\":" + std::to_string(host_threads_);
+    out += ",\"wall_ms\":" + obs::JsonNumber(wall_ms_);
     out += ",\"results\":[";
     for (size_t i = 0; i < rows_.size(); ++i) {
       if (i > 0) out += ",";
@@ -163,6 +169,8 @@ class BenchJson {
   };
   std::string bench_ = "bench";
   std::string section_;
+  int host_threads_ = 0;
+  double wall_ms_ = 0.0;
   std::vector<Row> rows_;
 };
 
@@ -190,9 +198,14 @@ class ObsExporter {
     BenchJson::Global();
     const char* bench_name = std::getenv("FLB_BENCH_NAME");
     if (bench_name != nullptr) BenchJson::Global().set_bench(bench_name);
+    BenchJson::Global().set_host_threads(
+        common::ThreadPool::Global().num_threads());
   }
 
-  ~ObsExporter() { Export(); }
+  ~ObsExporter() {
+    BenchJson::Global().set_wall_ms(timer_.ElapsedSeconds() * 1e3);
+    Export();
+  }
 
   static void Export() {
     // Trace + metrics export lives in obs (atexit-registered for every
@@ -208,6 +221,9 @@ class ObsExporter {
       }
     }
   }
+
+ private:
+  WallTimer timer_;  // whole-bench wall clock, exported as wall_ms
 };
 
 inline ObsExporter obs_exporter_at_exit;

@@ -4,12 +4,19 @@
 
 #include <benchmark/benchmark.h>
 
+#include <map>
+#include <memory>
+#include <tuple>
+#include <vector>
+
 #include "src/common/rng.h"
+#include "src/common/thread_pool.h"
 #include "src/crypto/paillier.h"
 
 namespace {
 
 using flb::Rng;
+using flb::common::ThreadPool;
 using flb::crypto::PaillierContext;
 using flb::crypto::PaillierKeyGen;
 using flb::crypto::PaillierOptions;
@@ -93,6 +100,83 @@ void BM_ScalarMulSmallVsNegative(benchmark::State& state) {
   state.SetLabel(negative ? "negative scalar" : "positive scalar");
 }
 BENCHMARK(BM_ScalarMulSmallVsNegative)->Arg(0)->Arg(1);
+
+// Shared pools per thread count so the batch benchmarks don't pay thread
+// spawn/teardown inside the timed region.
+ThreadPool& CachedPool(int threads) {
+  static std::map<int, std::unique_ptr<ThreadPool>> pools;
+  auto it = pools.find(threads);
+  if (it == pools.end()) {
+    it = pools.emplace(threads, std::make_unique<ThreadPool>(threads)).first;
+  }
+  return *it->second;
+}
+
+const PaillierContext& CachedBatchContext(int bits, bool secure) {
+  static std::map<std::pair<int, bool>, PaillierContext> cache;
+  auto key = std::make_pair(bits, secure);
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    Rng rng(2000 + bits + secure);
+    PaillierOptions opts;
+    opts.secure_obfuscation = secure;
+    auto keys = PaillierKeyGen(bits, rng, opts).value();
+    it = cache.emplace(key, PaillierContext::Create(keys, opts).value()).first;
+  }
+  return it->second;
+}
+
+// Host execution engine: EncryptBatch wall-clock over {key bits, obfuscation
+// path, pool threads}. secure=0 is the seeded obfuscation pool (precompute
+// cache); secure=1 a fresh powm per element. Outputs are bit-identical at
+// any thread count, so only time/iter differs across the threads axis.
+void BM_EncryptBatch(benchmark::State& state) {
+  const int bits = static_cast<int>(state.range(0));
+  const bool secure = state.range(1) != 0;
+  const int threads = static_cast<int>(state.range(2));
+  const auto& ctx = CachedBatchContext(bits, secure);
+  auto& pool = CachedPool(threads);
+  constexpr size_t kBatch = 64;
+  std::vector<BigInt> ms;
+  for (size_t i = 0; i < kBatch; ++i) ms.push_back(BigInt(i * 13 + 1));
+  Rng rng(21);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ctx.EncryptBatch(ms, rng, &pool).value());
+  }
+  state.SetItemsProcessed(state.iterations() * kBatch);
+  state.SetLabel((secure ? "secure powm" : "obf. pool") + std::string(", ") +
+                 std::to_string(threads) + " thread(s)");
+}
+BENCHMARK(BM_EncryptBatch)
+    ->Args({1024, 1, 1})
+    ->Args({1024, 0, 1})
+    ->Args({1024, 0, 4})
+    ->Args({2048, 0, 1})
+    ->Args({2048, 0, 4})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_DecryptBatch(benchmark::State& state) {
+  const int bits = static_cast<int>(state.range(0));
+  const int threads = static_cast<int>(state.range(1));
+  const auto& ctx = CachedBatchContext(bits, false);
+  auto& pool = CachedPool(threads);
+  constexpr size_t kBatch = 64;
+  std::vector<BigInt> ms;
+  for (size_t i = 0; i < kBatch; ++i) ms.push_back(BigInt(i * 7 + 3));
+  Rng rng(22);
+  const auto cs = ctx.EncryptBatch(ms, rng, &pool).value();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ctx.DecryptBatch(cs, &pool).value());
+  }
+  state.SetItemsProcessed(state.iterations() * kBatch);
+  state.SetLabel(std::to_string(threads) + " thread(s)");
+}
+BENCHMARK(BM_DecryptBatch)
+    ->Args({1024, 1})
+    ->Args({1024, 4})
+    ->Args({2048, 1})
+    ->Args({2048, 4})
+    ->Unit(benchmark::kMillisecond);
 
 void BM_KeyGen(benchmark::State& state) {
   const int bits = static_cast<int>(state.range(0));

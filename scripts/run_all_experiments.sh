@@ -103,7 +103,12 @@ for path in sorted(results.glob("BENCH_*.json")):
     name = path.stem[len("BENCH_"):]
     with open(path) as f:
         data = json.load(f)
-    summary["benches"].setdefault(name, {})["results"] = data.get("results", [])
+    entry = summary["benches"].setdefault(name, {})
+    entry["results"] = data.get("results", [])
+    if "host_threads" in data:
+        entry["host_threads"] = data["host_threads"]
+    if "wall_ms" in data:
+        entry["wall_ms"] = data["wall_ms"]
 for path in sorted(results.glob("*.metrics.json")):
     name = path.name[: -len(".metrics.json")]
     with open(path) as f:

@@ -79,4 +79,12 @@ std::vector<uint32_t> Rng::NextWords(size_t n) {
 
 Rng Rng::Fork() { return Rng(NextU64()); }
 
+Rng Rng::ForStream(uint64_t seed, uint64_t stream) {
+  // Mix the pair through one splitmix step so that nearby stream indices
+  // land far apart in seed space; the Rng constructor splitmixes again to
+  // fill the 256-bit state.
+  uint64_t x = seed ^ (stream + 1) * 0xD1342543DE82EF95ULL;
+  return Rng(SplitMix64(x));
+}
+
 }  // namespace flb

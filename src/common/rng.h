@@ -40,6 +40,13 @@ class Rng {
   // thread, as the paper assigns one generator per thread in a warp).
   Rng Fork();
 
+  // Independent generator for stream `stream` of a seed, stateless in the
+  // parent: ForStream(seed, i) depends only on (seed, i). Parallel batch
+  // bodies draw one seed from the caller's Rng and give element i the
+  // ForStream(seed, i) generator, making the randomness — and therefore the
+  // results — independent of work partitioning and steal order.
+  static Rng ForStream(uint64_t seed, uint64_t stream);
+
  private:
   uint64_t s_[4];
   bool has_cached_gaussian_ = false;

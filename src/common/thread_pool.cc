@@ -1,0 +1,197 @@
+#include "src/common/thread_pool.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <limits>
+
+namespace flb::common {
+
+namespace {
+
+// True while this thread is executing inside a ParallelFor body; nested
+// calls must run inline (the single job slot is occupied).
+thread_local bool tls_inside_parallel_for = false;
+
+}  // namespace
+
+int ThreadPool::ThreadsFromEnv(const char* value, int fallback) {
+  if (value == nullptr || *value == '\0') return fallback;
+  char* end = nullptr;
+  const long parsed = std::strtol(value, &end, 10);
+  if (end == value || *end != '\0' || parsed <= 0) return fallback;
+  return static_cast<int>(std::min<long>(parsed, 512));
+}
+
+int ThreadPool::DefaultThreads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+ThreadPool& ThreadPool::Global() {
+  static ThreadPool pool(0);
+  return pool;
+}
+
+ThreadPool::ThreadPool(int num_threads)
+    : num_threads_(num_threads > 0
+                       ? num_threads
+                       : ThreadsFromEnv(std::getenv("FLB_HOST_THREADS"),
+                                        DefaultThreads())),
+      shards_(static_cast<size_t>(num_threads_)) {}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& t : workers_) t.join();
+}
+
+ThreadPool::StatsSnapshot ThreadPool::stats() const {
+  StatsSnapshot s;
+  s.parallel_fors = stat_fors_.load(std::memory_order_relaxed);
+  s.tasks = stat_tasks_.load(std::memory_order_relaxed);
+  s.steals = stat_steals_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void ThreadPool::EnsureStartedLocked() {
+  if (started_) return;
+  started_ = true;
+  workers_.reserve(static_cast<size_t>(num_threads_ - 1));
+  for (int p = 1; p < num_threads_; ++p) {
+    workers_.emplace_back([this, p] { WorkerLoop(p); });
+  }
+}
+
+void ThreadPool::ParallelFor(int64_t n,
+                             const std::function<void(int64_t, int64_t)>& fn) {
+  if (n <= 0) return;
+  stat_fors_.fetch_add(1, std::memory_order_relaxed);
+  if (num_threads_ == 1 || n == 1 || tls_inside_parallel_for) {
+    stat_tasks_.fetch_add(1, std::memory_order_relaxed);
+    fn(0, n);
+    return;
+  }
+
+  std::lock_guard<std::mutex> call_lock(call_mu_);
+  // Fixed chunking: ~4 chunks per participant bounds steal traffic while
+  // leaving enough pieces to smooth uneven per-element cost. Chunk contents
+  // depend only on n and the pool width; results depend on neither (every
+  // element writes its own slot).
+  const int64_t target_chunks =
+      std::min<int64_t>(n, static_cast<int64_t>(num_threads_) * 4);
+  const int64_t grain = (n + target_chunks - 1) / target_chunks;
+  const int64_t num_chunks = (n + grain - 1) / grain;
+
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    EnsureStartedLocked();
+    job_fn_ = &fn;
+    job_n_ = n;
+    job_grain_ = grain;
+    for (int p = 0; p < num_threads_; ++p) {
+      const int64_t begin = num_chunks * p / num_threads_;
+      const int64_t end = num_chunks * (p + 1) / num_threads_;
+      shards_[static_cast<size_t>(p)].next.store(begin,
+                                                 std::memory_order_relaxed);
+      shards_[static_cast<size_t>(p)].end = end;
+    }
+    ++epoch_;
+    workers_active_ = static_cast<int>(workers_.size());
+  }
+  work_cv_.notify_all();
+
+  tls_inside_parallel_for = true;
+  RunParticipant(0);
+  tls_inside_parallel_for = false;
+
+  std::unique_lock<std::mutex> lk(mu_);
+  done_cv_.wait(lk, [this] { return workers_active_ == 0; });
+  job_fn_ = nullptr;
+}
+
+void ThreadPool::ParallelForEach(int64_t n,
+                                 const std::function<void(int64_t)>& fn) {
+  ParallelFor(n, [&fn](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) fn(i);
+  });
+}
+
+void ThreadPool::WorkerLoop(int participant) {
+  uint64_t seen = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      work_cv_.wait(lk, [this, seen] { return stop_ || epoch_ != seen; });
+      if (stop_) return;
+      seen = epoch_;
+    }
+    tls_inside_parallel_for = true;
+    RunParticipant(participant);
+    tls_inside_parallel_for = false;
+    bool last = false;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      last = --workers_active_ == 0;
+    }
+    if (last) done_cv_.notify_one();
+  }
+}
+
+void ThreadPool::RunParticipant(int participant) {
+  const auto& fn = *job_fn_;
+  const int64_t n = job_n_;
+  const int64_t grain = job_grain_;
+  const auto run_chunk = [&](int64_t c) {
+    const int64_t begin = c * grain;
+    fn(begin, std::min(n, begin + grain));
+    stat_tasks_.fetch_add(1, std::memory_order_relaxed);
+  };
+  Shard& own = shards_[static_cast<size_t>(participant)];
+  for (;;) {
+    const int64_t c = own.next.fetch_add(1, std::memory_order_relaxed);
+    if (c >= own.end) break;
+    run_chunk(c);
+  }
+  // Own shard drained: steal from the others, round-robin from the right.
+  for (int off = 1; off < num_threads_; ++off) {
+    Shard& victim =
+        shards_[static_cast<size_t>((participant + off) % num_threads_)];
+    for (;;) {
+      const int64_t c = victim.next.fetch_add(1, std::memory_order_relaxed);
+      if (c >= victim.end) break;
+      run_chunk(c);
+      stat_steals_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+Status ParallelForEachStatus(ThreadPool& pool, size_t n,
+                             const std::function<Status(size_t)>& fn) {
+  if (n == 0) return Status::OK();
+  std::mutex err_mu;
+  size_t err_index = std::numeric_limits<size_t>::max();
+  Status err;
+  pool.ParallelFor(static_cast<int64_t>(n), [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) {
+      Status s = fn(static_cast<size_t>(i));
+      if (!s.ok()) {
+        // A chunk stops at its own first error; the smallest erroring index
+        // is always the first error of *its* chunk, so the min over chunk
+        // errors is thread-count independent.
+        std::lock_guard<std::mutex> lk(err_mu);
+        if (static_cast<size_t>(i) < err_index) {
+          err_index = static_cast<size_t>(i);
+          err = std::move(s);
+        }
+        return;
+      }
+    }
+  });
+  if (err_index != std::numeric_limits<size_t>::max()) return err;
+  return Status::OK();
+}
+
+}  // namespace flb::common

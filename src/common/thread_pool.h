@@ -1,0 +1,114 @@
+// Work-stealing host thread pool for element-parallel batch bodies.
+//
+// The simulated-time model is untouched by host parallelism: the pool only
+// accelerates the *wall-clock* execution of host bodies (real Paillier/RSA
+// arithmetic inside GHE batches and the CPU reference path). Determinism
+// contract: ParallelFor partitions [0, n) into fixed chunks whose contents
+// depend only on n, every element writes an output slot determined solely by
+// its index, and any per-element randomness must be derived from the element
+// index (see Rng::ForStream) — so results are bit-identical for any thread
+// count and any steal order.
+//
+// The pool is lazily started: no threads are spawned until the first
+// ParallelFor that can use them, and a 1-thread pool never spawns any.
+
+#ifndef FLB_COMMON_THREAD_POOL_H_
+#define FLB_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace flb::common {
+
+class ThreadPool {
+ public:
+  // num_threads <= 0 resolves FLB_HOST_THREADS, then hardware_concurrency.
+  explicit ThreadPool(int num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Process-wide pool sized by FLB_HOST_THREADS (falling back to
+  // hardware_concurrency). Engines take a ThreadPool* and default to this.
+  static ThreadPool& Global();
+
+  // Parses a FLB_HOST_THREADS-style value; non-numeric/non-positive values
+  // fall back. Exposed for tests (the global pool reads the env only once).
+  static int ThreadsFromEnv(const char* value, int fallback);
+  static int DefaultThreads();
+
+  int num_threads() const { return num_threads_; }
+
+  // Cumulative counters (relaxed atomics; exact totals once the pool is
+  // quiescent, which is whenever no ParallelFor is in flight).
+  struct StatsSnapshot {
+    uint64_t parallel_fors = 0;  // ParallelFor calls
+    uint64_t tasks = 0;          // chunks executed
+    uint64_t steals = 0;         // chunks taken from another worker's shard
+  };
+  StatsSnapshot stats() const;
+
+  // Invokes fn(begin, end) over a disjoint cover of [0, n); blocks until all
+  // elements ran. The calling thread participates. fn must not throw and
+  // must write only to slots owned by its indices. Nested calls from inside
+  // fn run inline on the calling worker.
+  void ParallelFor(int64_t n, const std::function<void(int64_t, int64_t)>& fn);
+
+  // Per-index convenience wrapper over ParallelFor.
+  void ParallelForEach(int64_t n, const std::function<void(int64_t)>& fn);
+
+ private:
+  // One participant's claim on its statically assigned chunk range.
+  // fetch_add claims; visitors past `end` leave next harmlessly large.
+  struct alignas(64) Shard {
+    std::atomic<int64_t> next{0};
+    int64_t end = 0;
+  };
+
+  void EnsureStartedLocked();
+  void WorkerLoop(int participant);
+  void RunParticipant(int participant);
+
+  const int num_threads_;
+
+  // Serializes top-level ParallelFor calls; nested/concurrent callers run
+  // their work inline instead of deadlocking on the single job slot.
+  std::mutex call_mu_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  std::vector<std::thread> workers_;
+  bool started_ = false;
+  bool stop_ = false;
+  uint64_t epoch_ = 0;
+  int workers_active_ = 0;
+
+  // Current job (valid while a ParallelFor is in flight).
+  const std::function<void(int64_t, int64_t)>* job_fn_ = nullptr;
+  int64_t job_n_ = 0;
+  int64_t job_grain_ = 1;
+  std::vector<Shard> shards_;
+
+  std::atomic<uint64_t> stat_fors_{0};
+  std::atomic<uint64_t> stat_tasks_{0};
+  std::atomic<uint64_t> stat_steals_{0};
+};
+
+// Runs fn(i) for every i in [0, n) on the pool. Each chunk stops at its own
+// first error; across chunks the error with the smallest element index wins,
+// so the returned status is identical at any thread count.
+Status ParallelForEachStatus(ThreadPool& pool, size_t n,
+                             const std::function<Status(size_t)>& fn);
+
+}  // namespace flb::common
+
+#endif  // FLB_COMMON_THREAD_POOL_H_

@@ -74,11 +74,23 @@ Result<std::unique_ptr<HeService>> HeService::Create(
   auto service = std::unique_ptr<HeService>(
       new HeService(options, clock, std::move(device), std::move(quantizer)));
 
+  // Host execution pool: an explicit size makes the service own a private
+  // pool; otherwise everyone shares the process-global one.
+  const int host_threads =
+      options.host_threads > 0 ? options.host_threads : traits.host_threads;
+  if (host_threads > 0) {
+    service->owned_pool_ = std::make_unique<common::ThreadPool>(host_threads);
+    service->host_pool_ = service->owned_pool_.get();
+  } else {
+    service->host_pool_ = &common::ThreadPool::Global();
+  }
+
   if (traits.gpu_he) {
     ghe::GheConfig gcfg;
     gcfg.words_per_thread = traits.words_per_thread;
     gcfg.streams =
         options.gpu_streams > 0 ? options.gpu_streams : traits.gpu_streams;
+    gcfg.host_pool = service->host_pool_;
     service->ghe_ = std::make_unique<ghe::GheEngine>(service->device_, gcfg);
   }
   if (traits.use_bc) {
@@ -218,11 +230,8 @@ Result<EncVec> HeService::EncryptValues(const std::vector<double>& values) {
     FLB_ASSIGN_OR_RETURN(out.data,
                          ghe_->PaillierEncrypt(*paillier_, plains, rng_));
   } else {
-    out.data.reserve(plains.size());
-    for (const BigInt& m : plains) {
-      FLB_ASSIGN_OR_RETURN(BigInt c, paillier_->Encrypt(m, rng_));
-      out.data.push_back(std::move(c));
-    }
+    FLB_ASSIGN_OR_RETURN(out.data,
+                         paillier_->EncryptBatch(plains, rng_, host_pool_));
     ChargeCpu("he.encrypt", plains.size(), EncryptLimbOps(options_.key_bits));
   }
   op_counts_.encrypts += static_cast<uint64_t>(n_cipher);
@@ -256,9 +265,8 @@ Result<EncVec> HeService::AddCipher(const EncVec& a, const EncVec& b) {
     FLB_ASSIGN_OR_RETURN(out.data, ghe_->PaillierAdd(*paillier_, a.data,
                                                      b.data));
   } else {
-    for (size_t i = 0; i < a.data.size(); ++i) {
-      FLB_ASSIGN_OR_RETURN(out.data[i], paillier_->Add(a.data[i], b.data[i]));
-    }
+    FLB_ASSIGN_OR_RETURN(out.data,
+                         paillier_->AddBatch(a.data, b.data, host_pool_));
     ChargeCpu("he.add", a.data.size(), AddLimbOps(options_.key_bits));
   }
   op_counts_.hom_adds += a.data.size();
@@ -299,10 +307,8 @@ Result<EncVec> HeService::AddPlainValues(const EncVec& c,
     FLB_ASSIGN_OR_RETURN(out.data,
                          ghe_->PaillierAddPlain(*paillier_, c.data, plains));
   } else {
-    for (size_t i = 0; i < plains.size(); ++i) {
-      FLB_ASSIGN_OR_RETURN(out.data[i],
-                           paillier_->AddPlain(c.data[i], plains[i]));
-    }
+    FLB_ASSIGN_OR_RETURN(out.data,
+                         paillier_->AddPlainBatch(c.data, plains, host_pool_));
     ChargeCpu("he.add_plain", plains.size(),
               AddPlainLimbOps(options_.key_bits));
   }
@@ -322,11 +328,7 @@ Result<std::vector<double>> HeService::DecryptValues(const EncVec& c) {
   } else if (traits_.gpu_he) {
     FLB_ASSIGN_OR_RETURN(plains, ghe_->PaillierDecrypt(*paillier_, c.data));
   } else {
-    plains.reserve(c.data.size());
-    for (const BigInt& ct : c.data) {
-      FLB_ASSIGN_OR_RETURN(BigInt m, paillier_->Decrypt(ct));
-      plains.push_back(std::move(m));
-    }
+    FLB_ASSIGN_OR_RETURN(plains, paillier_->DecryptBatch(c.data, host_pool_));
     ChargeCpu("he.decrypt", c.data.size(), DecryptLimbOps(options_.key_bits));
   }
   op_counts_.decrypts += c.data.size();
@@ -377,11 +379,8 @@ Result<EncVec> HeService::EncryptFixedPoint(const std::vector<double>& values) {
     FLB_ASSIGN_OR_RETURN(out.data,
                          ghe_->PaillierEncrypt(*paillier_, plains, rng_));
   } else {
-    out.data.reserve(plains.size());
-    for (const BigInt& m : plains) {
-      FLB_ASSIGN_OR_RETURN(BigInt c, paillier_->Encrypt(m, rng_));
-      out.data.push_back(std::move(c));
-    }
+    FLB_ASSIGN_OR_RETURN(out.data,
+                         paillier_->EncryptBatch(plains, rng_, host_pool_));
     ChargeCpu("he.fp_encrypt", plains.size(),
               EncryptLimbOps(options_.key_bits));
   }
@@ -411,9 +410,8 @@ Result<EncVec> HeService::AddFixedPoint(const EncVec& a, const EncVec& b) {
     FLB_ASSIGN_OR_RETURN(out.data, ghe_->PaillierAdd(*paillier_, a.data,
                                                      b.data));
   } else {
-    for (size_t i = 0; i < a.data.size(); ++i) {
-      FLB_ASSIGN_OR_RETURN(out.data[i], paillier_->Add(a.data[i], b.data[i]));
-    }
+    FLB_ASSIGN_OR_RETURN(out.data,
+                         paillier_->AddBatch(a.data, b.data, host_pool_));
     ChargeCpu("he.fp_add", a.data.size(), AddLimbOps(options_.key_bits));
   }
   op_counts_.hom_adds += a.data.size();
@@ -449,10 +447,8 @@ Result<EncVec> HeService::ScalarMulFixedPoint(
     FLB_ASSIGN_OR_RETURN(out.data,
                          ghe_->PaillierScalarMul(*paillier_, c.data, ks));
   } else {
-    for (size_t i = 0; i < c.data.size(); ++i) {
-      FLB_ASSIGN_OR_RETURN(out.data[i],
-                           paillier_->ScalarMul(c.data[i], ks[i]));
-    }
+    FLB_ASSIGN_OR_RETURN(out.data,
+                         paillier_->ScalarMulBatch(c.data, ks, host_pool_));
     ChargeCpu("he.fp_scalar_mul", c.data.size(),
               ScalarMulLimbOps(options_.key_bits, EffectiveScalarBits()));
   }
@@ -589,11 +585,7 @@ Result<std::vector<double>> HeService::DecryptFixedPoint(const EncVec& c) {
   } else if (traits_.gpu_he) {
     FLB_ASSIGN_OR_RETURN(plains, ghe_->PaillierDecrypt(*paillier_, c.data));
   } else {
-    plains.reserve(c.data.size());
-    for (const BigInt& ct : c.data) {
-      FLB_ASSIGN_OR_RETURN(BigInt m, paillier_->Decrypt(ct));
-      plains.push_back(std::move(m));
-    }
+    FLB_ASSIGN_OR_RETURN(plains, paillier_->DecryptBatch(c.data, host_pool_));
     ChargeCpu("he.fp_decrypt", c.data.size(),
               DecryptLimbOps(options_.key_bits));
   }

@@ -41,6 +41,7 @@
 #include "src/common/result.h"
 #include "src/common/rng.h"
 #include "src/common/sim_clock.h"
+#include "src/common/thread_pool.h"
 #include "src/core/cost_model.h"
 #include "src/core/engine_config.h"
 #include "src/crypto/paillier.h"
@@ -90,6 +91,11 @@ struct HeServiceOptions {
   // Device streams for the GPU engine's chunked copy/compute overlap.
   // 0 = take the engine default (EngineTraits::gpu_streams).
   int gpu_streams = 0;
+  // Host worker threads for element-parallel HE bodies. > 0 makes the
+  // service own a private pool of that size; 0 defers to the engine trait,
+  // and when that is also 0, to the process-global pool (FLB_HOST_THREADS).
+  // Bit-identical results at any value — only wall-clock time changes.
+  int host_threads = 0;
 };
 
 struct HeOpCounts {
@@ -177,6 +183,9 @@ class HeService : public obs::MetricsSource {
   ghe::GheEngine* ghe_engine() { return ghe_.get(); }
   const ghe::GheEngine* ghe_engine() const { return ghe_.get(); }
 
+  // The host pool HE batch bodies run on (private or process-global).
+  common::ThreadPool& host_pool() const { return *host_pool_; }
+
  private:
   HeService(const HeServiceOptions& options, SimClock* clock,
             std::shared_ptr<gpusim::Device> device, codec::Quantizer quantizer);
@@ -199,6 +208,11 @@ class HeService : public obs::MetricsSource {
   EngineTraits traits_;
   SimClock* clock_;
   std::shared_ptr<gpusim::Device> device_;
+  // Private pool when options_.host_threads > 0; otherwise host_pool_ points
+  // at the process-global pool. Declared before ghe_ so the engine (which
+  // borrows the pool) is destroyed first.
+  std::unique_ptr<common::ThreadPool> owned_pool_;
+  common::ThreadPool* host_pool_ = nullptr;
   std::unique_ptr<ghe::GheEngine> ghe_;
 
   codec::Quantizer quantizer_;

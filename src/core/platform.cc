@@ -88,6 +88,7 @@ Result<RunReport> Platform::Run(const PlatformConfig& config) {
   he_opts.modeled = config.modeled;
   he_opts.seed = config.seed;
   he_opts.gpu_streams = config.gpu_streams;
+  he_opts.host_threads = config.host_threads;
   FLB_ASSIGN_OR_RETURN(auto he,
                        HeService::Create(he_opts, clock.get(), device));
 

@@ -59,6 +59,10 @@ struct PlatformConfig {
   // Device streams for chunked HE batch overlap. 0 = engine default
   // (4 for the FLBooster engines, 1 for the baselines).
   int gpu_streams = 0;
+  // Host worker threads for element-parallel HE batch bodies. 0 = the
+  // process-global pool (FLB_HOST_THREADS, then hardware_concurrency).
+  // Results are bit-identical for any value; only wall-clock changes.
+  int host_threads = 0;
   // Fault plan spec (net/fault.h grammar). Empty = consult FLB_FAULT_PLAN;
   // both empty = healthy run with the legacy raw transport. A non-empty
   // plan attaches a FaultInjector and routes all traffic through a

@@ -6,19 +6,6 @@
 
 namespace flb::crypto {
 
-namespace {
-
-// Draws r uniform in [1, n) with gcd(r, n) = 1.
-BigInt DrawUnit(const BigInt& n, Rng& rng) {
-  for (;;) {
-    BigInt r = BigInt::RandomBelow(rng, n);
-    if (r.IsZero()) continue;
-    if (BigInt::Gcd(r, n).IsOne()) return r;
-  }
-}
-
-}  // namespace
-
 Result<DamgardJurikContext> DamgardJurikContext::Create(
     const PaillierKeyPair& keys, int s) {
   if (s < 1 || s > 8) {

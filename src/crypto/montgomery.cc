@@ -45,7 +45,7 @@ Result<MontgomeryContext> MontgomeryContext::Create(const BigInt& modulus) {
 
 void MontgomeryContext::MontMulWords(const uint32_t* a, const uint32_t* b,
                                      uint32_t* out) const {
-  ++mont_mul_count_;
+  mont_mul_count_.fetch_add(1, std::memory_order_relaxed);
   const size_t s = s_;
   const std::vector<uint32_t>& n = n_.words();
   // t has s+2 limbs; CIOS interleaves multiplication and reduction so the

@@ -17,6 +17,7 @@
 #ifndef FLB_CRYPTO_MONTGOMERY_H_
 #define FLB_CRYPTO_MONTGOMERY_H_
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -33,6 +34,26 @@ class MontgomeryContext {
   // gcd(n, R) = 1 with R a power of two).
   static Result<MontgomeryContext> Create(const BigInt& modulus);
 
+  // Copies carry over the counter value; the context itself is immutable
+  // after Create, so copies are safe to share across host threads.
+  MontgomeryContext(const MontgomeryContext& other) { *this = other; }
+  MontgomeryContext(MontgomeryContext&& other) noexcept { *this = other; }
+  MontgomeryContext& operator=(const MontgomeryContext& other) {
+    if (this != &other) {
+      n_ = other.n_;
+      s_ = other.s_;
+      n0_inv_ = other.n0_inv_;
+      r_mod_n_ = other.r_mod_n_;
+      r2_mod_n_ = other.r2_mod_n_;
+      mont_mul_count_.store(other.mont_mul_count_.load(),
+                            std::memory_order_relaxed);
+    }
+    return *this;
+  }
+  MontgomeryContext& operator=(MontgomeryContext&& other) noexcept {
+    return *this = other;
+  }
+
   const BigInt& modulus() const { return n_; }
   // Limb width s: every Montgomery-domain value is exactly s limbs.
   size_t num_limbs() const { return s_; }
@@ -42,6 +63,9 @@ class MontgomeryContext {
   // Montgomery-domain conversions. Inputs must be < n.
   BigInt ToMont(const BigInt& a) const;
   BigInt FromMont(const BigInt& a) const;
+  // Montgomery form of 1 (R mod n) — the neutral element for MontMul chains
+  // such as fixed-base exponentiation tables.
+  const BigInt& MontOne() const { return r_mod_n_; }
 
   // Computes a*b*R^{-1} mod n for Montgomery-domain a, b (each < n).
   BigInt MontMul(const BigInt& a, const BigInt& b) const;
@@ -67,8 +91,14 @@ class MontgomeryContext {
 
   // Number of MontMul invocations since construction (mutable counter used
   // by the cost model and the GPU simulator's instruction accounting).
-  uint64_t mont_mul_count() const { return mont_mul_count_; }
-  void ResetCounters() const { mont_mul_count_ = 0; }
+  // Relaxed atomic: one context is shared by all host pool workers, and the
+  // sum of per-thread increments is order-independent.
+  uint64_t mont_mul_count() const {
+    return mont_mul_count_.load(std::memory_order_relaxed);
+  }
+  void ResetCounters() const {
+    mont_mul_count_.store(0, std::memory_order_relaxed);
+  }
 
  private:
   MontgomeryContext() = default;
@@ -78,7 +108,7 @@ class MontgomeryContext {
   uint32_t n0_inv_ = 0;
   BigInt r_mod_n_;   // R mod n    (Montgomery form of 1)
   BigInt r2_mod_n_;  // R^2 mod n
-  mutable uint64_t mont_mul_count_ = 0;
+  mutable std::atomic<uint64_t> mont_mul_count_{0};
 };
 
 // Picks the sliding-window width the way HAC 14.85's table does: wider

@@ -1,8 +1,10 @@
 #include "src/crypto/paillier.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "src/common/check.h"
+#include "src/common/thread_pool.h"
 #include "src/crypto/prime.h"
 
 namespace flb::crypto {
@@ -15,17 +17,6 @@ Result<BigInt> LFunction(const BigInt& x, const BigInt& d) {
     return Status::CryptoError("L function: x must be >= 1");
   }
   return BigInt::Div(BigInt::Sub(x, BigInt(1)), d);
-}
-
-// Draws r uniform in [1, n) with gcd(r, n) = 1. For n = p*q with large
-// primes a random r is coprime with overwhelming probability, so the loop
-// almost never repeats.
-BigInt DrawUnit(const BigInt& n, Rng& rng) {
-  for (;;) {
-    BigInt r = BigInt::RandomBelow(rng, n);
-    if (r.IsZero()) continue;
-    if (BigInt::Gcd(r, n).IsOne()) return r;
-  }
 }
 
 }  // namespace
@@ -92,68 +83,71 @@ Result<PaillierKeyPair> PaillierKeyGen(int key_bits, Rng& rng,
   return Status::Internal("PaillierKeyGen: exceeded attempt budget");
 }
 
-Result<PaillierContext> PaillierContext::CreatePublic(PaillierPublicKey pub) {
+Result<PaillierContext> PaillierContext::CreatePublic(
+    PaillierPublicKey pub, const PaillierOptions& options) {
   if (pub.n.IsZero() || pub.n_squared != BigInt::Mul(pub.n, pub.n)) {
     return Status::InvalidArgument("inconsistent Paillier public key");
   }
   PaillierContext ctx;
-  FLB_ASSIGN_OR_RETURN(auto n2, MontgomeryContext::Create(pub.n_squared));
-  FLB_ASSIGN_OR_RETURN(auto n_ctx, MontgomeryContext::Create(pub.n));
-  ctx.n2_ctx_ = std::make_shared<MontgomeryContext>(std::move(n2));
-  ctx.n_ctx_ = std::make_shared<MontgomeryContext>(std::move(n_ctx));
+  FLB_ASSIGN_OR_RETURN(ctx.eval_,
+                       PaillierEval::Create(pub, /*priv=*/nullptr,
+                                            /*crt=*/false));
+  ctx.secure_obfuscation_ = options.secure_obfuscation;
+  ctx.pool_size_ = std::max(1, options.obfuscation_pool_size);
+  ctx.pool_ = std::make_shared<ObfuscationPool>(
+      ctx.eval_->n2_ctx_ptr(), pub.n, ctx.pool_size_, options.obfuscation_seed);
   ctx.pub_ = std::move(pub);
   return ctx;
 }
 
 Result<PaillierContext> PaillierContext::Create(
     PaillierKeyPair keys, const PaillierOptions& options) {
-  FLB_ASSIGN_OR_RETURN(PaillierContext ctx, CreatePublic(keys.pub));
+  FLB_ASSIGN_OR_RETURN(PaillierContext ctx, CreatePublic(keys.pub, options));
   ctx.use_crt_ = options.use_crt_decryption;
-  if (ctx.use_crt_) {
-    const BigInt p2 = BigInt::Mul(keys.priv.p, keys.priv.p);
-    const BigInt q2 = BigInt::Mul(keys.priv.q, keys.priv.q);
-    FLB_ASSIGN_OR_RETURN(auto p2_ctx, MontgomeryContext::Create(p2));
-    FLB_ASSIGN_OR_RETURN(auto q2_ctx, MontgomeryContext::Create(q2));
-    ctx.p2_ctx_ = std::make_shared<MontgomeryContext>(std::move(p2_ctx));
-    ctx.q2_ctx_ = std::make_shared<MontgomeryContext>(std::move(q2_ctx));
-
-    const BigInt p_minus_1 = BigInt::Sub(keys.priv.p, BigInt(1));
-    const BigInt q_minus_1 = BigInt::Sub(keys.priv.q, BigInt(1));
-    const BigInt gp = ctx.p2_ctx_->ModPow(keys.pub.g % p2, p_minus_1);
-    const BigInt gq = ctx.q2_ctx_->ModPow(keys.pub.g % q2, q_minus_1);
-    FLB_ASSIGN_OR_RETURN(BigInt lp, LFunction(gp, keys.priv.p));
-    FLB_ASSIGN_OR_RETURN(BigInt lq, LFunction(gq, keys.priv.q));
-    FLB_ASSIGN_OR_RETURN(ctx.hp_, BigInt::ModInverse(lp, keys.priv.p));
-    FLB_ASSIGN_OR_RETURN(ctx.hq_, BigInt::ModInverse(lq, keys.priv.q));
-    FLB_ASSIGN_OR_RETURN(ctx.p_inv_mod_q_,
-                         BigInt::ModInverse(keys.priv.p, keys.priv.q));
-  }
+  FLB_ASSIGN_OR_RETURN(
+      ctx.eval_,
+      PaillierEval::Create(ctx.pub_, &keys.priv, ctx.use_crt_));
   ctx.priv_ = std::move(keys.priv);
   return ctx;
+}
+
+BigInt PaillierContext::GPowM(const BigInt& m) const {
+  if (pub_.g_is_n_plus_1) {
+    // (n+1)^m = 1 + m*n (mod n^2): one multiply instead of an exponentiation.
+    return BigInt::Add(BigInt::Mul(m, pub_.n), BigInt(1)) % pub_.n_squared;
+  }
+  return eval_->FixedBaseGPow(m);
+}
+
+BigInt PaillierContext::ApplyObfuscatorMont(const BigInt& gm,
+                                            const BigInt& obf_mont) const {
+  // MontMul(gm, obf*R) = gm * obf mod n^2: the Montgomery factors cancel, so
+  // applying a pool obfuscator costs a single MontMul.
+  return eval_->n2_ctx().MontMul(gm, obf_mont);
 }
 
 Result<BigInt> PaillierContext::Encrypt(const BigInt& m, Rng& rng) const {
   if (m >= pub_.n) {
     return Status::OutOfRange("Paillier plaintext must be < n");
   }
-  ++op_counts_.encrypts;
-  const BigInt r = DrawUnit(pub_.n, rng);
-  // r^n mod n^2 — the dominant cost of encryption.
-  const BigInt rn = n2_ctx_->ModPow(r, pub_.n);
-  BigInt gm;
-  if (pub_.g_is_n_plus_1) {
-    // (n+1)^m = 1 + m*n (mod n^2): one multiply instead of an exponentiation.
-    gm = BigInt::Add(BigInt::Mul(m, pub_.n), BigInt(1)) % pub_.n_squared;
-  } else {
-    gm = n2_ctx_->ModPow(pub_.g, m);
+  op_counts_.encrypts.fetch_add(1, std::memory_order_relaxed);
+  const BigInt gm = GPowM(m);
+  if (secure_obfuscation_) {
+    const BigInt r = DrawUnit(pub_.n, rng);
+    // r^n mod n^2 — the dominant cost of encryption.
+    const BigInt rn = eval_->n2_ctx().ModPow(r, pub_.n);
+    return eval_->n2_ctx().ModMul(gm, rn);
   }
-  return n2_ctx_->ModMul(gm, rn);
+  return eval_->n2_ctx().ModMul(gm, pool_->Next());
 }
 
 Result<BigInt> PaillierContext::DecryptPlain(const BigInt& c) const {
-  const BigInt c_lambda = n2_ctx_->ModPow(c, priv_->lambda);
+  const MontgomeryContext& n2 = eval_->n2_ctx();
+  const MontgomeryContext& nc = eval_->n_ctx();
+  const BigInt c_lambda = n2.ModPow(c, priv_->lambda);
   FLB_ASSIGN_OR_RETURN(BigInt l, LFunction(c_lambda, pub_.n));
-  return n_ctx_->ModMul(l, priv_->mu);
+  // mu is cached in Montgomery form, so L * mu costs 3 MontMuls, not 4.
+  return nc.FromMont(nc.MontMul(nc.ToMont(l), eval_->mu_mont()));
 }
 
 Result<BigInt> PaillierContext::DecryptCrt(const BigInt& c) const {
@@ -162,14 +156,16 @@ Result<BigInt> PaillierContext::DecryptCrt(const BigInt& c) const {
   // work is ~1/4 of the plain path per leg.
   const BigInt& p = priv_->p;
   const BigInt& q = priv_->q;
-  const BigInt cp = c % p2_ctx_->modulus();
-  const BigInt cq = c % q2_ctx_->modulus();
-  const BigInt xp = p2_ctx_->ModPow(cp, BigInt::Sub(p, BigInt(1)));
-  const BigInt xq = q2_ctx_->ModPow(cq, BigInt::Sub(q, BigInt(1)));
+  const MontgomeryContext& p2 = eval_->p2_ctx();
+  const MontgomeryContext& q2 = eval_->q2_ctx();
+  const BigInt cp = c % p2.modulus();
+  const BigInt cq = c % q2.modulus();
+  const BigInt xp = p2.ModPow(cp, eval_->p_minus_1());
+  const BigInt xq = q2.ModPow(cq, eval_->q_minus_1());
   FLB_ASSIGN_OR_RETURN(BigInt lp, LFunction(xp, p));
   FLB_ASSIGN_OR_RETURN(BigInt lq, LFunction(xq, q));
-  const BigInt mp = BigInt::Mul(lp, hp_) % p;
-  const BigInt mq = BigInt::Mul(lq, hq_) % q;
+  const BigInt mp = BigInt::Mul(lp, eval_->hp()) % p;
+  const BigInt mq = BigInt::Mul(lq, eval_->hq()) % q;
   // m = mp + p * ((mq - mp) * p^{-1} mod q)
   BigInt diff;
   if (mq >= mp) {
@@ -177,7 +173,7 @@ Result<BigInt> PaillierContext::DecryptCrt(const BigInt& c) const {
   } else {
     diff = BigInt::Sub(BigInt::Add(mq, q), mp);
   }
-  const BigInt t = BigInt::Mul(diff, p_inv_mod_q_) % q;
+  const BigInt t = BigInt::Mul(diff, eval_->p_inv_mod_q()) % q;
   return BigInt::Add(mp, BigInt::Mul(p, t));
 }
 
@@ -188,7 +184,7 @@ Result<BigInt> PaillierContext::Decrypt(const BigInt& c) const {
   if (c >= pub_.n_squared) {
     return Status::OutOfRange("Paillier ciphertext must be < n^2");
   }
-  ++op_counts_.decrypts;
+  op_counts_.decrypts.fetch_add(1, std::memory_order_relaxed);
   return use_crt_ ? DecryptCrt(c) : DecryptPlain(c);
 }
 
@@ -196,8 +192,8 @@ Result<BigInt> PaillierContext::Add(const BigInt& c1, const BigInt& c2) const {
   if (c1 >= pub_.n_squared || c2 >= pub_.n_squared) {
     return Status::OutOfRange("Paillier ciphertext must be < n^2");
   }
-  ++op_counts_.adds;
-  return n2_ctx_->ModMul(c1, c2);
+  op_counts_.adds.fetch_add(1, std::memory_order_relaxed);
+  return eval_->n2_ctx().ModMul(c1, c2);
 }
 
 Result<BigInt> PaillierContext::AddPlain(const BigInt& c,
@@ -208,14 +204,8 @@ Result<BigInt> PaillierContext::AddPlain(const BigInt& c,
   if (k >= pub_.n) {
     return Status::OutOfRange("Paillier plaintext must be < n");
   }
-  ++op_counts_.adds;
-  BigInt gk;
-  if (pub_.g_is_n_plus_1) {
-    gk = BigInt::Add(BigInt::Mul(k, pub_.n), BigInt(1)) % pub_.n_squared;
-  } else {
-    gk = n2_ctx_->ModPow(pub_.g, k);
-  }
-  return n2_ctx_->ModMul(c, gk);
+  op_counts_.adds.fetch_add(1, std::memory_order_relaxed);
+  return eval_->n2_ctx().ModMul(c, GPowM(k));
 }
 
 Result<BigInt> PaillierContext::ScalarMul(const BigInt& c,
@@ -223,24 +213,178 @@ Result<BigInt> PaillierContext::ScalarMul(const BigInt& c,
   if (c >= pub_.n_squared) {
     return Status::OutOfRange("Paillier ciphertext must be < n^2");
   }
-  ++op_counts_.scalar_muls;
+  op_counts_.scalar_muls.fetch_add(1, std::memory_order_relaxed);
+  return ScalarMulUncounted(c, k);
+}
+
+BigInt PaillierContext::ScalarMulUncounted(const BigInt& c,
+                                           const BigInt& k) const {
   // Fixed-point encodings represent a negative scalar -m as n - m, which
   // would force a full |n|-bit exponentiation. E(x)^(n-m) = E(-m*x) =
   // (E(x)^{-1})^m, and m is small, so invert the ciphertext and keep the
   // short exponent (the python-paillier optimization FATE relies on).
-  const BigInt half_n = BigInt::ShiftRight(pub_.n, 1);
-  if (k > half_n) {
+  if (k > eval_->half_n()) {
     const BigInt m = BigInt::Sub(pub_.n, k);
     if (m.BitLength() * 2 < k.BitLength()) {
       auto c_inv = BigInt::ModInverse(c, pub_.n_squared);
       if (c_inv.ok()) {
-        return n2_ctx_->ModPow(c_inv.value(), m);
+        return eval_->n2_ctx().ModPow(c_inv.value(), m);
       }
       // Non-invertible ciphertexts cannot occur for honest inputs; fall
       // through to the direct exponentiation.
     }
   }
-  return n2_ctx_->ModPow(c, k);
+  return eval_->n2_ctx().ModPow(c, k);
+}
+
+// ---- Batch helpers ----------------------------------------------------------
+//
+// Determinism contract: element i's output depends only on (inputs, i, one
+// seed drawn from rng). Work distribution never feeds back into results, so
+// any thread count — including the serial fallback — produces identical
+// bytes. Op counters are bumped once per batch on success (a failed batch
+// counts nothing), keeping counts independent of which elements ran before
+// the error was discovered.
+
+Result<std::vector<BigInt>> PaillierContext::EncryptBatch(
+    const std::vector<BigInt>& ms, Rng& rng, common::ThreadPool* pool) const {
+  common::ThreadPool& tp = pool != nullptr ? *pool : common::ThreadPool::Global();
+  const uint64_t seed = rng.NextU64();
+  const size_t count = ms.size();
+  std::vector<BigInt> out(count);
+  const MontgomeryContext& n2 = eval_->n2_ctx();
+
+  if (secure_obfuscation_) {
+    // Fresh r^n per element; randomness split per element so the partition
+    // does not matter.
+    FLB_RETURN_IF_ERROR(common::ParallelForEachStatus(
+        tp, count, [&](size_t i) -> Status {
+          if (ms[i] >= pub_.n) {
+            return Status::OutOfRange("Paillier plaintext must be < n");
+          }
+          Rng er = Rng::ForStream(seed, static_cast<uint64_t>(i));
+          const BigInt r = DrawUnit(pub_.n, er);
+          const BigInt rn = n2.ModPow(r, pub_.n);
+          out[i] = n2.ModMul(GPowM(ms[i]), rn);
+          return Status::OK();
+        }));
+    op_counts_.encrypts.fetch_add(count, std::memory_order_relaxed);
+    return out;
+  }
+
+  // Pool path: k base obfuscators (the only full powms, parallel), then a
+  // serial squaring-refresh walk fixes obfuscator i deterministically.
+  if (count == 0) return out;
+  const size_t k = std::min(static_cast<size_t>(pool_size_), count);
+  std::vector<BigInt> base(k);
+  FLB_RETURN_IF_ERROR(common::ParallelForEachStatus(
+      tp, k, [&](size_t j) -> Status {
+        Rng er = Rng::ForStream(seed, static_cast<uint64_t>(j));
+        const BigInt r = DrawUnit(pub_.n, er);
+        base[j] = n2.ToMont(n2.ModPow(r, pub_.n));
+        return Status::OK();
+      }));
+  std::vector<BigInt> rn_mont(count);
+  for (size_t i = 0; i < count; ++i) {
+    BigInt& slot = base[i % k];
+    rn_mont[i] = slot;
+    slot = n2.MontMul(slot, slot);  // (r^n)^2 = (r^2)^n
+  }
+  FLB_RETURN_IF_ERROR(common::ParallelForEachStatus(
+      tp, count, [&](size_t i) -> Status {
+        if (ms[i] >= pub_.n) {
+          return Status::OutOfRange("Paillier plaintext must be < n");
+        }
+        out[i] = ApplyObfuscatorMont(GPowM(ms[i]), rn_mont[i]);
+        return Status::OK();
+      }));
+  op_counts_.encrypts.fetch_add(count, std::memory_order_relaxed);
+  return out;
+}
+
+Result<std::vector<BigInt>> PaillierContext::DecryptBatch(
+    const std::vector<BigInt>& cs, common::ThreadPool* pool) const {
+  if (!priv_.has_value()) {
+    return Status::FailedPrecondition("Paillier context has no private key");
+  }
+  common::ThreadPool& tp = pool != nullptr ? *pool : common::ThreadPool::Global();
+  std::vector<BigInt> out(cs.size());
+  FLB_RETURN_IF_ERROR(common::ParallelForEachStatus(
+      tp, cs.size(), [&](size_t i) -> Status {
+        if (cs[i] >= pub_.n_squared) {
+          return Status::OutOfRange("Paillier ciphertext must be < n^2");
+        }
+        FLB_ASSIGN_OR_RETURN(out[i],
+                             use_crt_ ? DecryptCrt(cs[i]) : DecryptPlain(cs[i]));
+        return Status::OK();
+      }));
+  op_counts_.decrypts.fetch_add(cs.size(), std::memory_order_relaxed);
+  return out;
+}
+
+Result<std::vector<BigInt>> PaillierContext::AddBatch(
+    const std::vector<BigInt>& c1, const std::vector<BigInt>& c2,
+    common::ThreadPool* pool) const {
+  if (c1.size() != c2.size()) {
+    return Status::InvalidArgument("AddBatch: size mismatch");
+  }
+  common::ThreadPool& tp = pool != nullptr ? *pool : common::ThreadPool::Global();
+  std::vector<BigInt> out(c1.size());
+  const MontgomeryContext& n2 = eval_->n2_ctx();
+  FLB_RETURN_IF_ERROR(common::ParallelForEachStatus(
+      tp, c1.size(), [&](size_t i) -> Status {
+        if (c1[i] >= pub_.n_squared || c2[i] >= pub_.n_squared) {
+          return Status::OutOfRange("Paillier ciphertext must be < n^2");
+        }
+        out[i] = n2.ModMul(c1[i], c2[i]);
+        return Status::OK();
+      }));
+  op_counts_.adds.fetch_add(c1.size(), std::memory_order_relaxed);
+  return out;
+}
+
+Result<std::vector<BigInt>> PaillierContext::AddPlainBatch(
+    const std::vector<BigInt>& cs, const std::vector<BigInt>& ks,
+    common::ThreadPool* pool) const {
+  if (cs.size() != ks.size()) {
+    return Status::InvalidArgument("AddPlainBatch: size mismatch");
+  }
+  common::ThreadPool& tp = pool != nullptr ? *pool : common::ThreadPool::Global();
+  std::vector<BigInt> out(cs.size());
+  const MontgomeryContext& n2 = eval_->n2_ctx();
+  FLB_RETURN_IF_ERROR(common::ParallelForEachStatus(
+      tp, cs.size(), [&](size_t i) -> Status {
+        if (cs[i] >= pub_.n_squared) {
+          return Status::OutOfRange("Paillier ciphertext must be < n^2");
+        }
+        if (ks[i] >= pub_.n) {
+          return Status::OutOfRange("Paillier plaintext must be < n");
+        }
+        out[i] = n2.ModMul(cs[i], GPowM(ks[i]));
+        return Status::OK();
+      }));
+  op_counts_.adds.fetch_add(cs.size(), std::memory_order_relaxed);
+  return out;
+}
+
+Result<std::vector<BigInt>> PaillierContext::ScalarMulBatch(
+    const std::vector<BigInt>& cs, const std::vector<BigInt>& ks,
+    common::ThreadPool* pool) const {
+  if (cs.size() != ks.size()) {
+    return Status::InvalidArgument("ScalarMulBatch: size mismatch");
+  }
+  common::ThreadPool& tp = pool != nullptr ? *pool : common::ThreadPool::Global();
+  std::vector<BigInt> out(cs.size());
+  FLB_RETURN_IF_ERROR(common::ParallelForEachStatus(
+      tp, cs.size(), [&](size_t i) -> Status {
+        if (cs[i] >= pub_.n_squared) {
+          return Status::OutOfRange("Paillier ciphertext must be < n^2");
+        }
+        out[i] = ScalarMulUncounted(cs[i], ks[i]);
+        return Status::OK();
+      }));
+  op_counts_.scalar_muls.fetch_add(cs.size(), std::memory_order_relaxed);
+  return out;
 }
 
 }  // namespace flb::crypto

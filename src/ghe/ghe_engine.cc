@@ -5,6 +5,8 @@
 #include <utility>
 
 #include "src/common/check.h"
+#include "src/common/thread_pool.h"
+#include "src/common/timer.h"
 #include "src/crypto/montgomery.h"
 #include "src/ghe/parallel_montgomery.h"
 #include "src/obs/metrics.h"
@@ -123,12 +125,46 @@ void GheEngine::set_streams(int streams) {
   config_.streams = std::max(1, streams);
 }
 
+common::ThreadPool& GheEngine::host_pool() const {
+  return config_.host_pool != nullptr ? *config_.host_pool
+                                      : common::ThreadPool::Global();
+}
+
+std::function<void()> GheEngine::InstrumentBody(const char* name,
+                                                std::function<void()> body) {
+  if (!body) return body;
+  return [this, name, inner = std::move(body)] {
+    common::ThreadPool& tp = host_pool();
+    const auto before = tp.stats();
+    WallTimer timer;
+    inner();
+    const double wall = timer.ElapsedSeconds();
+    const auto after = tp.stats();
+    auto& metrics = obs::MetricsRegistry::Global();
+    const std::string label = std::string("op=") + name;
+    metrics.Count("flb.host.pool_tasks",
+                  static_cast<double>(after.tasks - before.tasks), label);
+    metrics.Count("flb.host.pool_steals",
+                  static_cast<double>(after.steals - before.steals), label);
+    metrics.Observe("flb.host.batch_wall_seconds", wall, label);
+    metrics.Set("flb.host.threads", tp.num_threads());
+    auto& rec = obs::TraceRecorder::Global();
+    if (rec.enabled()) {
+      rec.Instant(rec.RegisterTrack("host", "threads"), "host.batch", "host",
+                  device_->TimelineNow(),
+                  {obs::Arg("op", name), obs::Arg("wall_seconds", wall),
+                   obs::Arg("threads", tp.num_threads())});
+    }
+  };
+}
+
 Result<gpusim::LaunchResult> GheEngine::LaunchBatch(
     const char* name, int64_t count, size_t s, uint64_t limb_ops_per_elt,
     size_t bytes_in, size_t bytes_out, std::function<void()> body) {
   if (count <= 0) {
     return Status::InvalidArgument(std::string(name) + ": empty batch");
   }
+  body = InstrumentBody(name, std::move(body));
   const int tpe = ThreadsPerElement(s);
   gpusim::KernelLaunch launch;
   launch.name = name;
@@ -326,9 +362,13 @@ Result<std::vector<BigInt>> GheEngine::Add(const std::vector<BigInt>& a,
       LaunchBatch("ghe.add", a.size(), s, /*limb_ops_per_elt=*/s,
                   BatchBytes(2 * a.size(), s), BatchBytes(a.size(), s + 1),
                   [&] {
-                    for (size_t i = 0; i < a.size(); ++i) {
-                      out[i] = BigInt::Add(a[i], b[i]);
-                    }
+                    host_pool().ParallelFor(
+                        static_cast<int64_t>(a.size()),
+                        [&](int64_t lo, int64_t hi) {
+                          for (int64_t i = lo; i < hi; ++i) {
+                            out[i] = BigInt::Add(a[i], b[i]);
+                          }
+                        });
                   })
           .status());
   return out;
@@ -351,9 +391,13 @@ Result<std::vector<BigInt>> GheEngine::Sub(const std::vector<BigInt>& a,
       LaunchBatch("ghe.sub", a.size(), s, s, BatchBytes(2 * a.size(), s),
                   BatchBytes(a.size(), s),
                   [&] {
-                    for (size_t i = 0; i < a.size(); ++i) {
-                      out[i] = BigInt::Sub(a[i], b[i]);
-                    }
+                    host_pool().ParallelFor(
+                        static_cast<int64_t>(a.size()),
+                        [&](int64_t lo, int64_t hi) {
+                          for (int64_t i = lo; i < hi; ++i) {
+                            out[i] = BigInt::Sub(a[i], b[i]);
+                          }
+                        });
                   })
           .status());
   return out;
@@ -371,9 +415,13 @@ Result<std::vector<BigInt>> GheEngine::Mul(const std::vector<BigInt>& a,
       LaunchBatch("ghe.mul", a.size(), s, /*limb_ops_per_elt=*/s * s,
                   BatchBytes(2 * a.size(), s), BatchBytes(a.size(), 2 * s),
                   [&] {
-                    for (size_t i = 0; i < a.size(); ++i) {
-                      out[i] = BigInt::Mul(a[i], b[i]);
-                    }
+                    host_pool().ParallelFor(
+                        static_cast<int64_t>(a.size()),
+                        [&](int64_t lo, int64_t hi) {
+                          for (int64_t i = lo; i < hi; ++i) {
+                            out[i] = BigInt::Mul(a[i], b[i]);
+                          }
+                        });
                   })
           .status());
   return out;
@@ -391,14 +439,12 @@ Result<std::vector<BigInt>> GheEngine::Div(const std::vector<BigInt>& a,
       LaunchBatch("ghe.div", a.size(), s, /*limb_ops_per_elt=*/2 * s * s,
                   BatchBytes(2 * a.size(), s), BatchBytes(a.size(), s),
                   [&] {
-                    for (size_t i = 0; i < a.size(); ++i) {
-                      auto q = BigInt::Div(a[i], b[i]);
-                      if (!q.ok()) {
-                        if (first_error.ok()) first_error = q.status();
-                        return;
-                      }
-                      out[i] = std::move(q).value();
-                    }
+                    first_error = common::ParallelForEachStatus(
+                        host_pool(), a.size(), [&](size_t i) -> Status {
+                          FLB_ASSIGN_OR_RETURN(out[i],
+                                               BigInt::Div(a[i], b[i]));
+                          return Status::OK();
+                        });
                   })
           .status());
   FLB_RETURN_IF_ERROR(first_error);
@@ -416,14 +462,11 @@ Result<std::vector<BigInt>> GheEngine::Mod(const std::vector<BigInt>& a,
       LaunchBatch("ghe.mod", a.size(), s, /*limb_ops_per_elt=*/2 * s * s,
                   BatchBytes(a.size(), 2 * s), BatchBytes(a.size(), s),
                   [&] {
-                    for (size_t i = 0; i < a.size(); ++i) {
-                      auto r = BigInt::Mod(a[i], n);
-                      if (!r.ok()) {
-                        if (first_error.ok()) first_error = r.status();
-                        return;
-                      }
-                      out[i] = std::move(r).value();
-                    }
+                    first_error = common::ParallelForEachStatus(
+                        host_pool(), a.size(), [&](size_t i) -> Status {
+                          FLB_ASSIGN_OR_RETURN(out[i], BigInt::Mod(a[i], n));
+                          return Status::OK();
+                        });
                   })
           .status());
   FLB_RETURN_IF_ERROR(first_error);
@@ -442,14 +485,12 @@ Result<std::vector<BigInt>> GheEngine::ModInv(const std::vector<BigInt>& a,
                   /*limb_ops_per_elt=*/static_cast<uint64_t>(4) * s * s * 32,
                   BatchBytes(a.size(), s), BatchBytes(a.size(), s),
                   [&] {
-                    for (size_t i = 0; i < a.size(); ++i) {
-                      auto r = BigInt::ModInverse(a[i], n);
-                      if (!r.ok()) {
-                        if (first_error.ok()) first_error = r.status();
-                        return;
-                      }
-                      out[i] = std::move(r).value();
-                    }
+                    first_error = common::ParallelForEachStatus(
+                        host_pool(), a.size(), [&](size_t i) -> Status {
+                          FLB_ASSIGN_OR_RETURN(out[i],
+                                               BigInt::ModInverse(a[i], n));
+                          return Status::OK();
+                        });
                   })
           .status());
   FLB_RETURN_IF_ERROR(first_error);
@@ -469,9 +510,13 @@ Result<std::vector<BigInt>> GheEngine::ModMul(const std::vector<BigInt>& a,
                   /*limb_ops_per_elt=*/3 * MontMulLimbOps(s),
                   BatchBytes(2 * a.size(), s), BatchBytes(a.size(), s),
                   [&] {
-                    for (size_t i = 0; i < a.size(); ++i) {
-                      out[i] = ctx.ModMul(a[i] % n, b[i] % n);
-                    }
+                    host_pool().ParallelFor(
+                        static_cast<int64_t>(a.size()),
+                        [&](int64_t lo, int64_t hi) {
+                          for (int64_t i = lo; i < hi; ++i) {
+                            out[i] = ctx.ModMul(a[i] % n, b[i] % n);
+                          }
+                        });
                   })
           .status());
   return out;
@@ -493,9 +538,12 @@ Result<std::vector<BigInt>> GheEngine::ModPow(const std::vector<BigInt>& x,
           EstimateModPowMontMuls(max_exp_bits) * MontMulLimbOps(s),
           BatchBytes(2 * x.size(), s), BatchBytes(x.size(), s),
           [&] {
-            for (size_t i = 0; i < x.size(); ++i) {
-              out[i] = ctx.ModPow(x[i], p[i]);
-            }
+            host_pool().ParallelFor(static_cast<int64_t>(x.size()),
+                                    [&](int64_t lo, int64_t hi) {
+                                      for (int64_t i = lo; i < hi; ++i) {
+                                        out[i] = ctx.ModPow(x[i], p[i]);
+                                      }
+                                    });
           })
           .status());
   return out;
@@ -521,14 +569,12 @@ Result<std::vector<BigInt>> GheEngine::PaillierEncrypt(
       LaunchBatch("ghe.paillier_encrypt", ms.size(), s2, ops,
                   BatchBytes(ms.size(), s2 / 2), BatchBytes(ms.size(), s2),
                   [&] {
-                    for (size_t i = 0; i < ms.size(); ++i) {
-                      auto c = ctx.Encrypt(ms[i], rng);
-                      if (!c.ok()) {
-                        if (first_error.ok()) first_error = c.status();
-                        return;
-                      }
-                      out[i] = std::move(c).value();
+                    auto r = ctx.EncryptBatch(ms, rng, &host_pool());
+                    if (!r.ok()) {
+                      first_error = r.status();
+                      return;
                     }
+                    out = std::move(r).value();
                   })
           .status());
   FLB_RETURN_IF_ERROR(first_error);
@@ -549,14 +595,12 @@ Result<std::vector<BigInt>> GheEngine::PaillierDecrypt(
       LaunchBatch("ghe.paillier_decrypt", cs.size(), s2, ops,
                   BatchBytes(cs.size(), s2), BatchBytes(cs.size(), s2 / 2),
                   [&] {
-                    for (size_t i = 0; i < cs.size(); ++i) {
-                      auto m = ctx.Decrypt(cs[i]);
-                      if (!m.ok()) {
-                        if (first_error.ok()) first_error = m.status();
-                        return;
-                      }
-                      out[i] = std::move(m).value();
+                    auto r = ctx.DecryptBatch(cs, &host_pool());
+                    if (!r.ok()) {
+                      first_error = r.status();
+                      return;
                     }
+                    out = std::move(r).value();
                   })
           .status());
   FLB_RETURN_IF_ERROR(first_error);
@@ -577,14 +621,12 @@ Result<std::vector<BigInt>> GheEngine::PaillierAdd(
                   /*limb_ops_per_elt=*/3 * MontMulLimbOps(s2),
                   BatchBytes(2 * c1.size(), s2), BatchBytes(c1.size(), s2),
                   [&] {
-                    for (size_t i = 0; i < c1.size(); ++i) {
-                      auto c = ctx.Add(c1[i], c2[i]);
-                      if (!c.ok()) {
-                        if (first_error.ok()) first_error = c.status();
-                        return;
-                      }
-                      out[i] = std::move(c).value();
+                    auto c = ctx.AddBatch(c1, c2, &host_pool());
+                    if (!c.ok()) {
+                      first_error = c.status();
+                      return;
                     }
+                    out = std::move(c).value();
                   })
           .status());
   FLB_RETURN_IF_ERROR(first_error);
@@ -607,14 +649,12 @@ Result<std::vector<BigInt>> GheEngine::PaillierAddPlain(
                   BatchBytes(cs.size(), s2) + BatchBytes(ks.size(), s2 / 2),
                   BatchBytes(cs.size(), s2),
                   [&] {
-                    for (size_t i = 0; i < cs.size(); ++i) {
-                      auto c = ctx.AddPlain(cs[i], ks[i]);
-                      if (!c.ok()) {
-                        if (first_error.ok()) first_error = c.status();
-                        return;
-                      }
-                      out[i] = std::move(c).value();
+                    auto c = ctx.AddPlainBatch(cs, ks, &host_pool());
+                    if (!c.ok()) {
+                      first_error = c.status();
+                      return;
                     }
+                    out = std::move(c).value();
                   })
           .status());
   FLB_RETURN_IF_ERROR(first_error);
@@ -645,14 +685,12 @@ Result<std::vector<BigInt>> GheEngine::PaillierScalarMul(
                   EstimateModPowMontMuls(max_exp_bits) * MontMulLimbOps(s2),
                   BatchBytes(2 * cs.size(), s2), BatchBytes(cs.size(), s2),
                   [&] {
-                    for (size_t i = 0; i < cs.size(); ++i) {
-                      auto c = ctx.ScalarMul(cs[i], ks[i]);
-                      if (!c.ok()) {
-                        if (first_error.ok()) first_error = c.status();
-                        return;
-                      }
-                      out[i] = std::move(c).value();
+                    auto c = ctx.ScalarMulBatch(cs, ks, &host_pool());
+                    if (!c.ok()) {
+                      first_error = c.status();
+                      return;
                     }
+                    out = std::move(c).value();
                   })
           .status());
   FLB_RETURN_IF_ERROR(first_error);
@@ -671,14 +709,11 @@ Result<std::vector<BigInt>> GheEngine::RsaEncrypt(
       LaunchBatch("ghe.rsa_encrypt", ms.size(), s, ops,
                   BatchBytes(ms.size(), s), BatchBytes(ms.size(), s),
                   [&] {
-                    for (size_t i = 0; i < ms.size(); ++i) {
-                      auto c = ctx.Encrypt(ms[i]);
-                      if (!c.ok()) {
-                        if (first_error.ok()) first_error = c.status();
-                        return;
-                      }
-                      out[i] = std::move(c).value();
-                    }
+                    first_error = common::ParallelForEachStatus(
+                        host_pool(), ms.size(), [&](size_t i) -> Status {
+                          FLB_ASSIGN_OR_RETURN(out[i], ctx.Encrypt(ms[i]));
+                          return Status::OK();
+                        });
                   })
           .status());
   FLB_RETURN_IF_ERROR(first_error);
@@ -698,14 +733,11 @@ Result<std::vector<BigInt>> GheEngine::RsaDecrypt(
       LaunchBatch("ghe.rsa_decrypt", cs.size(), s, ops,
                   BatchBytes(cs.size(), s), BatchBytes(cs.size(), s),
                   [&] {
-                    for (size_t i = 0; i < cs.size(); ++i) {
-                      auto m = ctx.Decrypt(cs[i]);
-                      if (!m.ok()) {
-                        if (first_error.ok()) first_error = m.status();
-                        return;
-                      }
-                      out[i] = std::move(m).value();
-                    }
+                    first_error = common::ParallelForEachStatus(
+                        host_pool(), cs.size(), [&](size_t i) -> Status {
+                          FLB_ASSIGN_OR_RETURN(out[i], ctx.Decrypt(cs[i]));
+                          return Status::OK();
+                        });
                   })
           .status());
   FLB_RETURN_IF_ERROR(first_error);
@@ -724,14 +756,11 @@ Result<std::vector<BigInt>> GheEngine::RsaMul(const crypto::RsaContext& ctx,
       LaunchBatch("ghe.rsa_mul", c1.size(), s, 3 * MontMulLimbOps(s),
                   BatchBytes(2 * c1.size(), s), BatchBytes(c1.size(), s),
                   [&] {
-                    for (size_t i = 0; i < c1.size(); ++i) {
-                      auto c = ctx.Mul(c1[i], c2[i]);
-                      if (!c.ok()) {
-                        if (first_error.ok()) first_error = c.status();
-                        return;
-                      }
-                      out[i] = std::move(c).value();
-                    }
+                    first_error = common::ParallelForEachStatus(
+                        host_pool(), c1.size(), [&](size_t i) -> Status {
+                          FLB_ASSIGN_OR_RETURN(out[i], ctx.Mul(c1[i], c2[i]));
+                          return Status::OK();
+                        });
                   })
           .status());
   FLB_RETURN_IF_ERROR(first_error);

@@ -32,6 +32,10 @@
 #include "src/gpusim/device.h"
 #include "src/mpint/bigint.h"
 
+namespace flb::common {
+class ThreadPool;
+}  // namespace flb::common
+
 namespace flb::ghe {
 
 using mpint::BigInt;
@@ -59,6 +63,11 @@ struct GheConfig {
   // kernel-bound batches keep the one-launch path, so enabling streams can
   // never slow a workload down. Tests disable this to force chunking.
   bool adaptive_chunking = true;
+  // Host thread pool the batch bodies run on (element-parallel, bit-exact at
+  // any thread count). nullptr = the process-global pool. Host parallelism
+  // only changes wall-clock time: the modeled device timeline charges the
+  // same simulated cost regardless.
+  common::ThreadPool* host_pool = nullptr;
 };
 
 // Telemetry for the most recent batch call (chunked or not).
@@ -204,6 +213,12 @@ class GheEngine {
 
   gpusim::KernelDemand DemandFor(size_t s, int threads_per_elt) const;
   int ThreadsPerElement(size_t s) const;
+  // The pool batch bodies run on (config override or the global pool).
+  common::ThreadPool& host_pool() const;
+  // Wraps a batch body with host-side wall-clock + pool-stat telemetry
+  // (flb.host.* metrics and the host/threads trace track).
+  std::function<void()> InstrumentBody(const char* name,
+                                       std::function<void()> body);
 
   std::shared_ptr<gpusim::Device> device_;
   GheConfig config_;

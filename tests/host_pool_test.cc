@@ -1,0 +1,438 @@
+// Host execution engine tests: the work-stealing ThreadPool, the Paillier
+// obfuscation pool / precompute caches, and the determinism contract —
+// results, statuses, op counts, and simulated time must be bit-identical
+// for ANY thread count (DESIGN.md "Host execution engine").
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/thread_pool.h"
+#include "src/core/he_service.h"
+#include "src/core/platform.h"
+#include "src/crypto/paillier.h"
+#include "src/crypto/paillier_eval.h"
+#include "src/ghe/ghe_engine.h"
+#include "src/gpusim/device.h"
+
+namespace flb {
+namespace {
+
+using common::ParallelForEachStatus;
+using common::ThreadPool;
+using crypto::PaillierContext;
+using crypto::PaillierKeyGen;
+using crypto::PaillierKeyPair;
+using crypto::PaillierOptions;
+using mpint::BigInt;
+
+// ---- ThreadPool basics ------------------------------------------------------
+
+TEST(ThreadPoolTest, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr int64_t kN = 10'000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.ParallelFor(kN, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      hits[static_cast<size_t>(i)].fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  for (int64_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(hits[static_cast<size_t>(i)].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, FewerItemsThanThreads) {
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> hits(3);
+  pool.ParallelForEach(3, [&](int64_t i) {
+    hits[static_cast<size_t>(i)].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ZeroItemsIsANoOp) {
+  ThreadPool pool(4);
+  bool ran = false;
+  pool.ParallelFor(0, [&](int64_t, int64_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPoolTest, SingleThreadPoolRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.num_threads(), 1);
+  const auto caller = std::this_thread::get_id();
+  std::vector<std::thread::id> seen(64);
+  pool.ParallelFor(64, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      seen[static_cast<size_t>(i)] = std::this_thread::get_id();
+    }
+  });
+  for (const auto& id : seen) EXPECT_EQ(id, caller);
+}
+
+TEST(ThreadPoolTest, StatsCountCallsAndTasks) {
+  ThreadPool pool(4);
+  const auto before = pool.stats();
+  pool.ParallelFor(1024, [](int64_t, int64_t) {});
+  const auto after = pool.stats();
+  EXPECT_EQ(after.parallel_fors, before.parallel_fors + 1);
+  EXPECT_GT(after.tasks, before.tasks);
+}
+
+TEST(ThreadPoolTest, ThreadsFromEnvParsing) {
+  EXPECT_EQ(ThreadPool::ThreadsFromEnv("4", 2), 4);
+  EXPECT_EQ(ThreadPool::ThreadsFromEnv("1", 2), 1);
+  EXPECT_EQ(ThreadPool::ThreadsFromEnv("0", 2), 2);    // non-positive
+  EXPECT_EQ(ThreadPool::ThreadsFromEnv("-3", 2), 2);   // non-positive
+  EXPECT_EQ(ThreadPool::ThreadsFromEnv("abc", 2), 2);  // non-numeric
+  EXPECT_EQ(ThreadPool::ThreadsFromEnv(nullptr, 2), 2);
+}
+
+TEST(ThreadPoolTest, ParallelForEachStatusReportsSmallestErrorIndex) {
+  // Two failing indices: the smaller one must win at every thread count.
+  auto run = [](int threads) {
+    ThreadPool pool(threads);
+    return ParallelForEachStatus(pool, 1000, [](size_t i) {
+      if (i == 17 || i == 800) {
+        return Status::InvalidArgument("element " + std::to_string(i));
+      }
+      return Status::OK();
+    });
+  };
+  const Status s1 = run(1);
+  EXPECT_FALSE(s1.ok());
+  for (int threads : {2, 8}) {
+    const Status sn = run(threads);
+    EXPECT_EQ(sn.ToString(), s1.ToString()) << "threads=" << threads;
+  }
+  ThreadPool pool(4);
+  EXPECT_TRUE(ParallelForEachStatus(pool, 0, [](size_t) {
+                return Status::InvalidArgument("never called");
+              }).ok());
+}
+
+// ---- Obfuscation pool + precompute caches -----------------------------------
+
+class ObfuscationPoolTest : public ::testing::Test {
+ protected:
+  static const PaillierKeyPair& Keys() {
+    static const PaillierKeyPair keys = [] {
+      Rng rng(42);
+      return PaillierKeyGen(256, rng).value();
+    }();
+    return keys;
+  }
+};
+
+TEST_F(ObfuscationPoolTest, RoundTripsAcrossManyRefreshes) {
+  PaillierOptions opts;
+  opts.obfuscation_pool_size = 4;
+  auto ctx = PaillierContext::Create(Keys(), opts).value();
+  Rng rng(7);  // untouched by the pool path; passed for interface parity
+  // 50 encryptions over a 4-slot pool: every slot is refreshed ~12 times.
+  for (uint64_t i = 0; i < 50; ++i) {
+    const BigInt m(i * 97 + 5);
+    const BigInt c = ctx.Encrypt(m, rng).value();
+    EXPECT_EQ(ctx.Decrypt(c).value(), m) << "draw " << i;
+  }
+  EXPECT_EQ(ctx.obfuscation_pool().draws(), 50u);
+  EXPECT_EQ(ctx.obfuscation_pool().refreshes(), 50u);
+}
+
+TEST_F(ObfuscationPoolTest, DrawOrderIsDeterministicPerKey) {
+  // Two contexts over the same key produce the same ciphertext stream, and
+  // the caller's rng is never consumed on the pool path.
+  auto ctx1 = PaillierContext::Create(Keys()).value();
+  auto ctx2 = PaillierContext::Create(Keys()).value();
+  Rng r1(1), r2(999);  // different seeds: must not matter
+  for (uint64_t i = 0; i < 20; ++i) {
+    const BigInt m(i + 1);
+    EXPECT_EQ(ctx1.Encrypt(m, r1).value(), ctx2.Encrypt(m, r2).value());
+  }
+  EXPECT_EQ(r1.NextU64(), Rng(1).NextU64());  // rng untouched
+}
+
+TEST_F(ObfuscationPoolTest, SecureObfuscationMatchesSeedPathReference) {
+  PaillierOptions opts;
+  opts.secure_obfuscation = true;
+  auto ctx = PaillierContext::Create(Keys(), opts).value();
+  ASSERT_TRUE(ctx.secure_obfuscation());
+  const BigInt& n = ctx.pub().n;
+  const BigInt n2 = ctx.pub().n_squared;
+  const BigInt m(123456789);
+  Rng rng(31), ref_rng(31);
+  const BigInt c = ctx.Encrypt(m, rng).value();
+  // Reference: g = n+1 fast path, fresh r^n powm, same rng stream.
+  const BigInt r = crypto::DrawUnit(n, ref_rng);
+  const BigInt gm = BigInt::Add(BigInt(1), BigInt::Mul(m, n)) % n2;
+  const BigInt rn = ctx.n2_ctx().ModPow(r, n);
+  EXPECT_EQ(c, ctx.n2_ctx().ModMul(gm, rn));
+  EXPECT_EQ(ctx.Decrypt(c).value(), m);
+}
+
+TEST_F(ObfuscationPoolTest, PoolAndSecurePathsDecryptIdentically) {
+  PaillierOptions secure;
+  secure.secure_obfuscation = true;
+  auto pool_ctx = PaillierContext::Create(Keys()).value();
+  auto secure_ctx = PaillierContext::Create(Keys(), secure).value();
+  Rng rng(5);
+  std::vector<BigInt> ms;
+  for (uint64_t i = 0; i < 16; ++i) ms.push_back(BigInt(i * 1009));
+  auto pool_cs = pool_ctx.EncryptBatch(ms, rng).value();
+  auto secure_cs = secure_ctx.EncryptBatch(ms, rng).value();
+  for (size_t i = 0; i < ms.size(); ++i) {
+    EXPECT_EQ(pool_ctx.Decrypt(pool_cs[i]).value(), ms[i]);
+    EXPECT_EQ(secure_ctx.Decrypt(secure_cs[i]).value(), ms[i]);
+  }
+}
+
+// ---- Batch helpers: thread-count invariance ---------------------------------
+
+class BatchInvarianceTest : public ::testing::Test {
+ protected:
+  static const PaillierKeyPair& Keys() {
+    static const PaillierKeyPair keys = [] {
+      Rng rng(77);
+      return PaillierKeyGen(256, rng).value();
+    }();
+    return keys;
+  }
+
+  static std::vector<BigInt> Messages(size_t count) {
+    std::vector<BigInt> ms;
+    for (size_t i = 0; i < count; ++i) ms.push_back(BigInt(i * 31 + 1));
+    return ms;
+  }
+};
+
+TEST_F(BatchInvarianceTest, AllBatchHelpersAreBitIdenticalAcrossThreadCounts) {
+  const auto ms = Messages(37);  // odd count: uneven chunking
+  const auto ks = Messages(37);
+
+  struct Run {
+    std::vector<BigInt> enc, dec, add, add_plain, scalar_mul;
+    uint64_t encrypts, decrypts, adds, scalar_muls;
+  };
+  auto run_all = [&](int threads) {
+    ThreadPool pool(threads);
+    auto ctx = PaillierContext::Create(Keys()).value();
+    Rng rng(13);
+    Run r;
+    r.enc = ctx.EncryptBatch(ms, rng, &pool).value();
+    r.dec = ctx.DecryptBatch(r.enc, &pool).value();
+    r.add = ctx.AddBatch(r.enc, r.enc, &pool).value();
+    r.add_plain = ctx.AddPlainBatch(r.enc, ks, &pool).value();
+    r.scalar_mul = ctx.ScalarMulBatch(r.enc, ks, &pool).value();
+    const auto& oc = ctx.op_counts();
+    r.encrypts = oc.encrypts.load();
+    r.decrypts = oc.decrypts.load();
+    r.adds = oc.adds.load();
+    r.scalar_muls = oc.scalar_muls.load();
+    return r;
+  };
+
+  const Run base = run_all(1);
+  EXPECT_EQ(base.dec, ms);
+  EXPECT_EQ(base.encrypts, ms.size());
+  EXPECT_EQ(base.decrypts, ms.size());
+  for (int threads : {2, 8}) {
+    const Run r = run_all(threads);
+    EXPECT_EQ(r.enc, base.enc) << "threads=" << threads;
+    EXPECT_EQ(r.dec, base.dec) << "threads=" << threads;
+    EXPECT_EQ(r.add, base.add) << "threads=" << threads;
+    EXPECT_EQ(r.add_plain, base.add_plain) << "threads=" << threads;
+    EXPECT_EQ(r.scalar_mul, base.scalar_mul) << "threads=" << threads;
+    EXPECT_EQ(r.encrypts, base.encrypts) << "threads=" << threads;
+    EXPECT_EQ(r.decrypts, base.decrypts) << "threads=" << threads;
+    EXPECT_EQ(r.adds, base.adds) << "threads=" << threads;
+    EXPECT_EQ(r.scalar_muls, base.scalar_muls) << "threads=" << threads;
+  }
+}
+
+TEST_F(BatchInvarianceTest, SecureObfuscationBatchIsInvariantToo) {
+  PaillierOptions opts;
+  opts.secure_obfuscation = true;
+  const auto ms = Messages(19);
+  auto run = [&](int threads) {
+    ThreadPool pool(threads);
+    auto ctx = PaillierContext::Create(Keys(), opts).value();
+    Rng rng(29);
+    return ctx.EncryptBatch(ms, rng, &pool).value();
+  };
+  const auto base = run(1);
+  EXPECT_EQ(run(2), base);
+  EXPECT_EQ(run(8), base);
+}
+
+TEST_F(BatchInvarianceTest, BatchErrorsAndCountsAreInvariant) {
+  // Oversized plaintexts at two indices: the reported error and the op
+  // counters (bumped only on whole-batch success) match at any thread count.
+  auto ms = Messages(64);
+  ms[9] = Keys().pub.n;   // out of range
+  ms[50] = Keys().pub.n;  // also out of range; index 9 must win
+  auto run = [&](int threads, uint64_t* encrypts) {
+    ThreadPool pool(threads);
+    auto ctx = PaillierContext::Create(Keys()).value();
+    Rng rng(3);
+    const Status s = ctx.EncryptBatch(ms, rng, &pool).status();
+    *encrypts = ctx.op_counts().encrypts.load();
+    return s;
+  };
+  uint64_t enc1 = 0, encn = 0;
+  const Status s1 = run(1, &enc1);
+  EXPECT_FALSE(s1.ok());
+  EXPECT_EQ(enc1, 0u);  // failed batch counts nothing
+  for (int threads : {2, 8}) {
+    EXPECT_EQ(run(threads, &encn).ToString(), s1.ToString());
+    EXPECT_EQ(encn, 0u);
+  }
+}
+
+// ---- GheEngine: outputs, statuses, and simulated time -----------------------
+
+class GheInvarianceTest : public ::testing::Test {
+ protected:
+  struct Run {
+    std::vector<BigInt> enc, sum, arith;
+    std::string sub_error;
+    double sim_seconds;
+  };
+
+  Run RunEngine(int threads) {
+    ThreadPool pool(threads);
+    SimClock clock;
+    auto device = std::make_shared<gpusim::Device>(
+        gpusim::DeviceSpec::Rtx3090(), &clock);
+    ghe::GheConfig cfg;
+    cfg.host_pool = &pool;
+    ghe::GheEngine engine(device, cfg);
+
+    Rng kr(11);
+    auto keys = PaillierKeyGen(256, kr).value();
+    auto ctx = PaillierContext::Create(keys).value();
+    std::vector<BigInt> ms, a, b;
+    for (uint64_t i = 0; i < 40; ++i) {
+      ms.push_back(BigInt(i * 7 + 2));
+      a.push_back(BigInt(i + 100));
+      b.push_back(BigInt(i));
+    }
+    Run r;
+    Rng er(17);
+    r.enc = engine.PaillierEncrypt(ctx, ms, er).value();
+    r.sum = engine.PaillierAdd(ctx, r.enc, r.enc).value();
+    r.arith = engine.Add(a, b).value();
+    // b[i] > a[i] for an early index: error text must be thread-invariant.
+    std::vector<BigInt> bad = a;
+    bad[3] = BigInt::Add(a[3], BigInt(1));
+    r.sub_error = engine.Sub(a, bad).status().ToString();
+    r.sim_seconds = clock.Now();
+    return r;
+  }
+};
+
+TEST_F(GheInvarianceTest, BatchOpsInvariantAcrossHostPools) {
+  const Run base = RunEngine(1);
+  EXPECT_GT(base.sim_seconds, 0.0);
+  EXPECT_FALSE(base.sub_error.empty());
+  for (int threads : {2, 8}) {
+    const Run r = RunEngine(threads);
+    EXPECT_EQ(r.enc, base.enc) << "threads=" << threads;
+    EXPECT_EQ(r.sum, base.sum) << "threads=" << threads;
+    EXPECT_EQ(r.arith, base.arith) << "threads=" << threads;
+    EXPECT_EQ(r.sub_error, base.sub_error) << "threads=" << threads;
+    // Host parallelism must not leak into the simulated timeline.
+    EXPECT_EQ(r.sim_seconds, base.sim_seconds) << "threads=" << threads;
+  }
+}
+
+// ---- HeService + Platform: end-to-end invariance ----------------------------
+
+class ServiceInvarianceTest : public ::testing::Test {
+ protected:
+  struct Run {
+    std::vector<BigInt> ciphertexts;
+    std::vector<double> decrypted;
+    double sim_seconds;
+    uint64_t encrypts, values;
+  };
+
+  Run RunService(int host_threads) {
+    SimClock clock;
+    core::HeServiceOptions opts;
+    opts.engine = core::EngineKind::kFate;  // CPU real path
+    opts.key_bits = 256;
+    opts.r_bits = 14;
+    opts.participants = 4;
+    opts.modeled = false;
+    opts.frac_bits = 16;
+    opts.host_threads = host_threads;
+    auto he = core::HeService::Create(opts, &clock, nullptr).value();
+    EXPECT_EQ(he->host_pool().num_threads(), host_threads);
+
+    std::vector<double> values;
+    for (int i = 0; i < 33; ++i) values.push_back(0.01 * i - 0.15);
+    auto enc = he->EncryptValues(values).value();
+    auto sum = he->AddCipher(enc, enc).value();
+    Run r;
+    r.ciphertexts = sum.data;
+    r.decrypted = he->DecryptValues(sum).value();
+    r.sim_seconds = clock.Now();
+    r.encrypts = he->op_counts().encrypts;
+    r.values = he->op_counts().values_encrypted;
+    return r;
+  }
+};
+
+TEST_F(ServiceInvarianceTest, RealCpuPathInvariantAcrossHostThreads) {
+  const Run base = RunService(1);
+  EXPECT_GT(base.sim_seconds, 0.0);
+  for (int threads : {2, 8}) {
+    const Run r = RunService(threads);
+    EXPECT_EQ(r.ciphertexts, base.ciphertexts) << "threads=" << threads;
+    EXPECT_EQ(r.decrypted, base.decrypted) << "threads=" << threads;
+    EXPECT_EQ(r.sim_seconds, base.sim_seconds) << "threads=" << threads;
+    EXPECT_EQ(r.encrypts, base.encrypts) << "threads=" << threads;
+    EXPECT_EQ(r.values, base.values) << "threads=" << threads;
+  }
+}
+
+TEST(PlatformInvarianceTest, RealTrainingRunInvariantAcrossHostThreads) {
+  auto run = [](int host_threads) {
+    core::PlatformConfig cfg;
+    cfg.engine = core::EngineKind::kFlBooster;
+    cfg.model = core::FlModelKind::kHomoLr;
+    cfg.key_bits = 256;
+    cfg.modeled = false;  // real crypto end to end
+    cfg.num_parties = 2;
+    cfg.host_threads = host_threads;
+    cfg.train.max_epochs = 1;
+    cfg.train.batch_size = 32;
+    cfg.dataset = fl::DefaultScaleSpec(fl::DatasetKind::kSynthetic);
+    cfg.dataset.rows = 64;
+    cfg.dataset.cols = 8;
+    cfg.dataset.nnz_per_row = 8;
+    return core::Platform::Run(cfg).value();
+  };
+  const auto base = run(1);
+  ASSERT_FALSE(base.train.epochs.empty());
+  for (int threads : {2, 8}) {
+    const auto r = run(threads);
+    ASSERT_EQ(r.train.epochs.size(), base.train.epochs.size());
+    for (size_t e = 0; e < base.train.epochs.size(); ++e) {
+      EXPECT_EQ(r.train.epochs[e].loss, base.train.epochs[e].loss);
+      EXPECT_EQ(r.train.epochs[e].accuracy, base.train.epochs[e].accuracy);
+    }
+    EXPECT_EQ(r.total_seconds, base.total_seconds) << "threads=" << threads;
+    EXPECT_EQ(r.comm_bytes, base.comm_bytes) << "threads=" << threads;
+    EXPECT_EQ(r.comm_messages, base.comm_messages) << "threads=" << threads;
+    EXPECT_EQ(r.he_ops.encrypts, base.he_ops.encrypts);
+    EXPECT_EQ(r.he_ops.decrypts, base.he_ops.decrypts);
+  }
+}
+
+}  // namespace
+}  // namespace flb
