@@ -16,8 +16,10 @@
 
 namespace flb {
 
+// [[nodiscard]]: dropping a Result silently drops both the value and the
+// error; see the matching note on Status.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   // Implicit construction from a value or from a non-OK Status keeps call
   // sites terse: `return value;` / `return Status::InvalidArgument(...)`.

@@ -38,7 +38,11 @@ enum class StatusCode : int {
 // Returns a stable, human-readable name for a status code ("InvalidArgument").
 std::string_view StatusCodeToString(StatusCode code);
 
-class Status {
+// [[nodiscard]] on the class makes every by-value return of Status warn
+// when ignored (gcc/clang -Wunused-result, promoted to an error in CI);
+// deliberate discards must carry a justified
+// `// flb-lint: allow(FLB005) <reason>` plus a (void) cast.
+class [[nodiscard]] Status {
  public:
   // Default-constructed status is OK.
   Status() : code_(StatusCode::kOk) {}

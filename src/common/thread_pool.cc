@@ -41,7 +41,7 @@ ThreadPool::ThreadPool(int num_threads)
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
   }
   work_cv_.notify_all();
@@ -75,7 +75,7 @@ void ThreadPool::ParallelFor(int64_t n,
     return;
   }
 
-  std::lock_guard<std::mutex> call_lock(call_mu_);
+  MutexLock call_lock(call_mu_);
   // Fixed chunking: ~4 chunks per participant bounds steal traffic while
   // leaving enough pieces to smooth uneven per-element cost. Chunk contents
   // depend only on n and the pool width; results depend on neither (every
@@ -86,7 +86,7 @@ void ThreadPool::ParallelFor(int64_t n,
   const int64_t num_chunks = (n + grain - 1) / grain;
 
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lock(mu_);
     EnsureStartedLocked();
     job_fn_ = &fn;
     job_n_ = n;
@@ -107,8 +107,8 @@ void ThreadPool::ParallelFor(int64_t n,
   RunParticipant(0);
   tls_inside_parallel_for = false;
 
-  std::unique_lock<std::mutex> lk(mu_);
-  done_cv_.wait(lk, [this] { return workers_active_ == 0; });
+  MutexLock lock(mu_);
+  while (workers_active_ != 0) done_cv_.wait(lock);
   job_fn_ = nullptr;
 }
 
@@ -123,8 +123,8 @@ void ThreadPool::WorkerLoop(int participant) {
   uint64_t seen = 0;
   for (;;) {
     {
-      std::unique_lock<std::mutex> lk(mu_);
-      work_cv_.wait(lk, [this, seen] { return stop_ || epoch_ != seen; });
+      MutexLock lock(mu_);
+      while (!stop_ && epoch_ == seen) work_cv_.wait(lock);
       if (stop_) return;
       seen = epoch_;
     }
@@ -133,7 +133,7 @@ void ThreadPool::WorkerLoop(int participant) {
     tls_inside_parallel_for = false;
     bool last = false;
     {
-      std::lock_guard<std::mutex> lk(mu_);
+      MutexLock lock(mu_);
       last = --workers_active_ == 0;
     }
     if (last) done_cv_.notify_one();
@@ -171,7 +171,7 @@ void ThreadPool::RunParticipant(int participant) {
 Status ParallelForEachStatus(ThreadPool& pool, size_t n,
                              const std::function<Status(size_t)>& fn) {
   if (n == 0) return Status::OK();
-  std::mutex err_mu;
+  Mutex err_mu;
   size_t err_index = std::numeric_limits<size_t>::max();
   Status err;
   pool.ParallelFor(static_cast<int64_t>(n), [&](int64_t begin, int64_t end) {
@@ -181,7 +181,7 @@ Status ParallelForEachStatus(ThreadPool& pool, size_t n,
         // A chunk stops at its own first error; the smallest erroring index
         // is always the first error of *its* chunk, so the min over chunk
         // errors is thread-count independent.
-        std::lock_guard<std::mutex> lk(err_mu);
+        MutexLock lock(err_mu);
         if (static_cast<size_t>(i) < err_index) {
           err_index = static_cast<size_t>(i);
           err = std::move(s);

@@ -16,13 +16,13 @@
 #define FLB_COMMON_THREAD_POOL_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "src/common/annotations.h"
+#include "src/common/mutex.h"
 #include "src/common/status.h"
 
 namespace flb::common {
@@ -60,7 +60,8 @@ class ThreadPool {
   // elements ran. The calling thread participates. fn must not throw and
   // must write only to slots owned by its indices. Nested calls from inside
   // fn run inline on the calling worker.
-  void ParallelFor(int64_t n, const std::function<void(int64_t, int64_t)>& fn);
+  void ParallelFor(int64_t n, const std::function<void(int64_t, int64_t)>& fn)
+      FLB_EXCLUDES(call_mu_, mu_);
 
   // Per-index convenience wrapper over ParallelFor.
   void ParallelForEach(int64_t n, const std::function<void(int64_t)>& fn);
@@ -73,29 +74,37 @@ class ThreadPool {
     int64_t end = 0;
   };
 
-  void EnsureStartedLocked();
-  void WorkerLoop(int participant);
-  void RunParticipant(int participant);
+  void EnsureStartedLocked() FLB_REQUIRES(mu_);
+  void WorkerLoop(int participant) FLB_EXCLUDES(mu_);
+  // Reads the published job fields without mu_: the epoch handshake makes
+  // the accesses race-free (the caller writes them under mu_ before
+  // bumping epoch_; workers observe the bump under mu_ before reading),
+  // which the static analysis cannot see.
+  void RunParticipant(int participant) FLB_NO_THREAD_SAFETY_ANALYSIS;
 
   const int num_threads_;
 
   // Serializes top-level ParallelFor calls; nested/concurrent callers run
   // their work inline instead of deadlocking on the single job slot.
-  std::mutex call_mu_;
+  Mutex call_mu_ FLB_ACQUIRED_BEFORE(mu_);
 
-  std::mutex mu_;
-  std::condition_variable work_cv_;
-  std::condition_variable done_cv_;
+  Mutex mu_;
+  CondVar work_cv_;
+  CondVar done_cv_;
+  // Grown only under mu_ (EnsureStartedLocked); joined in the destructor
+  // after the stop_ hand-off, when no worker can still be spawned.
   std::vector<std::thread> workers_;
-  bool started_ = false;
-  bool stop_ = false;
-  uint64_t epoch_ = 0;
-  int workers_active_ = 0;
+  bool started_ FLB_GUARDED_BY(mu_) = false;
+  bool stop_ FLB_GUARDED_BY(mu_) = false;
+  uint64_t epoch_ FLB_GUARDED_BY(mu_) = 0;
+  int workers_active_ FLB_GUARDED_BY(mu_) = 0;
 
-  // Current job (valid while a ParallelFor is in flight).
-  const std::function<void(int64_t, int64_t)>* job_fn_ = nullptr;
-  int64_t job_n_ = 0;
-  int64_t job_grain_ = 1;
+  // Current job (valid while a ParallelFor is in flight). Written under
+  // mu_; read by RunParticipant under the epoch handshake above.
+  const std::function<void(int64_t, int64_t)>* job_fn_ FLB_GUARDED_BY(mu_) =
+      nullptr;
+  int64_t job_n_ FLB_GUARDED_BY(mu_) = 0;
+  int64_t job_grain_ FLB_GUARDED_BY(mu_) = 1;
   std::vector<Shard> shards_;
 
   std::atomic<uint64_t> stat_fors_{0};

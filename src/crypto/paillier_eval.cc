@@ -102,7 +102,7 @@ void ObfuscationPool::FillLocked() {
 }
 
 BigInt ObfuscationPool::Next() {
-  std::lock_guard<std::mutex> lk(mu_);
+  common::MutexLock lock(mu_);
   if (!filled_) FillLocked();
   BigInt& slot = entries_[static_cast<size_t>(cursor_ % size_)];
   ++cursor_;

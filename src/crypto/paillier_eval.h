@@ -23,9 +23,10 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <vector>
 
+#include "src/common/annotations.h"
+#include "src/common/mutex.h"
 #include "src/common/result.h"
 #include "src/common/rng.h"
 #include "src/crypto/montgomery.h"
@@ -104,17 +105,17 @@ class ObfuscationPool {
   }
 
  private:
-  void FillLocked();
+  void FillLocked() FLB_REQUIRES(mu_);
 
   const std::shared_ptr<const MontgomeryContext> n2_ctx_;
   const BigInt n_;
   const int size_;
   const uint64_t seed_;
 
-  std::mutex mu_;
-  bool filled_ = false;
-  uint64_t cursor_ = 0;
-  std::vector<BigInt> entries_;  // Montgomery domain
+  common::Mutex mu_;
+  bool filled_ FLB_GUARDED_BY(mu_) = false;
+  uint64_t cursor_ FLB_GUARDED_BY(mu_) = 0;
+  std::vector<BigInt> entries_ FLB_GUARDED_BY(mu_);  // Montgomery domain
   std::atomic<uint64_t> draws_{0};
   std::atomic<uint64_t> refreshes_{0};
 };

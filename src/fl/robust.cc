@@ -88,7 +88,7 @@ void RobustCoordinator::Checkpoint(int epoch,
   if (!active()) return;
   last_checkpoint_ = SerializeCheckpoint(epoch, weights);
   if (!checkpoint_path_.empty()) {
-    // Best effort: the in-memory copy is authoritative for resume.
+    // flb-lint: allow-next-line(FLB005) best-effort; RAM copy is authoritative
     (void)WriteModelFile(checkpoint_path_, last_checkpoint_);
   }
   counters_.checkpoints += 1;

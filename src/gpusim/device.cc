@@ -14,6 +14,11 @@ Device::Device(DeviceSpec spec, SimClock* clock, bool branch_combining)
       instance_(obs::TraceRecorder::Global().UniqueProcessName("gpu")) {}
 
 double Device::TimelineNow() const {
+  common::MutexLock lock(mu_);
+  return TimelineNowLocked();
+}
+
+double Device::TimelineNowLocked() const {
   return clock_ != nullptr ? clock_->Now() : local_now_;
 }
 
@@ -116,19 +121,24 @@ void Device::RecordKernelStats(const LaunchResult& result) {
 Result<LaunchResult> Device::Launch(const KernelLaunch& launch) {
   FLB_ASSIGN_OR_RETURN(LaunchResult result, EstimateLaunch(launch));
 
-  // Execute the real arithmetic.
+  // Execute the real arithmetic (outside the lock: bodies are arbitrary
+  // host work and may themselves use the thread pool).
   if (launch.body) launch.body();
 
-  RecordKernelStats(result);
+  double t0 = 0.0;
+  {
+    common::MutexLock lock(mu_);
+    RecordKernelStats(result);
+    t0 = TimelineNowLocked();
+    AdvanceLocalTime(result.sim_seconds);
+  }
   if (obs::TraceRecorder::Global().enabled()) {
-    const double t0 = TimelineNow();
     TraceKernel(StreamTrack(kDefaultStream), launch.name, t0,
                 t0 + result.sim_seconds, result.occupancy, kDefaultStream);
   }
   if (clock_ != nullptr) {
     clock_->Charge(CostKind::kGpuKernel, result.sim_seconds);
   }
-  AdvanceLocalTime(result.sim_seconds);
   return result;
 }
 
@@ -139,33 +149,41 @@ double Device::TransferSeconds(size_t bytes) const {
 
 double Device::CopyToDevice(size_t bytes) {
   const double sec = TransferSeconds(bytes);
-  ++stats_.h2d_copies;
-  stats_.bytes_h2d += bytes;
-  stats_.transfer_seconds += sec;
+  double t0 = 0.0;
+  {
+    common::MutexLock lock(mu_);
+    ++stats_.h2d_copies;
+    stats_.bytes_h2d += bytes;
+    stats_.transfer_seconds += sec;
+    t0 = TimelineNowLocked();
+    AdvanceLocalTime(sec);
+  }
   auto& rec = obs::TraceRecorder::Global();
   if (rec.enabled()) {
-    const double t0 = TimelineNow();
     rec.Span(DmaTrack(true), "h2d", "pcie", t0, t0 + sec,
              {obs::Arg("bytes", static_cast<uint64_t>(bytes))});
   }
   if (clock_ != nullptr) clock_->Charge(CostKind::kPcieTransfer, sec);
-  AdvanceLocalTime(sec);
   return sec;
 }
 
 double Device::CopyFromDevice(size_t bytes) {
   const double sec = TransferSeconds(bytes);
-  ++stats_.d2h_copies;
-  stats_.bytes_d2h += bytes;
-  stats_.transfer_seconds += sec;
+  double t0 = 0.0;
+  {
+    common::MutexLock lock(mu_);
+    ++stats_.d2h_copies;
+    stats_.bytes_d2h += bytes;
+    stats_.transfer_seconds += sec;
+    t0 = TimelineNowLocked();
+    AdvanceLocalTime(sec);
+  }
   auto& rec = obs::TraceRecorder::Global();
   if (rec.enabled()) {
-    const double t0 = TimelineNow();
     rec.Span(DmaTrack(false), "d2h", "pcie", t0, t0 + sec,
              {obs::Arg("bytes", static_cast<uint64_t>(bytes))});
   }
   if (clock_ != nullptr) clock_->Charge(CostKind::kPcieTransfer, sec);
-  AdvanceLocalTime(sec);
   return sec;
 }
 
@@ -174,7 +192,8 @@ double Device::CopyFromDevice(size_t bytes) {
 // ---------------------------------------------------------------------------
 
 Status Device::CheckStream(StreamId stream) const {
-  if (stream < 0 || stream >= num_streams()) {
+  if (stream < 0 ||
+      stream >= static_cast<StreamId>(stream_ready_.size())) {
     return Status::InvalidArgument("Device: unknown stream " +
                                    std::to_string(stream));
   }
@@ -182,6 +201,7 @@ Status Device::CheckStream(StreamId stream) const {
 }
 
 StreamId Device::CreateStream() {
+  common::MutexLock lock(mu_);
   stream_ready_.push_back(0.0);
   ++stats_.streams_created;
   return static_cast<StreamId>(stream_ready_.size()) - 1;
@@ -189,14 +209,18 @@ StreamId Device::CreateStream() {
 
 Result<LaunchResult> Device::LaunchAsync(const KernelLaunch& launch,
                                          StreamId stream) {
-  FLB_RETURN_IF_ERROR(CheckStream(stream));
+  {
+    common::MutexLock lock(mu_);
+    FLB_RETURN_IF_ERROR(CheckStream(stream));
+  }
   FLB_ASSIGN_OR_RETURN(LaunchResult result, EstimateLaunch(launch));
 
-  // The real arithmetic still runs host-side, immediately: only the modeled
-  // schedule is deferred, so async results stay bit-exact with the
-  // synchronous path.
+  // The real arithmetic still runs host-side, immediately, and outside the
+  // lock: only the modeled schedule is deferred, so async results stay
+  // bit-exact with the synchronous path.
   if (launch.body) launch.body();
 
+  common::MutexLock lock(mu_);
   const double start = std::max(stream_ready_[stream], compute_free_);
   const double end = start + result.sim_seconds;
   result.start_seconds = start;
@@ -214,6 +238,7 @@ Result<LaunchResult> Device::LaunchAsync(const KernelLaunch& launch,
 
 Result<CopyResult> Device::CopyAsync(size_t bytes, StreamId stream,
                                      bool to_device) {
+  common::MutexLock lock(mu_);
   FLB_RETURN_IF_ERROR(CheckStream(stream));
   CopyResult copy;
   copy.seconds = TransferSeconds(bytes);
@@ -254,6 +279,7 @@ Result<CopyResult> Device::CopyFromDeviceAsync(size_t bytes, StreamId stream) {
 }
 
 Result<EventId> Device::RecordEvent(StreamId stream) {
+  common::MutexLock lock(mu_);
   FLB_RETURN_IF_ERROR(CheckStream(stream));
   events_.push_back(stream_ready_[stream]);
   ++stats_.events_recorded;
@@ -261,6 +287,7 @@ Result<EventId> Device::RecordEvent(StreamId stream) {
 }
 
 Status Device::WaitEvent(StreamId stream, EventId event) {
+  common::MutexLock lock(mu_);
   FLB_RETURN_IF_ERROR(CheckStream(stream));
   if (event < 0 || event >= static_cast<EventId>(events_.size())) {
     return Status::InvalidArgument("Device: unknown event " +
@@ -271,27 +298,49 @@ Status Device::WaitEvent(StreamId stream, EventId event) {
 }
 
 Result<double> Device::StreamReadySeconds(StreamId stream) const {
+  common::MutexLock lock(mu_);
   FLB_RETURN_IF_ERROR(CheckStream(stream));
   return stream_ready_[stream];
 }
 
 double Device::Synchronize() {
   double makespan = 0.0;
-  for (double ready : stream_ready_) makespan = std::max(makespan, ready);
+  double kernel_busy = 0.0;
+  double exposed_transfer = 0.0;
+  double t0 = 0.0;
+  std::vector<PendingTraceOp> flush;
+  {
+    common::MutexLock lock(mu_);
+    for (double ready : stream_ready_) makespan = std::max(makespan, ready);
 
-  // Kernels serialize on the compute engine, so the window is never shorter
-  // than its kernel busy time; everything beyond that is transfer time the
-  // overlap failed to hide.
-  const double exposed_transfer =
-      std::max(0.0, makespan - window_kernel_busy_);
+    // Kernels serialize on the compute engine, so the window is never
+    // shorter than its kernel busy time; everything beyond that is transfer
+    // time the overlap failed to hide.
+    kernel_busy = window_kernel_busy_;
+    exposed_transfer = std::max(0.0, makespan - window_kernel_busy_);
 
-  // Flush the window's buffered async ops onto the trace. Charges below sum
-  // to the makespan, so the window occupies [t0, t0 + makespan] on the
-  // simulated timeline and every op lands at t0 + its window offset.
+    stats_.overlap_saved_seconds +=
+        window_kernel_busy_ + window_transfer_busy_ - makespan;
+    ++stats_.synchronizations;
+
+    t0 = TimelineNowLocked();
+    flush.swap(pending_trace_);
+
+    // Fresh window origin.
+    std::fill(stream_ready_.begin(), stream_ready_.end(), 0.0);
+    compute_free_ = h2d_free_ = d2h_free_ = 0.0;
+    events_.clear();
+    window_kernel_busy_ = window_transfer_busy_ = 0.0;
+    AdvanceLocalTime(makespan);
+  }
+
+  // Flush the window's buffered async ops onto the trace (outside mu_: the
+  // recorder is another component's concern). Charges below sum to the
+  // makespan, so the window occupies [t0, t0 + makespan] on the simulated
+  // timeline and every op lands at t0 + its window offset.
   auto& rec = obs::TraceRecorder::Global();
-  if (rec.enabled() && !pending_trace_.empty()) {
-    const double t0 = TimelineNow();
-    for (const PendingTraceOp& op : pending_trace_) {
+  if (rec.enabled() && !flush.empty()) {
+    for (const PendingTraceOp& op : flush) {
       if (op.kind == PendingTraceOp::Kind::kKernel) {
         TraceKernel(StreamTrack(op.stream), op.name, t0 + op.start,
                     t0 + op.end, op.occupancy, op.stream);
@@ -304,33 +353,23 @@ double Device::Synchronize() {
     rec.Instant(rec.RegisterTrack(instance_, "sync"), "device.sync",
                 "device", t0 + makespan,
                 {obs::Arg("makespan_seconds", makespan),
-                 obs::Arg("kernel_busy_seconds", window_kernel_busy_),
+                 obs::Arg("kernel_busy_seconds", kernel_busy),
                  obs::Arg("exposed_transfer_seconds", exposed_transfer)});
   }
-  pending_trace_.clear();
 
   if (clock_ != nullptr) {
-    if (window_kernel_busy_ > 0.0) {
-      clock_->Charge(CostKind::kGpuKernel, window_kernel_busy_);
+    if (kernel_busy > 0.0) {
+      clock_->Charge(CostKind::kGpuKernel, kernel_busy);
     }
     if (exposed_transfer > 0.0) {
       clock_->Charge(CostKind::kPcieTransfer, exposed_transfer);
     }
   }
-  stats_.overlap_saved_seconds +=
-      window_kernel_busy_ + window_transfer_busy_ - makespan;
-  ++stats_.synchronizations;
-
-  // Fresh window origin.
-  std::fill(stream_ready_.begin(), stream_ready_.end(), 0.0);
-  compute_free_ = h2d_free_ = d2h_free_ = 0.0;
-  events_.clear();
-  window_kernel_busy_ = window_transfer_busy_ = 0.0;
-  AdvanceLocalTime(makespan);
   return makespan;
 }
 
 void Device::CollectMetrics(std::vector<obs::MetricValue>& out) const {
+  common::MutexLock lock(mu_);
   const std::string labels = "device=" + instance_;
   auto counter = [&](const char* name, double value) {
     obs::MetricValue m;

@@ -43,6 +43,8 @@
 #include <string>
 #include <vector>
 
+#include "src/common/annotations.h"
+#include "src/common/mutex.h"
 #include "src/common/result.h"
 #include "src/common/sim_clock.h"
 #include "src/gpusim/device_spec.h"
@@ -142,7 +144,10 @@ class Device : public obs::MetricsSource {
 
   // Creates a new stream, idle at the current window origin.
   StreamId CreateStream();
-  int num_streams() const { return static_cast<int>(stream_ready_.size()); }
+  int num_streams() const {
+    common::MutexLock lock(mu_);
+    return static_cast<int>(stream_ready_.size());
+  }
 
   // Enqueues work on a stream. The body (if any) runs immediately — results
   // are bit-exact regardless of the modeled schedule — while the modeled
@@ -168,8 +173,15 @@ class Device : public obs::MetricsSource {
   // makespan in seconds.
   double Synchronize();
 
-  const DeviceStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = DeviceStats{}; }
+  // Snapshot by value: the counters keep moving under their own lock.
+  DeviceStats stats() const {
+    common::MutexLock lock(mu_);
+    return stats_;
+  }
+  void ResetStats() {
+    common::MutexLock lock(mu_);
+    stats_ = DeviceStats{};
+  }
 
   // Position on this device's trace timeline: the SimClock when one is
   // attached, otherwise a local cursor that advances with every charged
@@ -195,10 +207,11 @@ class Device : public obs::MetricsSource {
     uint64_t bytes = 0;      // copies
   };
 
-  Status CheckStream(StreamId stream) const;
+  Status CheckStream(StreamId stream) const FLB_REQUIRES(mu_);
   Result<CopyResult> CopyAsync(size_t bytes, StreamId stream, bool to_device);
-  void RecordKernelStats(const LaunchResult& result);
-  void AdvanceLocalTime(double seconds);
+  void RecordKernelStats(const LaunchResult& result) FLB_REQUIRES(mu_);
+  void AdvanceLocalTime(double seconds) FLB_REQUIRES(mu_);
+  double TimelineNowLocked() const FLB_REQUIRES(mu_);
   obs::Track StreamTrack(StreamId stream) const;
   obs::Track DmaTrack(bool to_device) const;
   void TraceKernel(obs::Track track, const std::string& name, double start,
@@ -207,19 +220,27 @@ class Device : public obs::MetricsSource {
   DeviceSpec spec_;
   SimClock* clock_;
   ResourceManager rm_;
-  DeviceStats stats_;
+  // Guards the mutable device/stream/window state below. Kernel bodies and
+  // the SimClock/recorder calls run outside the lock (Launch* validate and
+  // account under brief critical sections around the body).
+  mutable common::Mutex mu_;
+  DeviceStats stats_ FLB_GUARDED_BY(mu_);
   std::string instance_;
-  double local_now_ = 0.0;  // trace cursor when clock_ == nullptr
-  std::vector<PendingTraceOp> pending_trace_;
+  // Trace cursor when clock_ == nullptr.
+  double local_now_ FLB_GUARDED_BY(mu_) = 0.0;
+  std::vector<PendingTraceOp> pending_trace_ FLB_GUARDED_BY(mu_);
 
   // Async window state: all values are seconds since the window origin.
-  std::vector<double> stream_ready_{0.0};  // index 0 = default stream
-  double compute_free_ = 0.0;              // the single kernel engine
-  double h2d_free_ = 0.0;                  // per-direction DMA engines
-  double d2h_free_ = 0.0;
-  std::vector<double> events_;
-  double window_kernel_busy_ = 0.0;
-  double window_transfer_busy_ = 0.0;
+  // Index 0 = default stream.
+  std::vector<double> stream_ready_ FLB_GUARDED_BY(mu_) = {0.0};
+  // The single kernel engine.
+  double compute_free_ FLB_GUARDED_BY(mu_) = 0.0;
+  // Per-direction DMA engines.
+  double h2d_free_ FLB_GUARDED_BY(mu_) = 0.0;
+  double d2h_free_ FLB_GUARDED_BY(mu_) = 0.0;
+  std::vector<double> events_ FLB_GUARDED_BY(mu_);
+  double window_kernel_busy_ FLB_GUARDED_BY(mu_) = 0.0;
+  double window_transfer_busy_ FLB_GUARDED_BY(mu_) = 0.0;
 
   // Registers DeviceStats with the global MetricsRegistry for the device's
   // lifetime (declared last: registration after the stats exist).

@@ -293,70 +293,81 @@ FaultInjector::Decision FaultInjector::OnSend(const std::string& from,
                                               const std::string& topic,
                                               size_t payload_bytes) {
   Decision d;
-  stats_.decisions += 1;
-  // Structural faults first: a crashed receiver or a partitioned link
-  // swallows the message regardless of the probabilistic plan.
-  if (IsCrashed(to) || IsCrashed(from)) {
-    d.deliver = false;
-    d.fault = "crash_drop";
-    stats_.crash_drops += 1;
-    RecordFault("crash_drop", from, to, topic);
-    return d;
+  // Fault kinds injected by this decision, recorded to the observability
+  // singletons only after mu_ is released (leaf-locking discipline: their
+  // locks must never nest inside ours).
+  const char* recorded[4] = {nullptr, nullptr, nullptr, nullptr};
+  int num_recorded = 0;
+  {
+    common::MutexLock lock(mu_);
+    stats_.decisions += 1;
+    // Structural faults first: a crashed receiver or a partitioned link
+    // swallows the message regardless of the probabilistic plan.
+    if (IsCrashed(to) || IsCrashed(from)) {
+      d.deliver = false;
+      d.fault = "crash_drop";
+      stats_.crash_drops += 1;
+      recorded[num_recorded++] = d.fault;
+    } else if (LinkPartitioned(from, to)) {
+      d.deliver = false;
+      d.fault = "partition_drop";
+      stats_.partition_drops += 1;
+      recorded[num_recorded++] = d.fault;
+    } else {
+      const LinkFaults& link = FaultsFor(from, to);
+      // Deterministic draw order: drop, dup, reorder, corrupt, jitter.
+      // Every probabilistic knob consumes its draw on every decision so
+      // that enabling one fault class does not shift another class's
+      // random sequence.
+      const bool drop = rng_.NextBernoulli(link.drop_prob);
+      const bool dup = rng_.NextBernoulli(link.dup_prob);
+      const bool reorder = rng_.NextBernoulli(link.reorder_prob);
+      const bool corrupt = rng_.NextBernoulli(link.corrupt_prob);
+      const double jitter =
+          link.jitter_sec > 0 ? rng_.NextDouble() * link.jitter_sec : 0.0;
+      const uint64_t corrupt_bit =
+          payload_bytes > 0 ? rng_.NextBelow(payload_bytes * 8) : 0;
+      if (drop) {
+        d.deliver = false;
+        d.fault = "drop";
+        stats_.drops += 1;
+        recorded[num_recorded++] = d.fault;
+      } else {
+        if (dup) {
+          d.duplicate = true;
+          d.fault = "duplicate";
+          stats_.duplicates += 1;
+          recorded[num_recorded++] = "duplicate";
+        }
+        if (reorder) {
+          d.reorder = true;
+          if (d.fault == nullptr) d.fault = "reorder";
+          stats_.reorders += 1;
+          recorded[num_recorded++] = "reorder";
+        }
+        if (corrupt && payload_bytes > 0) {
+          d.corrupt = true;
+          d.corrupt_bit = corrupt_bit;
+          if (d.fault == nullptr) d.fault = "corrupt";
+          stats_.corruptions += 1;
+          recorded[num_recorded++] = "corrupt";
+        }
+        d.extra_delay_sec = link.extra_delay_sec + jitter;
+        if (d.extra_delay_sec > 0) {
+          stats_.delays += 1;
+          if (d.fault == nullptr) d.fault = "delay";
+        }
+      }
+    }
   }
-  if (LinkPartitioned(from, to)) {
-    d.deliver = false;
-    d.fault = "partition_drop";
-    stats_.partition_drops += 1;
-    RecordFault("partition_drop", from, to, topic);
-    return d;
-  }
-  const LinkFaults& link = FaultsFor(from, to);
-  // Deterministic draw order: drop, dup, reorder, corrupt, jitter. Every
-  // probabilistic knob consumes its draw on every decision so that enabling
-  // one fault class does not shift another class's random sequence.
-  const bool drop = rng_.NextBernoulli(link.drop_prob);
-  const bool dup = rng_.NextBernoulli(link.dup_prob);
-  const bool reorder = rng_.NextBernoulli(link.reorder_prob);
-  const bool corrupt = rng_.NextBernoulli(link.corrupt_prob);
-  const double jitter =
-      link.jitter_sec > 0 ? rng_.NextDouble() * link.jitter_sec : 0.0;
-  const uint64_t corrupt_bit =
-      payload_bytes > 0 ? rng_.NextBelow(payload_bytes * 8) : 0;
-  if (drop) {
-    d.deliver = false;
-    d.fault = "drop";
-    stats_.drops += 1;
-    RecordFault("drop", from, to, topic);
-    return d;
-  }
-  if (dup) {
-    d.duplicate = true;
-    d.fault = "duplicate";
-    stats_.duplicates += 1;
-    RecordFault("duplicate", from, to, topic);
-  }
-  if (reorder) {
-    d.reorder = true;
-    if (d.fault == nullptr) d.fault = "reorder";
-    stats_.reorders += 1;
-    RecordFault("reorder", from, to, topic);
-  }
-  if (corrupt && payload_bytes > 0) {
-    d.corrupt = true;
-    d.corrupt_bit = corrupt_bit;
-    if (d.fault == nullptr) d.fault = "corrupt";
-    stats_.corruptions += 1;
-    RecordFault("corrupt", from, to, topic);
-  }
-  d.extra_delay_sec = link.extra_delay_sec + jitter;
-  if (d.extra_delay_sec > 0) {
-    stats_.delays += 1;
-    if (d.fault == nullptr) d.fault = "delay";
+  for (int i = 0; i < num_recorded; ++i) {
+    RecordFault(recorded[i], from, to, topic);
   }
   return d;
 }
 
 void FaultInjector::CollectMetrics(std::vector<obs::MetricValue>& out) const {
+  common::MutexLock lock(mu_);
   auto counter = [&](const char* name, uint64_t value) {
     obs::MetricValue m;
     m.name = name;

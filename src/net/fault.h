@@ -36,6 +36,8 @@
 #include <utility>
 #include <vector>
 
+#include "src/common/annotations.h"
+#include "src/common/mutex.h"
 #include "src/common/result.h"
 #include "src/common/rng.h"
 #include "src/common/sim_clock.h"
@@ -144,8 +146,15 @@ class FaultInjector : public obs::MetricsSource {
   // Compute/transfer slowdown for a party (1.0 when not a straggler).
   double StragglerFactor(const std::string& party) const;
 
-  const FaultStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = FaultStats{}; }
+  // Snapshot by value: the counters keep moving under their own lock.
+  FaultStats stats() const {
+    common::MutexLock lock(mu_);
+    return stats_;
+  }
+  void ResetStats() {
+    common::MutexLock lock(mu_);
+    stats_ = FaultStats{};
+  }
 
   // obs::MetricsSource: flb.fault.* counters.
   void CollectMetrics(std::vector<obs::MetricValue>& out) const override;
@@ -160,8 +169,14 @@ class FaultInjector : public obs::MetricsSource {
 
   FaultPlan plan_;
   SimClock* clock_;
-  Rng rng_;
-  FaultStats stats_;
+  // Guards the decision state (rng_ draws define the fault sequence, so
+  // they must be serialized). Never held across RecordFault's calls into
+  // the registry/recorder — OnSend collects kinds under the lock and
+  // emits after releasing it (their locks order after ours only via
+  // CollectMetrics, never the reverse).
+  mutable common::Mutex mu_;
+  Rng rng_ FLB_GUARDED_BY(mu_);
+  FaultStats stats_ FLB_GUARDED_BY(mu_);
   obs::ScopedMetricsSource metrics_registration_{this};
 };
 

@@ -38,11 +38,43 @@ Status Network::SendDirect(const std::string& from, const std::string& to,
   // straggler sender's slow NIC/host stretches its transfers.
   double sec = TransferSeconds(wire_bytes, objects) + fault.extra_delay_sec;
   if (injector_ != nullptr) sec *= injector_->StragglerFactor(from);
-  stats_.messages += 1;
-  stats_.bytes += wire_bytes;
-  stats_.bytes_by_topic[topic] += wire_bytes;
-  stats_.seconds += sec;
-  // Charge + trace span on the sender's track: one span per message, sized
+  if (outcome != nullptr) {
+    outcome->delivered = fault.deliver;
+    outcome->corrupted = fault.corrupt;
+    outcome->duplicated = fault.duplicate;
+  }
+  {
+    common::MutexLock lock(mu_);
+    stats_.messages += 1;
+    stats_.bytes += wire_bytes;
+    stats_.bytes_by_topic[topic] += wire_bytes;
+    stats_.seconds += sec;
+    if (fault.deliver) {
+      Message msg;
+      msg.from = from;
+      msg.to = to;
+      msg.topic = topic;
+      msg.payload = std::move(payload);
+      if (fault.corrupt && !msg.payload.empty()) {
+        const size_t bit = fault.corrupt_bit % (msg.payload.size() * 8);
+        msg.payload[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
+      }
+      auto& inbox = inboxes_[to];
+      if (fault.duplicate) {
+        // The duplicate copy also crossed the wire.
+        stats_.bytes += wire_bytes;
+        stats_.bytes_by_topic[topic] += wire_bytes;
+        inbox.push_back(msg);
+      }
+      if (fault.reorder) {
+        inbox.push_front(std::move(msg));
+      } else {
+        inbox.push_back(std::move(msg));
+      }
+    }
+  }
+  // Charge + trace span on the sender's track (outside mu_: the recorder
+  // and clock are other components' concerns): one span per message, sized
   // by its transfer time, with the routing details in the args.
   std::vector<obs::TraceArg> args = {
       obs::Arg("to", to), obs::Arg("bytes", static_cast<uint64_t>(wire_bytes)),
@@ -52,35 +84,6 @@ Status Network::SendDirect(const std::string& from, const std::string& to,
       clock_, CostKind::kNetwork, sec,
       obs::TraceRecorder::Global().RegisterTrack(instance_, from), topic,
       "network", std::move(args));
-
-  if (outcome != nullptr) {
-    outcome->delivered = fault.deliver;
-    outcome->corrupted = fault.corrupt;
-    outcome->duplicated = fault.duplicate;
-  }
-  if (!fault.deliver) return Status::OK();  // swallowed by the link
-
-  Message msg;
-  msg.from = from;
-  msg.to = to;
-  msg.topic = topic;
-  msg.payload = std::move(payload);
-  if (fault.corrupt && !msg.payload.empty()) {
-    const size_t bit = fault.corrupt_bit % (msg.payload.size() * 8);
-    msg.payload[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
-  }
-  auto& inbox = inboxes_[to];
-  if (fault.duplicate) {
-    // The duplicate copy also crossed the wire.
-    stats_.bytes += wire_bytes;
-    stats_.bytes_by_topic[topic] += wire_bytes;
-    inbox.push_back(msg);
-  }
-  if (fault.reorder) {
-    inbox.push_front(std::move(msg));
-  } else {
-    inbox.push_back(std::move(msg));
-  }
   return Status::OK();
 }
 
@@ -89,6 +92,7 @@ Result<Message> Network::ReceiveDirect(const std::string& to,
   if (injector_ != nullptr && injector_->IsCrashed(to)) {
     return Status::Unavailable("Network::Receive: " + to + " is down");
   }
+  common::MutexLock lock(mu_);
   auto it = inboxes_.find(to);
   if (it != inboxes_.end()) {
     auto& queue = it->second;
@@ -109,19 +113,24 @@ void Network::ChargeControl(const std::string& from, const std::string& to,
   const size_t wire_bytes = bytes + kFramingBytes;
   double sec = TransferSeconds(wire_bytes);
   if (injector_ != nullptr) sec *= injector_->StragglerFactor(from);
-  stats_.bytes += wire_bytes;
-  stats_.bytes_by_topic[topic] += wire_bytes;
-  stats_.seconds += sec;
+  {
+    common::MutexLock lock(mu_);
+    stats_.bytes += wire_bytes;
+    stats_.bytes_by_topic[topic] += wire_bytes;
+    stats_.seconds += sec;
+  }
   if (clock_ != nullptr) clock_->Charge(CostKind::kNetwork, sec);
   (void)to;
 }
 
 size_t Network::PendingFor(const std::string& to) const {
+  common::MutexLock lock(mu_);
   auto it = inboxes_.find(to);
   return it == inboxes_.end() ? 0 : it->second.size();
 }
 
 void Network::CollectMetrics(std::vector<obs::MetricValue>& out) const {
+  common::MutexLock lock(mu_);
   const std::string labels = "net=" + instance_;
   auto counter = [&](const char* name, double value,
                      const std::string& extra = "") {

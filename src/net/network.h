@@ -17,6 +17,8 @@
 #include <string>
 #include <vector>
 
+#include "src/common/annotations.h"
+#include "src/common/mutex.h"
 #include "src/common/result.h"
 #include "src/common/sim_clock.h"
 #include "src/obs/metrics.h"
@@ -124,13 +126,23 @@ class Network : public obs::MetricsSource {
 
   // Drops every pending message (server-restart semantics: in-flight state
   // is lost when the aggregator recovers from a crash).
-  void PurgeInboxes() { inboxes_.clear(); }
+  void PurgeInboxes() {
+    common::MutexLock lock(mu_);
+    inboxes_.clear();
+  }
 
   // Number of pending messages for a party (any topic).
   size_t PendingFor(const std::string& to) const;
 
-  const NetworkStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = NetworkStats{}; }
+  // Snapshot by value: the counters keep moving under their own lock.
+  NetworkStats stats() const {
+    common::MutexLock lock(mu_);
+    return stats_;
+  }
+  void ResetStats() {
+    common::MutexLock lock(mu_);
+    stats_ = NetworkStats{};
+  }
 
   // obs::MetricsSource: NetworkStats exposed through the unified registry.
   void CollectMetrics(std::vector<obs::MetricValue>& out) const override;
@@ -151,8 +163,13 @@ class Network : public obs::MetricsSource {
   FaultInjector* injector_ = nullptr;
   ReliableChannel* reliable_ = nullptr;
   std::string instance_;
-  std::map<std::string, std::deque<Message>> inboxes_;
-  NetworkStats stats_;
+  // Leaf lock over the mutable routing state. Never held across calls into
+  // the injector, the clock, or the observability singletons (registry /
+  // recorder lock ordering: theirs may be held while ours is taken via
+  // CollectMetrics, never the reverse).
+  mutable common::Mutex mu_;
+  std::map<std::string, std::deque<Message>> inboxes_ FLB_GUARDED_BY(mu_);
+  NetworkStats stats_ FLB_GUARDED_BY(mu_);
 
   // Registers NetworkStats with the global MetricsRegistry for the
   // network's lifetime (declared last: registration after the stats exist).

@@ -15,9 +15,13 @@ Status ReliableChannel::Send(const std::string& from, const std::string& to,
                              const std::string& topic,
                              std::vector<uint8_t> payload, size_t objects) {
   const std::string key = LinkKey(from, to, topic);
-  const uint64_t seq = next_seq_[key]++;
+  uint64_t seq = 0;
+  {
+    common::MutexLock lock(mu_);
+    seq = next_seq_[key]++;
+    stats_.sends += 1;
+  }
   const std::vector<uint8_t> frame = EncodeFrame(seq, payload);
-  stats_.sends += 1;
 
   SimClock* clock = network_->clock();
   double rto = options_.initial_rto_sec;
@@ -26,16 +30,22 @@ Status ReliableChannel::Send(const std::string& from, const std::string& to,
     SendOutcome outcome;
     FLB_RETURN_IF_ERROR(
         network_->SendDirect(from, to, topic, frame, objects, &outcome));
-    stats_.attempts += 1;
+    {
+      common::MutexLock lock(mu_);
+      stats_.attempts += 1;
+      if (attempt > 0) stats_.retransmits += 1;
+    }
     if (attempt > 0) {
-      stats_.retransmits += 1;
       obs::MetricsRegistry::Global().Count("flb.net.reliable.retransmit_by",
                                            1, "link=" + from + ">" + to);
     }
     if (outcome.delivered && !outcome.corrupted) {
       // The receiver acks the clean copy; corrupted deliveries would be
       // CRC-NAKed, which this loop models the same as a loss.
-      stats_.acks += 1;
+      {
+        common::MutexLock lock(mu_);
+        stats_.acks += 1;
+      }
       network_->ChargeControl(to, from, "__ack", options_.ack_bytes);
       return Status::OK();
     }
@@ -43,6 +53,7 @@ Status ReliableChannel::Send(const std::string& from, const std::string& to,
     // The wait is real simulated time — backoff under a fault plan is
     // visible in epoch timings and the trace.
     if (waited + rto > options_.deadline_sec) {
+      common::MutexLock lock(mu_);
       stats_.timeouts += 1;
       return Status::DeadlineExceeded(
           "ReliableChannel: '" + topic + "' " + from + "->" + to +
@@ -58,7 +69,10 @@ Status ReliableChannel::Send(const std::string& from, const std::string& to,
     waited += rto;
     rto = std::min(rto * options_.backoff, options_.max_rto_sec);
   }
-  stats_.timeouts += 1;
+  {
+    common::MutexLock lock(mu_);
+    stats_.timeouts += 1;
+  }
   return Status::Unavailable("ReliableChannel: '" + topic + "' " + from +
                              "->" + to + " undeliverable after " +
                              std::to_string(options_.max_attempts) +
@@ -84,16 +98,22 @@ Result<Message> ReliableChannel::Receive(const std::string& to,
     if (!frame.ok()) {
       // Corrupted on the wire; the sender already retransmitted a clean
       // copy (it never got an ack for this one), so just discard.
-      stats_.crc_failures += 1;
+      {
+        common::MutexLock lock(mu_);
+        stats_.crc_failures += 1;
+      }
       obs::MetricsRegistry::Global().Count("flb.net.reliable.crc_failures", 1,
                                            "link=" + msg.from + ">" + to);
       last_loss = frame.status();
       continue;
     }
-    auto& seen = delivered_[LinkKey(msg.from, to, topic)];
-    if (!seen.insert(frame->seq).second) {
-      stats_.duplicates_suppressed += 1;
-      continue;
+    {
+      common::MutexLock lock(mu_);
+      auto& seen = delivered_[LinkKey(msg.from, to, topic)];
+      if (!seen.insert(frame->seq).second) {
+        stats_.duplicates_suppressed += 1;
+        continue;
+      }
     }
     msg.payload = std::move(frame->payload);
     return msg;
@@ -102,6 +122,7 @@ Result<Message> ReliableChannel::Receive(const std::string& to,
 
 void ReliableChannel::CollectMetrics(
     std::vector<obs::MetricValue>& out) const {
+  common::MutexLock lock(mu_);
   auto counter = [&](const char* name, uint64_t value) {
     obs::MetricValue m;
     m.name = name;

@@ -33,6 +33,8 @@
 #include <string>
 #include <vector>
 
+#include "src/common/annotations.h"
+#include "src/common/mutex.h"
 #include "src/common/result.h"
 #include "src/net/network.h"
 #include "src/obs/metrics.h"
@@ -77,8 +79,15 @@ class ReliableChannel : public obs::MetricsSource {
   // kDataLoss when only corrupted frames were pending.
   Result<Message> Receive(const std::string& to, const std::string& topic);
 
-  const ChannelStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = ChannelStats{}; }
+  // Snapshot by value: the counters keep moving under their own lock.
+  ChannelStats stats() const {
+    common::MutexLock lock(mu_);
+    return stats_;
+  }
+  void ResetStats() {
+    common::MutexLock lock(mu_);
+    stats_ = ChannelStats{};
+  }
 
   // obs::MetricsSource: flb.net.reliable.* counters.
   void CollectMetrics(std::vector<obs::MetricValue>& out) const override;
@@ -92,9 +101,13 @@ class ReliableChannel : public obs::MetricsSource {
 
   Network* network_;
   ReliableOptions options_;
-  ChannelStats stats_;
-  std::map<std::string, uint64_t> next_seq_;            // sender side
-  std::map<std::string, std::set<uint64_t>> delivered_;  // receiver side
+  // Brief per-access leaf lock: never held across the Network / registry /
+  // recorder calls inside the retry loop.
+  mutable common::Mutex mu_;
+  ChannelStats stats_ FLB_GUARDED_BY(mu_);
+  std::map<std::string, uint64_t> next_seq_ FLB_GUARDED_BY(mu_);  // sender
+  std::map<std::string, std::set<uint64_t>> delivered_
+      FLB_GUARDED_BY(mu_);  // receiver side
   obs::ScopedMetricsSource metrics_registration_{this};
 };
 

@@ -55,16 +55,19 @@ MetricsRegistry& MetricsRegistry::Global() {
 
 void MetricsRegistry::Count(const std::string& name, double delta,
                             const std::string& labels) {
+  common::MutexLock lock(mu_);
   counters_[{name, labels}] += delta;
 }
 
 void MetricsRegistry::Set(const std::string& name, double value,
                           const std::string& labels) {
+  common::MutexLock lock(mu_);
   gauges_[{name, labels}] = value;
 }
 
 void MetricsRegistry::Observe(const std::string& name, double value,
                               const std::string& labels) {
+  common::MutexLock lock(mu_);
   Histogram& h = histograms_[{name, labels}];
   if (h.buckets.empty()) h.buckets.assign(kNumBuckets, 0);
   if (h.count == 0) {
@@ -79,15 +82,18 @@ void MetricsRegistry::Observe(const std::string& name, double value,
 }
 
 void MetricsRegistry::RegisterSource(MetricsSource* source) {
+  common::MutexLock lock(mu_);
   sources_.push_back(source);
 }
 
 void MetricsRegistry::UnregisterSource(MetricsSource* source) {
+  common::MutexLock lock(mu_);
   sources_.erase(std::remove(sources_.begin(), sources_.end(), source),
                  sources_.end());
 }
 
 std::vector<MetricValue> MetricsRegistry::Collect() const {
+  common::MutexLock lock(mu_);
   std::vector<MetricValue> out;
   out.reserve(counters_.size() + gauges_.size() + histograms_.size());
   for (const auto& [key, value] : counters_) {
@@ -133,6 +139,7 @@ std::vector<MetricValue> MetricsRegistry::Collect() const {
 }
 
 void MetricsRegistry::ResetAll() {
+  common::MutexLock lock(mu_);
   counters_.clear();
   gauges_.clear();
   histograms_.clear();

@@ -34,6 +34,8 @@
 #include <utility>
 #include <vector>
 
+#include "src/common/annotations.h"
+#include "src/common/mutex.h"
 #include "src/common/status.h"
 
 namespace flb::obs {
@@ -89,7 +91,10 @@ class MetricsRegistry {
 
   void RegisterSource(MetricsSource* source);
   void UnregisterSource(MetricsSource* source);
-  size_t num_sources() const { return sources_.size(); }
+  size_t num_sources() const {
+    common::MutexLock lock(mu_);
+    return sources_.size();
+  }
 
   // Snapshot: the registry's own metrics plus every registered source's
   // contribution, sorted by (name, labels).
@@ -113,10 +118,14 @@ class MetricsRegistry {
   };
   using Key = std::pair<std::string, std::string>;  // (name, labels)
 
-  std::map<Key, double> counters_;
-  std::map<Key, double> gauges_;
-  std::map<Key, Histogram> histograms_;
-  std::vector<MetricsSource*> sources_;
+  // Leaf-level locking: mu_ is held across source->CollectMetrics /
+  // ResetMetrics calls, so sources must never call back into the registry
+  // from those hooks (they only read/zero their own stats structs).
+  mutable common::Mutex mu_;
+  std::map<Key, double> counters_ FLB_GUARDED_BY(mu_);
+  std::map<Key, double> gauges_ FLB_GUARDED_BY(mu_);
+  std::map<Key, Histogram> histograms_ FLB_GUARDED_BY(mu_);
+  std::vector<MetricsSource*> sources_ FLB_GUARDED_BY(mu_);
 };
 
 // RAII registration of a MetricsSource with a registry. Members of the

@@ -49,6 +49,7 @@ TraceRecorder& TraceRecorder::Global() {
 
 Track TraceRecorder::RegisterTrack(const std::string& process,
                                    const std::string& thread) {
+  common::MutexLock lock(mu_);
   auto key = std::make_pair(process, thread);
   auto it = tracks_.find(key);
   if (it != tracks_.end()) return it->second;
@@ -68,12 +69,14 @@ Track TraceRecorder::RegisterTrack(const std::string& process,
 }
 
 std::string TraceRecorder::UniqueProcessName(const std::string& base) {
+  common::MutexLock lock(mu_);
   const int n = ++unique_counts_[base];
   return n == 1 ? base : base + "#" + std::to_string(n);
 }
 
 void TraceRecorder::Push(TraceEvent event) {
-  if (!enabled_) return;
+  if (!enabled()) return;
+  common::MutexLock lock(mu_);
   if (events_.size() >= max_events_) {
     ++dropped_;
     return;
@@ -84,7 +87,7 @@ void TraceRecorder::Push(TraceEvent event) {
 void TraceRecorder::Span(Track track, std::string name, std::string category,
                          double start_sec, double end_sec,
                          std::vector<TraceArg> args) {
-  if (!enabled_) return;
+  if (!enabled()) return;
   TraceEvent e;
   e.phase = TraceEvent::Phase::kComplete;
   e.name = std::move(name);
@@ -100,7 +103,7 @@ void TraceRecorder::Span(Track track, std::string name, std::string category,
 void TraceRecorder::Instant(Track track, std::string name,
                             std::string category, double ts_sec,
                             std::vector<TraceArg> args) {
-  if (!enabled_) return;
+  if (!enabled()) return;
   TraceEvent e;
   e.phase = TraceEvent::Phase::kInstant;
   e.name = std::move(name);
@@ -113,7 +116,7 @@ void TraceRecorder::Instant(Track track, std::string name,
 
 void TraceRecorder::Counter(Track track, std::string name, double ts_sec,
                             double value) {
-  if (!enabled_) return;
+  if (!enabled()) return;
   TraceEvent e;
   e.phase = TraceEvent::Phase::kCounter;
   e.name = std::move(name);
@@ -125,11 +128,13 @@ void TraceRecorder::Counter(Track track, std::string name, double ts_sec,
 }
 
 void TraceRecorder::Clear() {
+  common::MutexLock lock(mu_);
   events_.clear();
   dropped_ = 0;
 }
 
 std::string TraceRecorder::ToJson() const {
+  common::MutexLock lock(mu_);
   // Metadata only for tracks that actually carry events.
   std::set<int> used_pids;
   std::set<std::pair<int, int>> used_tracks;

@@ -27,12 +27,15 @@
 #ifndef FLB_OBS_TRACE_H_
 #define FLB_OBS_TRACE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "src/common/annotations.h"
+#include "src/common/mutex.h"
 #include "src/common/sim_clock.h"
 #include "src/common/status.h"
 
@@ -83,8 +86,12 @@ class TraceRecorder {
   // The process-global recorder every instrumented component reports to.
   static TraceRecorder& Global();
 
-  bool enabled() const { return enabled_; }
-  void set_enabled(bool enabled) { enabled_ = enabled; }
+  // Lock-free: this is the hot-path "is tracing off?" check every
+  // instrumented component makes before building an event.
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void set_enabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
 
   // Returns the Track for (process, thread), registering it on first use.
   // Idempotent: the same name pair always maps to the same pid/tid.
@@ -102,11 +109,22 @@ class TraceRecorder {
                double ts_sec, std::vector<TraceArg> args = {});
   void Counter(Track track, std::string name, double ts_sec, double value);
 
-  const std::vector<TraceEvent>& events() const { return events_; }
+  // Sequential inspection only (tests, post-run readers): returning a
+  // reference cannot hand the caller the lock, so this is deliberately
+  // outside the analysis. Do not call while recorders may be pushing.
+  const std::vector<TraceEvent>& events() const FLB_NO_THREAD_SAFETY_ANALYSIS {
+    return events_;
+  }
   // Events discarded after the max_events cap was hit.
-  uint64_t dropped_events() const { return dropped_; }
+  uint64_t dropped_events() const {
+    common::MutexLock lock(mu_);
+    return dropped_;
+  }
   // Safety valve for epoch-scale runs; default 1M events.
-  void set_max_events(size_t n) { max_events_ = n; }
+  void set_max_events(size_t n) {
+    common::MutexLock lock(mu_);
+    max_events_ = n;
+  }
 
   // Drops recorded events (and the dropped counter). Track registrations
   // persist so cached Track handles and unique names stay valid.
@@ -119,17 +137,21 @@ class TraceRecorder {
   Status WriteJson(const std::string& path) const;
 
  private:
-  void Push(TraceEvent event);
+  void Push(TraceEvent event) FLB_EXCLUDES(mu_);
 
-  bool enabled_ = false;
-  size_t max_events_ = 1000000;
-  uint64_t dropped_ = 0;
-  std::vector<TraceEvent> events_;
+  std::atomic<bool> enabled_{false};
+  // Leaf lock: nothing is called out to while mu_ is held, so any
+  // component may record events while holding its own lock.
+  mutable common::Mutex mu_;
+  size_t max_events_ FLB_GUARDED_BY(mu_) = 1000000;
+  uint64_t dropped_ FLB_GUARDED_BY(mu_) = 0;
+  std::vector<TraceEvent> events_ FLB_GUARDED_BY(mu_);
   // (process, thread) name -> track; process name -> pid.
-  std::map<std::pair<std::string, std::string>, Track> tracks_;
-  std::map<std::string, int> pids_;
-  std::map<std::string, int> unique_counts_;
-  int next_pid_ = 1;
+  std::map<std::pair<std::string, std::string>, Track> tracks_
+      FLB_GUARDED_BY(mu_);
+  std::map<std::string, int> pids_ FLB_GUARDED_BY(mu_);
+  std::map<std::string, int> unique_counts_ FLB_GUARDED_BY(mu_);
+  int next_pid_ FLB_GUARDED_BY(mu_) = 1;
 };
 
 // RAII span: reads the simulated clock at construction and destruction and

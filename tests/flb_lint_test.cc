@@ -1,0 +1,185 @@
+// flb_lint rule coverage: each fixture under tests/lint_fixtures/ carries
+// one deliberate violation per rule at a pinned line; clean.cc carries
+// none; and the real src/ tree must scan clean (the acceptance invariant
+// the CI lint job enforces, here pinned as a test).
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "tools/flb_lint/lint.h"
+
+namespace flb::lint {
+namespace {
+
+std::string FixturePath(const std::string& name) {
+  return std::string(FLB_LINT_FIXTURE_DIR) + "/" + name;
+}
+
+// Lints one fixture file (as its own translation set) and returns the
+// report.
+Report LintFixture(const std::string& name) {
+  Report report;
+  std::string error;
+  // LintTree wants a directory; single files go through the CLI-style
+  // in-memory path instead.
+  std::vector<FileInput> inputs;
+  std::ifstream in(FixturePath(name), std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing fixture " << name;
+  std::ostringstream content;
+  content << in.rdbuf();
+  inputs.push_back({name, content.str()});
+  report = LintFiles(inputs, Options());
+  (void)error;
+  return report;
+}
+
+struct Expected {
+  std::string rule;
+  int line;
+};
+
+void ExpectViolations(const std::string& fixture,
+                      const std::vector<Expected>& expected) {
+  const Report report = LintFixture(fixture);
+  ASSERT_EQ(report.violations.size(), expected.size()) << fixture;
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(report.violations[i].rule, expected[i].rule)
+        << fixture << " violation " << i << ": "
+        << report.violations[i].message;
+    EXPECT_EQ(report.violations[i].line, expected[i].line)
+        << fixture << " violation " << i << ": "
+        << report.violations[i].message;
+  }
+}
+
+TEST(FlbLintTest, RuleTableIsStable) {
+  const auto& rules = Rules();
+  ASSERT_EQ(rules.size(), 5u);
+  EXPECT_STREQ(rules[0].id, "FLB001");
+  EXPECT_STREQ(rules[0].name, "wall-clock");
+  EXPECT_STREQ(rules[1].id, "FLB002");
+  EXPECT_STREQ(rules[1].name, "entropy");
+  EXPECT_STREQ(rules[2].id, "FLB003");
+  EXPECT_STREQ(rules[2].name, "unordered-iter");
+  EXPECT_STREQ(rules[3].id, "FLB004");
+  EXPECT_STREQ(rules[3].name, "mutex-annotation");
+  EXPECT_STREQ(rules[4].id, "FLB005");
+  EXPECT_STREQ(rules[4].name, "discarded-status");
+}
+
+TEST(FlbLintTest, WallClockFixture) {
+  ExpectViolations("wall_clock_violation.cc", {{"FLB001", 10}});
+}
+
+TEST(FlbLintTest, EntropyFixture) {
+  ExpectViolations("entropy_violation.cc", {{"FLB002", 8}});
+}
+
+TEST(FlbLintTest, UnorderedIterFixture) {
+  ExpectViolations("unordered_iter_violation.cc", {{"FLB003", 15}});
+}
+
+TEST(FlbLintTest, MutexAnnotationFixture) {
+  ExpectViolations("mutex_annotation_violation.cc",
+                   {{"FLB004", 20}, {"FLB004", 32}});
+}
+
+TEST(FlbLintTest, DiscardedStatusFixture) {
+  const std::string fixture = "discarded_status_violation.cc";
+  ExpectViolations(fixture, {{"FLB005", 17}, {"FLB005", 18}});
+  // The justified (void) discard on line 19 is counted, not reported.
+  EXPECT_EQ(LintFixture(fixture).suppressed, 1u);
+}
+
+TEST(FlbLintTest, CleanFixtureHasNoViolations) {
+  const Report report = LintFixture("clean.cc");
+  for (const Violation& v : report.violations) {
+    ADD_FAILURE() << "clean.cc:" << v.line << " [" << v.rule << "] "
+                  << v.message;
+  }
+  EXPECT_EQ(report.suppressed, 0u);
+}
+
+TEST(FlbLintTest, AllowWithoutReasonDoesNotSuppress) {
+  std::vector<FileInput> inputs = {
+      {"unjustified.cc",
+       "void Charged() {\n"
+       "  int t = time(nullptr);  // flb-lint: allow(FLB001)\n"
+       "  (void)t;\n"
+       "}\n"}};
+  const Report report = LintFiles(inputs, Options());
+  ASSERT_EQ(report.violations.size(), 1u);
+  EXPECT_EQ(report.violations[0].rule, "FLB001");
+  EXPECT_EQ(report.violations[0].line, 2);
+  EXPECT_EQ(report.unjustified_allows, 1u);
+  EXPECT_EQ(report.suppressed, 0u);
+}
+
+TEST(FlbLintTest, AllowNextLineSuppresses) {
+  std::vector<FileInput> inputs = {
+      {"next_line.cc",
+       "void Charged() {\n"
+       "  // flb-lint: allow-next-line(FLB001) calibration-only wall read\n"
+       "  int t = time(nullptr);\n"
+       "  (void)t;\n"
+       "}\n"}};
+  const Report report = LintFiles(inputs, Options());
+  EXPECT_TRUE(report.violations.empty());
+  EXPECT_EQ(report.suppressed, 1u);
+}
+
+TEST(FlbLintTest, AllowlistExemptsFile) {
+  Options options;
+  options.allowlist.push_back({"FLB002", "legacy/seed_me_later.cc"});
+  std::vector<FileInput> inputs = {
+      {"legacy/seed_me_later.cc", "int Draw() { return rand(); }\n"}};
+  const Report report = LintFiles(inputs, options);
+  EXPECT_TRUE(report.violations.empty());
+  EXPECT_EQ(report.allowlisted, 1u);
+}
+
+TEST(FlbLintTest, BannedNamesInsideCommentsAndStringsAreIgnored) {
+  std::vector<FileInput> inputs = {
+      {"prose.cc",
+       "// system_clock and rand() discussed in prose only.\n"
+       "const char* kDoc = \"uses std::random_device internally\";\n"}};
+  const Report report = LintFiles(inputs, Options());
+  EXPECT_TRUE(report.violations.empty());
+}
+
+TEST(FlbLintTest, BenchJsonSummarySchema) {
+  const Report report = LintFixture("discarded_status_violation.cc");
+  const std::string json = ReportToBenchJson(report);
+  EXPECT_NE(json.find("\"bench\":\"flb_lint\""), std::string::npos);
+  EXPECT_NE(json.find("\"metric\":\"flb.lint.files_scanned\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"metric\":\"flb.lint.violations\",\"value\":2"),
+            std::string::npos);
+  EXPECT_NE(
+      json.find("\"metric\":\"flb.lint.violations_by_rule.FLB005\",\"value\":2"),
+      std::string::npos);
+  EXPECT_NE(json.find("\"unit\":\"count\""), std::string::npos);
+}
+
+// The acceptance invariant: the real source tree is lint-clean. Runs the
+// same scan the CI lint job and scripts/run_lint.sh run.
+TEST(FlbLintTest, RealSourceTreeIsClean) {
+  Report report;
+  std::string error;
+  ASSERT_TRUE(
+      LintTree(std::string(FLB_SOURCE_ROOT) + "/src", Options(), &report,
+               &error))
+      << error;
+  EXPECT_GT(report.files_scanned, 50u);
+  for (const Violation& v : report.violations) {
+    ADD_FAILURE() << v.file << ":" << v.line << " [" << v.rule << "] "
+                  << v.message;
+  }
+}
+
+}  // namespace
+}  // namespace flb::lint

@@ -1,0 +1,116 @@
+// flb_lint CLI. See lint.h for the rule table and suppression syntax.
+//
+// Usage:
+//   flb_lint [--root DIR] [--allowlist FILE] [--json PATH] [--list-rules]
+//            [--quiet] [file...]
+//
+// With explicit files, lints exactly those as one translation set (the
+// fixture-test entry point); otherwise walks --root (default: src). Exit
+// codes: 0 clean, 1 violations, 2 usage/IO error.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "tools/flb_lint/lint.h"
+
+namespace {
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--root DIR] [--allowlist FILE] [--json PATH] "
+               "[--list-rules] [--quiet] [file...]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root = "src";
+  std::string json_path;
+  bool quiet = false;
+  std::vector<std::string> files;
+  flb::lint::Options options;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--root") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      root = v;
+    } else if (arg == "--allowlist") {
+      const char* v = next();
+      std::string error;
+      if (v == nullptr) return Usage(argv[0]);
+      if (!flb::lint::LoadAllowlistFile(v, &options.allowlist, &error)) {
+        std::fprintf(stderr, "flb_lint: %s\n", error.c_str());
+        return 2;
+      }
+    } else if (arg == "--json") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      json_path = v;
+    } else if (arg == "--list-rules") {
+      for (const flb::lint::RuleInfo& rule : flb::lint::Rules()) {
+        std::printf("%s %-16s %s\n", rule.id, rule.name, rule.summary);
+      }
+      return 0;
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg.rfind("--", 0) == 0) {
+      return Usage(argv[0]);
+    } else {
+      files.push_back(arg);
+    }
+  }
+
+  flb::lint::Report report;
+  std::string error;
+  if (!files.empty()) {
+    std::vector<flb::lint::FileInput> inputs;
+    for (const std::string& path : files) {
+      std::ifstream in(path, std::ios::binary);
+      if (!in) {
+        std::fprintf(stderr, "flb_lint: cannot read %s\n", path.c_str());
+        return 2;
+      }
+      std::ostringstream content;
+      content << in.rdbuf();
+      inputs.push_back({path, content.str()});
+    }
+    report = flb::lint::LintFiles(inputs, options);
+  } else if (!flb::lint::LintTree(root, options, &report, &error)) {
+    std::fprintf(stderr, "flb_lint: %s\n", error.c_str());
+    return 2;
+  }
+
+  for (const flb::lint::Violation& v : report.violations) {
+    std::fprintf(stderr, "%s:%d: [%s] %s\n", v.file.c_str(), v.line,
+                 v.rule.c_str(), v.message.c_str());
+  }
+  if (!quiet) {
+    std::printf(
+        "flb_lint: %llu file(s), %zu violation(s), %llu suppressed, "
+        "%llu allowlisted\n",
+        static_cast<unsigned long long>(report.files_scanned),
+        report.violations.size(),
+        static_cast<unsigned long long>(report.suppressed),
+        static_cast<unsigned long long>(report.allowlisted));
+  }
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::fprintf(stderr, "flb_lint: cannot write %s\n", json_path.c_str());
+      return 2;
+    }
+    out << flb::lint::ReportToBenchJson(report) << "\n";
+  }
+  return report.violations.empty() ? 0 : 1;
+}

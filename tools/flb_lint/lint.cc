@@ -1,0 +1,762 @@
+#include "tools/flb_lint/lint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <tuple>
+#include <utility>
+
+namespace flb::lint {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Tokenizer: identifiers / numbers / multi-char punctuation with line
+// numbers. Comments and string/char literals are consumed (never tokenized),
+// so banned names inside literals or prose can't trip a rule; suppression
+// comments are harvested while comments are skipped.
+// ---------------------------------------------------------------------------
+
+struct Token {
+  enum class Kind { kIdent, kNumber, kPunct };
+  Kind kind = Kind::kPunct;
+  std::string text;
+  int line = 0;
+};
+
+struct Suppression {
+  std::set<std::string> rules;  // empty set = malformed allow()
+  bool justified = false;       // a non-empty reason followed the rule list
+};
+
+// line -> suppression harvested from `// flb-lint: allow(...)` comments.
+using SuppressionMap = std::map<int, Suppression>;
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+// Parses "allow(FLB001,FLB005) reason" / "allow-next-line(FLB001) reason"
+// from a comment body. Returns the target line (comment line or the next)
+// or 0 when the comment is not a flb-lint directive.
+int ParseDirective(const std::string& comment, int comment_line,
+                   Suppression* out) {
+  const size_t tag = comment.find("flb-lint:");
+  if (tag == std::string::npos) return 0;
+  size_t pos = comment.find_first_not_of(" \t", tag + 9);
+  if (pos == std::string::npos) return 0;
+  int target = comment_line;
+  const std::string kNextLine = "allow-next-line(";
+  const std::string kLine = "allow(";
+  size_t open;
+  if (comment.compare(pos, kNextLine.size(), kNextLine) == 0) {
+    target = comment_line + 1;
+    open = pos + kNextLine.size();
+  } else if (comment.compare(pos, kLine.size(), kLine) == 0) {
+    open = pos + kLine.size();
+  } else {
+    return 0;
+  }
+  const size_t close = comment.find(')', open);
+  if (close == std::string::npos) return 0;
+  std::string rule;
+  for (size_t i = open; i <= close; ++i) {
+    const char c = comment[i];
+    if (c == ',' || c == ')') {
+      if (!rule.empty()) out->rules.insert(rule);
+      rule.clear();
+    } else if (!std::isspace(static_cast<unsigned char>(c))) {
+      rule += c;
+    }
+  }
+  // The justification is whatever follows the rule list (":" optional).
+  size_t reason = comment.find_first_not_of(" \t:", close + 1);
+  out->justified = reason != std::string::npos;
+  return target;
+}
+
+void Tokenize(const std::string& src, std::vector<Token>* tokens,
+              SuppressionMap* suppressions) {
+  int line = 1;
+  size_t i = 0;
+  const size_t n = src.size();
+  auto push = [&](Token::Kind kind, std::string text) {
+    tokens->push_back(Token{kind, std::move(text), line});
+  };
+  while (i < n) {
+    const char c = src[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Line comment (suppression directives live here).
+    if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+      const size_t end = src.find('\n', i);
+      const std::string body =
+          src.substr(i + 2, (end == std::string::npos ? n : end) - i - 2);
+      Suppression sup;
+      if (const int target = ParseDirective(body, line, &sup)) {
+        (*suppressions)[target] = sup;
+      }
+      i = end == std::string::npos ? n : end;
+      continue;
+    }
+    // Block comment.
+    if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+      const int start_line = line;
+      size_t j = i + 2;
+      while (j + 1 < n && !(src[j] == '*' && src[j + 1] == '/')) {
+        if (src[j] == '\n') ++line;
+        ++j;
+      }
+      Suppression sup;
+      const std::string body = src.substr(i + 2, j - i - 2);
+      if (const int target = ParseDirective(body, start_line, &sup)) {
+        (*suppressions)[target] = sup;
+      }
+      i = j + 1 < n ? j + 2 : n;
+      continue;
+    }
+    // Raw string literal R"delim(...)delim".
+    if (c == 'R' && i + 1 < n && src[i + 1] == '"') {
+      size_t p = i + 2;
+      std::string delim;
+      while (p < n && src[p] != '(') delim += src[p++];
+      const std::string closer = ")" + delim + "\"";
+      size_t end = src.find(closer, p);
+      if (end == std::string::npos) end = n;
+      for (size_t j = i; j < std::min(end, n); ++j) {
+        if (src[j] == '\n') ++line;
+      }
+      i = std::min(end + closer.size(), n);
+      continue;
+    }
+    // String / char literal.
+    if (c == '"' || c == '\'') {
+      size_t j = i + 1;
+      while (j < n && src[j] != c) {
+        if (src[j] == '\\') ++j;
+        ++j;
+      }
+      i = j + 1;
+      continue;
+    }
+    if (IsIdentStart(c)) {
+      size_t j = i;
+      while (j < n && IsIdentChar(src[j])) ++j;
+      push(Token::Kind::kIdent, src.substr(i, j - i));
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t j = i;
+      while (j < n && (IsIdentChar(src[j]) || src[j] == '.')) ++j;
+      push(Token::Kind::kNumber, src.substr(i, j - i));
+      i = j;
+      continue;
+    }
+    // Multi-char punctuation the rules care about.
+    static const char* kTwoChar[] = {"::", "->", "<<", ">>", "<=",
+                                     ">=", "==", "!=", "&&", "||"};
+    bool matched = false;
+    for (const char* two : kTwoChar) {
+      if (c == two[0] && i + 1 < n && src[i + 1] == two[1]) {
+        push(Token::Kind::kPunct, two);
+        i += 2;
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) {
+      push(Token::Kind::kPunct, std::string(1, c));
+      ++i;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Token-stream helpers.
+// ---------------------------------------------------------------------------
+
+bool Is(const std::vector<Token>& t, size_t i, const char* text) {
+  return i < t.size() && t[i].text == text;
+}
+
+bool IsIdent(const std::vector<Token>& t, size_t i) {
+  return i < t.size() && t[i].kind == Token::Kind::kIdent;
+}
+
+// Index just past a balanced bracket run starting at `open` (which must be
+// the opening bracket); npos-ish (t.size()) when unbalanced.
+size_t SkipBalanced(const std::vector<Token>& t, size_t open,
+                    const char* open_text, const char* close_text) {
+  int depth = 0;
+  for (size_t i = open; i < t.size(); ++i) {
+    if (t[i].text == open_text) ++depth;
+    if (t[i].text == close_text && --depth == 0) return i + 1;
+    // Template-argument scans bail out on statement glue: a stray `<` was a
+    // comparison, not a bracket.
+    if (open_text[0] == '<' && (t[i].text == ";" || t[i].text == "{")) break;
+  }
+  return t.size();
+}
+
+// ---------------------------------------------------------------------------
+// The rule table.
+// ---------------------------------------------------------------------------
+
+constexpr const char* kWallClock = "FLB001";
+constexpr const char* kEntropy = "FLB002";
+constexpr const char* kUnorderedIter = "FLB003";
+constexpr const char* kMutexAnnotation = "FLB004";
+constexpr const char* kDiscardedStatus = "FLB005";
+
+const std::set<std::string>& AnnotationMacros() {
+  static const std::set<std::string> macros = {
+      "FLB_GUARDED_BY",      "FLB_PT_GUARDED_BY", "FLB_REQUIRES",
+      "FLB_ACQUIRE",         "FLB_RELEASE",       "FLB_TRY_ACQUIRE",
+      "FLB_EXCLUDES",        "FLB_ACQUIRED_BEFORE",
+      "FLB_ACQUIRED_AFTER"};
+  return macros;
+}
+
+struct FileContext {
+  std::string path;
+  std::vector<Token> tokens;
+  SuppressionMap suppressions;
+};
+
+class Linter {
+ public:
+  Linter(const Options& opts, Report* report)
+      : opts_(opts), report_(report) {}
+
+  // Pass 1 over every file: collect the names of functions declared to
+  // return Status or Result<T> (rule FLB005's call index).
+  void IndexStatusFunctions(const FileContext& f) {
+    const auto& t = f.tokens;
+    for (size_t i = 0; i < t.size(); ++i) {
+      if (!IsIdent(t, i)) continue;
+      size_t name = 0;
+      if (t[i].text == "Status") {
+        // `Status Foo(` — skip qualified uses like `Status::OK`.
+        if (IsIdent(t, i + 1) && Is(t, i + 2, "(")) name = i + 1;
+      } else if (t[i].text == "Result" && Is(t, i + 1, "<")) {
+        const size_t past = SkipBalanced(t, i + 1, "<", ">");
+        if (past < t.size() && IsIdent(t, past) && Is(t, past + 1, "(")) {
+          name = past;
+        }
+      }
+      if (name != 0 && t[name].text != "operator") {
+        status_fns_.insert(t[name].text);
+      }
+      // `void RecordEvent(` — a declaration of the same name with some
+      // other return type makes the name ambiguous across the tree (the
+      // index is name-based, not overload-resolved), so FLB005 must not
+      // flag calls to it. Statement keywords (`return Foo(`) are calls,
+      // not declarations.
+      static const std::set<std::string> kStmtKeywords = {
+          "return", "co_return", "co_await", "co_yield", "throw",
+          "else",   "do",        "case",     "goto",     "new",
+          "delete"};
+      if (t[i].text != "Status" && t[i].text != "Result" &&
+          kStmtKeywords.count(t[i].text) == 0 && IsIdent(t, i + 1) &&
+          Is(t, i + 2, "(") && t[i + 1].text != "operator") {
+        non_status_decls_.insert(t[i + 1].text);
+      }
+    }
+  }
+
+  void LintOne(const FileContext& f) {
+    CheckWallClockAndEntropy(f);
+    CheckUnorderedIteration(f);
+    CheckMutexAnnotations(f);
+    CheckDiscardedStatus(f);
+  }
+
+ private:
+  // -- shared emission path (allowlist + suppression filtering) ------------
+
+  bool Allowlisted(const std::string& rule, const std::string& path) const {
+    for (const AllowEntry& e : opts_.allowlist) {
+      if (e.rule != "*" && e.rule != rule) continue;
+      if (path.size() >= e.path_suffix.size() &&
+          path.compare(path.size() - e.path_suffix.size(),
+                       e.path_suffix.size(), e.path_suffix) == 0) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void Emit(const FileContext& f, int line, const char* rule,
+            std::string message) {
+    if (Allowlisted(rule, f.path)) {
+      ++report_->allowlisted;
+      return;
+    }
+    const auto it = f.suppressions.find(line);
+    if (it != f.suppressions.end() && it->second.rules.count(rule) != 0) {
+      if (it->second.justified) {
+        ++report_->suppressed;
+        return;
+      }
+      ++report_->unjustified_allows;
+      message += " [allow() present but missing a justification]";
+    }
+    report_->violations.push_back(Violation{f.path, line, rule,
+                                            std::move(message)});
+  }
+
+  // -- FLB001 / FLB002 -----------------------------------------------------
+
+  void CheckWallClockAndEntropy(const FileContext& f) {
+    static const std::set<std::string> kWallAlways = {
+        "system_clock",  "steady_clock", "high_resolution_clock",
+        "gettimeofday",  "clock_gettime", "timespec_get",
+        "localtime",     "gmtime",       "mktime"};
+    static const std::set<std::string> kWallCallOnly = {"time", "clock"};
+    static const std::set<std::string> kEntropyAlways = {
+        "random_device", "mt19937", "mt19937_64", "default_random_engine",
+        "minstd_rand",   "drand48", "lrand48",    "mrand48"};
+    static const std::set<std::string> kEntropyCallOnly = {"rand", "srand",
+                                                           "random"};
+    static const std::set<std::string> kWallHeaders = {"ctime", "time.h",
+                                                       "sys/time.h"};
+    static const std::set<std::string> kEntropyHeaders = {"random"};
+
+    const auto& t = f.tokens;
+    for (size_t i = 0; i < t.size(); ++i) {
+      // #include <header> bans.
+      if (Is(t, i, "#") && Is(t, i + 1, "include") && Is(t, i + 2, "<")) {
+        std::string header;
+        for (size_t j = i + 3; j < t.size() && !Is(t, j, ">"); ++j) {
+          header += t[j].text;
+        }
+        if (kWallHeaders.count(header) != 0) {
+          Emit(f, t[i].line, kWallClock,
+               "#include <" + header + ">: wall-clock APIs are banned in "
+               "simulated paths (charge the SimClock; see common/timer.h)");
+        }
+        if (kEntropyHeaders.count(header) != 0) {
+          Emit(f, t[i].line, kEntropy,
+               "#include <" + header + ">: unseeded entropy is banned "
+               "(derive randomness from common::Rng)");
+        }
+        continue;
+      }
+      if (!IsIdent(t, i)) continue;
+      const std::string& id = t[i].text;
+      const bool member_access =
+          i > 0 && (t[i - 1].text == "." || t[i - 1].text == "->");
+      const bool called = Is(t, i + 1, "(");
+      // `SimClock* clock() const` declares an accessor named clock — that is
+      // declaration position (preceded by a type fragment), not a call to
+      // the C library. Statement keywords (`return time(...)`) still count
+      // as calls.
+      static const std::set<std::string> kStmtKeywords = {
+          "return", "co_return", "co_await", "co_yield", "throw",
+          "else",   "do",        "case",     "goto",     "new",
+          "delete"};
+      const bool decl_position =
+          i > 0 &&
+          (t[i - 1].text == "*" || t[i - 1].text == "&" ||
+           t[i - 1].text == ">" ||
+           (IsIdent(t, i - 1) && kStmtKeywords.count(t[i - 1].text) == 0));
+      const bool free_call = called && !decl_position;
+      if (!member_access &&
+          (kWallAlways.count(id) != 0 ||
+           (free_call && kWallCallOnly.count(id) != 0))) {
+        Emit(f, t[i].line, kWallClock,
+             "wall-clock API '" + id + "' in a simulated path: charged time "
+             "must come from the SimClock (wall timing belongs in "
+             "common/timer.h)");
+      }
+      if (!member_access &&
+          (kEntropyAlways.count(id) != 0 ||
+           (free_call && kEntropyCallOnly.count(id) != 0))) {
+        Emit(f, t[i].line, kEntropy,
+             "entropy source '" + id + "' outside common/rng: unseeded "
+             "randomness breaks bit-identical replay (use common::Rng / "
+             "Rng::ForStream)");
+      }
+    }
+  }
+
+  // -- FLB003 --------------------------------------------------------------
+
+  void CheckUnorderedIteration(const FileContext& f) {
+    static const std::set<std::string> kUnorderedTypes = {
+        "unordered_map", "unordered_set", "unordered_multimap",
+        "unordered_multiset"};
+    const auto& t = f.tokens;
+
+    // Pass 1: names declared with an unordered container type (variables,
+    // members, and functions returning one).
+    std::set<std::string> unordered_names;
+    for (size_t i = 0; i < t.size(); ++i) {
+      if (!IsIdent(t, i) || kUnorderedTypes.count(t[i].text) == 0) continue;
+      if (!Is(t, i + 1, "<")) continue;
+      size_t j = SkipBalanced(t, i + 1, "<", ">");
+      while (j < t.size() &&
+             (t[j].text == "&" || t[j].text == "*" || t[j].text == "const")) {
+        ++j;
+      }
+      if (IsIdent(t, j)) unordered_names.insert(t[j].text);
+    }
+    if (unordered_names.empty()) return;
+
+    for (size_t i = 0; i < t.size(); ++i) {
+      // Range-for whose range expression mentions an unordered name.
+      if (IsIdent(t, i) && t[i].text == "for" && Is(t, i + 1, "(")) {
+        const size_t past = SkipBalanced(t, i + 1, "(", ")");
+        // Find the top-level ':' separating declaration from range.
+        int depth = 0;
+        size_t colon = 0;
+        for (size_t j = i + 1; j + 1 < past; ++j) {
+          if (t[j].text == "(" || t[j].text == "<" || t[j].text == "[") {
+            ++depth;
+          }
+          if (t[j].text == ")" || t[j].text == ">" || t[j].text == "]") {
+            --depth;
+          }
+          if (t[j].text == ":" && depth == 1) {
+            colon = j;
+            break;
+          }
+        }
+        if (colon == 0) continue;
+        for (size_t j = colon + 1; j + 1 < past; ++j) {
+          if (IsIdent(t, j) && unordered_names.count(t[j].text) != 0) {
+            Emit(f, t[i].line, kUnorderedIter,
+                 "iteration over unordered container '" + t[j].text +
+                     "': traversal order is nondeterministic and must not "
+                     "feed charged results or serialized messages (use "
+                     "std::map, or copy + sort first)");
+            break;
+          }
+        }
+      }
+      // Iterator-based traversal: name.begin() / name->cbegin().
+      if (IsIdent(t, i) && unordered_names.count(t[i].text) != 0 &&
+          (Is(t, i + 1, ".") || Is(t, i + 1, "->")) && IsIdent(t, i + 2) &&
+          (t[i + 2].text == "begin" || t[i + 2].text == "cbegin" ||
+           t[i + 2].text == "rbegin") &&
+          Is(t, i + 3, "(")) {
+        Emit(f, t[i].line, kUnorderedIter,
+             "iterator traversal of unordered container '" + t[i].text +
+                 "': traversal order is nondeterministic and must not feed "
+                 "charged results or serialized messages");
+      }
+    }
+  }
+
+  // -- FLB004 --------------------------------------------------------------
+
+  void CheckMutexAnnotations(const FileContext& f) {
+    const auto& t = f.tokens;
+
+    // All names referenced inside FLB_* annotation macro arguments.
+    std::set<std::string> annotated_names;
+    for (size_t i = 0; i < t.size(); ++i) {
+      if (!IsIdent(t, i) || AnnotationMacros().count(t[i].text) == 0 ||
+          !Is(t, i + 1, "(")) {
+        continue;
+      }
+      const size_t past = SkipBalanced(t, i + 1, "(", ")");
+      for (size_t j = i + 2; j + 1 < past; ++j) {
+        if (IsIdent(t, j)) annotated_names.insert(t[j].text);
+      }
+    }
+
+    for (size_t i = 0; i < t.size(); ++i) {
+      if (!IsIdent(t, i)) continue;
+      const bool std_mutex =
+          (t[i].text == "mutex" || t[i].text == "shared_mutex" ||
+           t[i].text == "recursive_mutex" || t[i].text == "timed_mutex") &&
+          i >= 2 && Is(t, i - 1, "::") && Is(t, i - 2, "std");
+      const bool flb_mutex = t[i].text == "Mutex";
+      if (!std_mutex && !flb_mutex) continue;
+      // Member declaration: `<type> name_;` — the trailing-underscore
+      // member naming convention is what distinguishes members from locals.
+      if (!IsIdent(t, i + 1)) continue;
+      const std::string& name = t[i + 1].text;
+      if (name.empty() || name.back() != '_') continue;
+      // An annotation macro directly on the declaration (lock ordering,
+      // typically) also counts as "visible to the analysis".
+      const bool decl_annotated =
+          IsIdent(t, i + 2) && AnnotationMacros().count(t[i + 2].text) != 0;
+      if (!(Is(t, i + 2, ";") || decl_annotated)) continue;
+      if (std_mutex) {
+        Emit(f, t[i].line, kMutexAnnotation,
+             "raw std::" + t[i].text + " member '" + name +
+                 "': use common::Mutex (src/common/mutex.h) so "
+                 "-Wthread-safety can see the capability");
+        continue;
+      }
+      if (!decl_annotated && annotated_names.count(name) == 0) {
+        Emit(f, t[i].line, kMutexAnnotation,
+             "mutex member '" + name +
+                 "' has no thread-safety annotation referencing it: add "
+                 "FLB_GUARDED_BY(" + name + ") to the state it protects "
+                 "(or FLB_REQUIRES/FLB_ACQUIRE on the functions that use "
+                 "it)");
+      }
+    }
+  }
+
+  // -- FLB005 --------------------------------------------------------------
+
+  // Walks left over a `base::qualifier.member->` chain; returns the index
+  // of the token *before* the chain, or npos when the chain starts the
+  // token stream.
+  static size_t ChainStart(const std::vector<Token>& t, size_t call) {
+    size_t j = call;  // index of the called identifier
+    while (j > 0) {
+      const std::string& prev = t[j - 1].text;
+      if (prev == "::" || prev == "." || prev == "->") {
+        if (j >= 2 && (IsIdent(t, j - 2) || t[j - 2].text == ")")) {
+          if (t[j - 2].text == ")") {
+            // Balanced back-skip over a call in the chain: foo(x).Send();
+            int depth = 0;
+            size_t k = j - 2;
+            for (;; --k) {
+              if (t[k].text == ")") ++depth;
+              if (t[k].text == "(" && --depth == 0) break;
+              if (k == 0) return std::string::npos;
+            }
+            j = k > 0 && IsIdent(t, k - 1) ? k - 1 : k;
+          } else {
+            j -= 2;
+          }
+          continue;
+        }
+        return j >= 2 ? j - 2 : std::string::npos;
+      }
+      break;
+    }
+    return j == 0 ? std::string::npos : j - 1;
+  }
+
+  void CheckDiscardedStatus(const FileContext& f) {
+    const auto& t = f.tokens;
+    for (size_t i = 0; i < t.size(); ++i) {
+      if (!IsIdent(t, i) || status_fns_.count(t[i].text) == 0 ||
+          non_status_decls_.count(t[i].text) != 0 || !Is(t, i + 1, "(")) {
+        continue;
+      }
+      const size_t past = SkipBalanced(t, i + 1, "(", ")");
+      if (!Is(t, past, ";")) continue;  // value is consumed or chained
+      const size_t before = ChainStart(t, i);
+      const bool at_start =
+          before == std::string::npos || t[before].text == ";" ||
+          t[before].text == "{" || t[before].text == "}" ||
+          t[before].text == "else" || t[before].text == "do";
+      const bool void_cast = before != std::string::npos && before >= 2 &&
+                             t[before].text == ")" &&
+                             Is(t, before - 1, "void") &&
+                             Is(t, before - 2, "(");
+      const bool after_paren = before != std::string::npos &&
+                               t[before].text == ")" && !void_cast;
+      if (void_cast) {
+        Emit(f, t[i].line, kDiscardedStatus,
+             "Status/Result from '" + t[i].text + "' cast away with (void): "
+             "handle the error or justify with "
+             "`// flb-lint: allow(FLB005) <reason>`");
+      } else if (at_start || after_paren) {
+        // `after_paren` covers `if (cond) DoSend();`-style single-statement
+        // bodies. A preceding identifier means this was a declaration
+        // (`Status Send(...);`), not a call.
+        Emit(f, t[i].line, kDiscardedStatus,
+             "return value of Status/Result-returning '" + t[i].text +
+                 "' is discarded: propagate with FLB_RETURN_IF_ERROR, "
+                 "handle it, or justify the discard");
+      }
+    }
+  }
+
+  const Options& opts_;
+  Report* report_;
+  std::set<std::string> status_fns_;
+  // Names also declared with a non-Status return type somewhere in the
+  // tree; ambiguous, so FLB005 skips them.
+  std::set<std::string> non_status_decls_;
+};
+
+std::string NormalizePath(std::string path) {
+  std::replace(path.begin(), path.end(), '\\', '/');
+  return path;
+}
+
+}  // namespace
+
+const std::vector<RuleInfo>& Rules() {
+  static const std::vector<RuleInfo> rules = {
+      {kWallClock, "wall-clock",
+       "wall-clock/time APIs outside common/timer.h (simulated time must "
+       "come from the SimClock)"},
+      {kEntropy, "entropy",
+       "unseeded randomness outside common/rng (breaks bit-identical "
+       "replay)"},
+      {kUnorderedIter, "unordered-iter",
+       "iteration over std::unordered_{map,set} (order nondeterminism in "
+       "charged/serialized paths)"},
+      {kMutexAnnotation, "mutex-annotation",
+       "mutex members invisible to -Wthread-safety (raw std::mutex, or no "
+       "FLB_* annotation references the mutex)"},
+      {kDiscardedStatus, "discarded-status",
+       "Status/Result<T> return values dropped without handling or an "
+       "inline justification"},
+  };
+  return rules;
+}
+
+std::vector<AllowEntry> DefaultAllowlist() {
+  return {
+      // WallTimer is the one sanctioned wall-clock reader (benches and the
+      // CPU-HE cost calibration measure real elapsed time through it).
+      {kWallClock, "src/common/timer.h"},
+      // common::Rng owns the platform's entropy; everything else derives
+      // deterministic streams from it.
+      {kEntropy, "src/common/rng.h"},
+      {kEntropy, "src/common/rng.cc"},
+  };
+}
+
+Options::Options() : allowlist(DefaultAllowlist()) {}
+
+bool LoadAllowlistFile(const std::string& path, std::vector<AllowEntry>* out,
+                       std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    if (error != nullptr) *error = "cannot open allowlist: " + path;
+    return false;
+  }
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream fields(line);
+    std::string rule, suffix, extra;
+    if (!(fields >> rule)) continue;  // blank / comment-only line
+    if (!(fields >> suffix) || (fields >> extra)) {
+      if (error != nullptr) {
+        *error = path + ":" + std::to_string(lineno) +
+                 ": expected `<rule> <path-suffix>`";
+      }
+      return false;
+    }
+    out->push_back(AllowEntry{rule, NormalizePath(suffix)});
+  }
+  return true;
+}
+
+Report LintFiles(const std::vector<FileInput>& files, const Options& opts) {
+  Report report;
+  Linter linter(opts, &report);
+
+  std::vector<FileContext> contexts;
+  contexts.reserve(files.size());
+  for (const FileInput& file : files) {
+    FileContext ctx;
+    ctx.path = NormalizePath(file.path);
+    Tokenize(file.content, &ctx.tokens, &ctx.suppressions);
+    contexts.push_back(std::move(ctx));
+  }
+  for (const FileContext& ctx : contexts) {
+    linter.IndexStatusFunctions(ctx);
+  }
+  for (const FileContext& ctx : contexts) {
+    linter.LintOne(ctx);
+    ++report.files_scanned;
+  }
+  std::sort(report.violations.begin(), report.violations.end(),
+            [](const Violation& a, const Violation& b) {
+              return std::tie(a.file, a.line, a.rule) <
+                     std::tie(b.file, b.line, b.rule);
+            });
+  return report;
+}
+
+bool LintTree(const std::string& root, const Options& opts, Report* report,
+              std::string* error) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  if (!fs::is_directory(root, ec)) {
+    if (error != nullptr) *error = "not a directory: " + root;
+    return false;
+  }
+  std::vector<std::string> paths;
+  for (fs::recursive_directory_iterator it(root, ec), end; it != end;
+       it.increment(ec)) {
+    if (ec) {
+      if (error != nullptr) *error = "walk failed under " + root;
+      return false;
+    }
+    if (!it->is_regular_file()) continue;
+    const std::string ext = it->path().extension().string();
+    if (ext == ".h" || ext == ".cc" || ext == ".cpp") {
+      paths.push_back(it->path().string());
+    }
+  }
+  std::sort(paths.begin(), paths.end());  // deterministic scan order
+
+  std::vector<FileInput> files;
+  files.reserve(paths.size());
+  for (const std::string& path : paths) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      if (error != nullptr) *error = "cannot read " + path;
+      return false;
+    }
+    std::ostringstream content;
+    content << in.rdbuf();
+    files.push_back(FileInput{path, content.str()});
+  }
+  *report = LintFiles(files, opts);
+  return true;
+}
+
+std::string ReportToBenchJson(const Report& report) {
+  std::map<std::string, uint64_t> by_rule;
+  for (const RuleInfo& rule : Rules()) by_rule[rule.id] = 0;
+  for (const Violation& v : report.violations) ++by_rule[v.rule];
+
+  std::ostringstream out;
+  out << "{\"bench\":\"flb_lint\",\"results\":[";
+  bool first = true;
+  auto row = [&](const std::string& section, const std::string& metric,
+                 uint64_t value) {
+    out << (first ? "\n" : ",\n") << "{\"bench\":\"flb_lint\",\"section\":\""
+        << section << "\",\"metric\":\"" << metric << "\",\"value\":" << value
+        << ",\"unit\":\"count\"}";
+    first = false;
+  };
+  row("lint", "flb.lint.rules_run", Rules().size());
+  row("lint", "flb.lint.files_scanned", report.files_scanned);
+  row("lint", "flb.lint.violations", report.violations.size());
+  row("lint", "flb.lint.suppressed", report.suppressed);
+  row("lint", "flb.lint.allowlisted", report.allowlisted);
+  row("lint", "flb.lint.unjustified_allows", report.unjustified_allows);
+  for (const auto& [rule, count] : by_rule) {
+    row("rules", "flb.lint.violations_by_rule." + rule, count);
+  }
+  out << "\n]}";
+  return out.str();
+}
+
+}  // namespace flb::lint

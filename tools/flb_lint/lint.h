@@ -1,0 +1,104 @@
+// flb_lint: FLBooster's domain-invariant static-analysis pass.
+//
+// The platform's reproducibility claims rest on invariants a C++ compiler
+// cannot see: simulated time and byte accounting must be deterministic and
+// bit-identical across thread counts, so no wall-clock reads, no unseeded
+// entropy, and no unordered-container iteration may leak into charged paths
+// or serialized messages; and every mutex introduced by the host execution
+// engine must be visible to Clang's thread-safety analysis. This tool
+// enforces those invariants with a tokenizer-based scan of the source tree
+// (no libclang dependency), a fixed rule table, per-file allowlists, and
+// inline justification comments.
+//
+// Rules (the table below is mirrored in DESIGN.md):
+//   FLB001 wall-clock        banned wall-clock/time APIs in simulated paths
+//   FLB002 entropy           banned unseeded randomness outside common::Rng
+//   FLB003 unordered-iter    iteration over std::unordered_{map,set}
+//   FLB004 mutex-annotation  mutex members without thread-safety annotations
+//   FLB005 discarded-status  Status/Result<T> return values silently dropped
+//
+// Suppression: append `// flb-lint: allow(FLB00N) <reason>` to the line (or
+// `allow-next-line(...)` on the line above). The reason is mandatory — a
+// bare allow() does not suppress, which is how "explicitly justified"
+// discards are enforced. Allowlists exempt whole files from a rule (the
+// compiled-in defaults cover common/timer.h for FLB001 and common/rng.* for
+// FLB002; `--allowlist FILE` adds `<rule> <path-suffix>` lines).
+
+#ifndef FLB_TOOLS_FLB_LINT_LINT_H_
+#define FLB_TOOLS_FLB_LINT_LINT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace flb::lint {
+
+struct RuleInfo {
+  const char* id;       // "FLB001"
+  const char* name;     // "wall-clock"
+  const char* summary;  // one-line description for --list-rules / docs
+};
+
+// The fixed rule table, in rule-ID order.
+const std::vector<RuleInfo>& Rules();
+
+struct Violation {
+  std::string file;
+  int line = 0;
+  std::string rule;  // rule ID, e.g. "FLB003"
+  std::string message;
+};
+
+// One allowlist entry: `rule` ("FLB001" or "*") is exempt in every file
+// whose normalized path ends with `path_suffix`.
+struct AllowEntry {
+  std::string rule;
+  std::string path_suffix;
+};
+
+struct Options {
+  std::vector<AllowEntry> allowlist;  // seeded with DefaultAllowlist()
+  Options();
+};
+
+// The compiled-in exemptions: the two files that legitimately own
+// wall-clock and entropy primitives.
+std::vector<AllowEntry> DefaultAllowlist();
+
+// Parses `<rule> <path-suffix>` lines (# comments, blank lines ignored)
+// into `out`. Returns false with `error` set on malformed lines.
+bool LoadAllowlistFile(const std::string& path, std::vector<AllowEntry>* out,
+                       std::string* error);
+
+struct FileInput {
+  std::string path;
+  std::string content;
+};
+
+struct Report {
+  std::vector<Violation> violations;  // sorted by (file, line, rule)
+  uint64_t files_scanned = 0;
+  uint64_t suppressed = 0;    // silenced by inline justified allow()
+  uint64_t allowlisted = 0;   // silenced by a file allowlist entry
+  uint64_t unjustified_allows = 0;  // allow() with no reason (not silenced)
+};
+
+// Lints a set of in-memory files as one translation set: the index of
+// Status/Result-returning function names (rule FLB005) is built across all
+// of them before any file is checked.
+Report LintFiles(const std::vector<FileInput>& files, const Options& opts);
+
+// Walks `root` recursively for *.h / *.cc / *.cpp (deterministic sorted
+// order) and lints the tree. Returns false with `error` set when the root
+// is missing or a file cannot be read.
+bool LintTree(const std::string& root, const Options& opts, Report* report,
+              std::string* error);
+
+// BenchJson-style machine-readable summary (`{"bench":"flb_lint",
+// "results":[{bench,section,metric,value,unit}, ...]}`), schema-compatible
+// with scripts/validate_obs_json.sh's BENCH_*.json check.
+std::string ReportToBenchJson(const Report& report);
+
+}  // namespace flb::lint
+
+#endif  // FLB_TOOLS_FLB_LINT_LINT_H_
