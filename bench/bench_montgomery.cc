@@ -6,6 +6,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/gbench_json.h"
 #include "src/common/rng.h"
 #include "src/crypto/montgomery.h"
 #include "src/ghe/parallel_montgomery.h"
@@ -47,6 +48,23 @@ void BM_MontMulCios(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_MontMulCios)->Arg(1024)->Arg(2048)->Arg(4096);
+
+// The same CIOS workload with the fixed-width kernel dispatch disabled —
+// the generic heap-backed radix-2^32 loop. Paired with BM_MontMulCios by
+// scripts/check_bench_regression.sh for the machine-independent speedup
+// ratio gate.
+void BM_MontMulCiosGeneric(benchmark::State& state) {
+  Rng rng(1);
+  const int bits = static_cast<int>(state.range(0));
+  auto ctx = MontgomeryContext::Create(OddModulus(bits, rng),
+                                       /*use_fixed_kernels=*/false).value();
+  BigInt a = BigInt::RandomBelow(rng, ctx.modulus());
+  BigInt b = BigInt::RandomBelow(rng, ctx.modulus());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ctx.MontMul(a, b));
+  }
+}
+BENCHMARK(BM_MontMulCiosGeneric)->Arg(1024)->Arg(2048)->Arg(4096);
 
 // Host-side execution of the Algorithm 2 decomposition. Thread count is the
 // second argument; on real hardware the threads run concurrently — here the
@@ -109,6 +127,19 @@ void BM_ModPowAuto(benchmark::State& state) {
 }
 BENCHMARK(BM_ModPowAuto)->Arg(512)->Arg(1024)->Arg(2048)->Arg(4096);
 
+void BM_ModPowAutoGeneric(benchmark::State& state) {
+  Rng rng(3);
+  const int bits = static_cast<int>(state.range(0));
+  auto ctx = MontgomeryContext::Create(OddModulus(bits, rng),
+                                       /*use_fixed_kernels=*/false).value();
+  BigInt base = BigInt::RandomBelow(rng, ctx.modulus());
+  BigInt exp = BigInt::Random(rng, bits);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ctx.ModPow(base, exp));
+  }
+}
+BENCHMARK(BM_ModPowAutoGeneric)->Arg(512)->Arg(1024)->Arg(2048)->Arg(4096);
+
 }  // namespace
 
-BENCHMARK_MAIN();
+FLB_GBENCH_MAIN();

@@ -4,6 +4,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/gbench_json.h"
 #include "src/common/rng.h"
 #include "src/mpint/bigint.h"
 
@@ -62,4 +63,4 @@ BENCHMARK(BM_HexRoundTrip)->Arg(1024)->Arg(4096);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+FLB_GBENCH_MAIN();

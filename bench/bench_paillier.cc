@@ -1,6 +1,7 @@
 // Microbenchmarks for the Paillier implementation and its ablations
 // (DESIGN.md §3): g = n+1 fast path vs random g, CRT vs plain decryption,
-// and the raw op costs that the cost model (Eq. 10) prices.
+// fixed-width kernels vs the generic limb path, and the raw op costs that
+// the cost model (Eq. 10) prices.
 
 #include <benchmark/benchmark.h>
 
@@ -9,6 +10,7 @@
 #include <tuple>
 #include <vector>
 
+#include "bench/gbench_json.h"
 #include "src/common/rng.h"
 #include "src/common/thread_pool.h"
 #include "src/crypto/paillier.h"
@@ -112,14 +114,18 @@ ThreadPool& CachedPool(int threads) {
   return *it->second;
 }
 
-const PaillierContext& CachedBatchContext(int bits, bool secure) {
-  static std::map<std::pair<int, bool>, PaillierContext> cache;
-  auto key = std::make_pair(bits, secure);
+const PaillierContext& CachedBatchContext(int bits, bool secure,
+                                          bool fixed_width = true) {
+  static std::map<std::tuple<int, bool, bool>, PaillierContext> cache;
+  auto key = std::make_tuple(bits, secure, fixed_width);
   auto it = cache.find(key);
   if (it == cache.end()) {
+    // The seed ignores fixed_width, so the fixed and generic contexts hold
+    // the same key material — the timing difference is the kernel alone.
     Rng rng(2000 + bits + secure);
     PaillierOptions opts;
     opts.secure_obfuscation = secure;
+    opts.use_fixed_width_kernels = fixed_width;
     auto keys = PaillierKeyGen(bits, rng, opts).value();
     it = cache.emplace(key, PaillierContext::Create(keys, opts).value()).first;
   }
@@ -178,6 +184,49 @@ BENCHMARK(BM_DecryptBatch)
     ->Args({2048, 4})
     ->Unit(benchmark::kMillisecond);
 
+// Generic-path twins of the batch benchmarks: same keys, same workload,
+// fixed-width kernels disabled. scripts/check_bench_regression.sh asserts a
+// minimum fixed/generic speedup ratio from these pairs — a machine-
+// independent gate alongside the absolute baseline comparison.
+void BM_EncryptBatchGeneric(benchmark::State& state) {
+  const int bits = static_cast<int>(state.range(0));
+  const auto& ctx = CachedBatchContext(bits, false, /*fixed_width=*/false);
+  auto& pool = CachedPool(1);
+  constexpr size_t kBatch = 64;
+  std::vector<BigInt> ms;
+  for (size_t i = 0; i < kBatch; ++i) ms.push_back(BigInt(i * 13 + 1));
+  Rng rng(21);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ctx.EncryptBatch(ms, rng, &pool).value());
+  }
+  state.SetItemsProcessed(state.iterations() * kBatch);
+  state.SetLabel("generic limb path, 1 thread(s)");
+}
+BENCHMARK(BM_EncryptBatchGeneric)
+    ->Arg(1024)
+    ->Arg(2048)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_DecryptBatchGeneric(benchmark::State& state) {
+  const int bits = static_cast<int>(state.range(0));
+  const auto& ctx = CachedBatchContext(bits, false, /*fixed_width=*/false);
+  auto& pool = CachedPool(1);
+  constexpr size_t kBatch = 64;
+  std::vector<BigInt> ms;
+  for (size_t i = 0; i < kBatch; ++i) ms.push_back(BigInt(i * 7 + 3));
+  Rng rng(22);
+  const auto cs = ctx.EncryptBatch(ms, rng, &pool).value();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ctx.DecryptBatch(cs, &pool).value());
+  }
+  state.SetItemsProcessed(state.iterations() * kBatch);
+  state.SetLabel("generic limb path, 1 thread(s)");
+}
+BENCHMARK(BM_DecryptBatchGeneric)
+    ->Arg(1024)
+    ->Arg(2048)
+    ->Unit(benchmark::kMillisecond);
+
 void BM_KeyGen(benchmark::State& state) {
   const int bits = static_cast<int>(state.range(0));
   uint64_t seed = 42;
@@ -190,4 +239,4 @@ BENCHMARK(BM_KeyGen)->Arg(256)->Arg(512)->Arg(1024)->Unit(benchmark::kMillisecon
 
 }  // namespace
 
-BENCHMARK_MAIN();
+FLB_GBENCH_MAIN();

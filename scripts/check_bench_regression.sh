@@ -1,0 +1,99 @@
+#!/usr/bin/env bash
+# Gates a microbenchmark run against a checked-in baseline.
+#
+#   ./scripts/check_bench_regression.sh <measured.json> <baseline.json>
+#   ./scripts/check_bench_regression.sh <measured.json> <baseline.json> --update
+#
+# <measured.json> is a BenchJson artifact (FLB_BENCH_JSON output of a
+# bench binary using bench/gbench_json.h); <baseline.json> holds:
+#   tolerance — allowed slowdown factor vs the baselined ns/iter
+#               (FLB_BENCH_TOLERANCE overrides; absolute timings are
+#               machine-dependent, so keep this generous)
+#   entries   — [{metric, ns_per_iter}]: each measured metric must satisfy
+#               measured <= ns_per_iter * tolerance
+#   ratios    — [{slow, fast, min_ratio}]: measured(slow)/measured(fast)
+#               must be >= min_ratio. Both sides come from the SAME run on
+#               the SAME machine, so this gate is machine-independent —
+#               it is the primary check (e.g. fixed-width kernels must
+#               keep their >= 2x speedup over the generic limb path).
+#
+# --update rewrites the baseline's ns_per_iter values from the measured
+# run (see README: refresh on a quiet machine, commit the diff).
+set -euo pipefail
+
+usage() { echo "usage: $0 <measured.json> <baseline.json> [--update]" >&2; }
+
+[ $# -ge 2 ] || { usage; exit 2; }
+measured="$1"
+baseline="$2"
+mode="${3:-check}"
+command -v jq >/dev/null || { echo "jq not found" >&2; exit 2; }
+[ -f "$measured" ] || { echo "measured file not found: $measured" >&2; exit 2; }
+[ -f "$baseline" ] || { echo "baseline file not found: $baseline" >&2; exit 2; }
+
+if [ "$mode" = "--update" ]; then
+  tmp="$(mktemp)"
+  jq --slurpfile m "$measured" '
+      ($m[0].results | map({key: .metric, value: .value}) | from_entries)
+        as $vals
+      | .entries |= map(
+          if $vals[.metric] != null
+          then .ns_per_iter = $vals[.metric]
+          else . end)
+    ' "$baseline" > "$tmp"
+  mv "$tmp" "$baseline"
+  echo "updated $baseline from $measured"
+  exit 0
+fi
+
+tolerance="${FLB_BENCH_TOLERANCE:-$(jq -r '.tolerance // 1.5' "$baseline")}"
+fail=0
+
+# measured value for a metric name, or empty when the run did not produce it
+lookup() {
+  jq -r --arg m "$1" \
+    '[.results[] | select(.metric == $m) | .value] | first // empty' \
+    "$measured"
+}
+
+while IFS=$'\t' read -r metric base; do
+  value="$(lookup "$metric")"
+  if [ -z "$value" ]; then
+    echo "FAIL $metric: missing from $measured" >&2
+    fail=1
+    continue
+  fi
+  if jq -ne --argjson v "$value" --argjson b "$base" --argjson t "$tolerance" \
+      '$v <= $b * $t' >/dev/null; then
+    printf 'ok   %s: %.0f ns/iter (baseline %.0f, tolerance %sx)\n' \
+      "$metric" "$value" "$base" "$tolerance"
+  else
+    printf 'FAIL %s: %.0f ns/iter exceeds baseline %.0f * %sx\n' \
+      "$metric" "$value" "$base" "$tolerance" >&2
+    fail=1
+  fi
+done < <(jq -r '.entries[] | [.metric, (.ns_per_iter | tostring)] | @tsv' \
+           "$baseline")
+
+while IFS=$'\t' read -r slow fast min_ratio; do
+  slow_v="$(lookup "$slow")"
+  fast_v="$(lookup "$fast")"
+  if [ -z "$slow_v" ] || [ -z "$fast_v" ]; then
+    echo "FAIL ratio $slow / $fast: metric missing from $measured" >&2
+    fail=1
+    continue
+  fi
+  ratio="$(jq -n --argjson s "$slow_v" --argjson f "$fast_v" '$s / $f')"
+  if jq -ne --argjson r "$ratio" --argjson m "$min_ratio" '$r >= $m' \
+      >/dev/null; then
+    printf 'ok   %s / %s = %.2fx (min %sx)\n' "$slow" "$fast" "$ratio" \
+      "$min_ratio"
+  else
+    printf 'FAIL %s / %s = %.2fx below required %sx\n' "$slow" "$fast" \
+      "$ratio" "$min_ratio" >&2
+    fail=1
+  fi
+done < <(jq -r '(.ratios // [])[]
+                | [.slow, .fast, (.min_ratio | tostring)] | @tsv' "$baseline")
+
+exit "$fail"

@@ -48,6 +48,30 @@ REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 RESULTS="$REPO_ROOT/results"
 mkdir -p "$RESULTS"
 
+# Per-driver wall-clock budget. A wedged driver (deadlocked pool, runaway
+# workload) would otherwise hang the whole sweep — and CI — silently.
+BENCH_TIMEOUT="${FLB_BENCH_TIMEOUT:-1200}"
+
+# run_driver <name> <cmd...>: run one bench under `timeout`, teeing its
+# output to results/<name>.txt. Fails the sweep with an explicit message on
+# timeout (exit 124) or any other nonzero exit.
+run_driver() {
+  local name="$1"
+  shift
+  local rc=0
+  set +e
+  timeout --foreground "$BENCH_TIMEOUT" "$@" | tee "$RESULTS/$name.txt" | tail -3
+  rc="${PIPESTATUS[0]}"
+  set -e
+  if [ "$rc" = 124 ]; then
+    echo "ERROR: $name exceeded FLB_BENCH_TIMEOUT=${BENCH_TIMEOUT}s and was killed" >&2
+    exit 124
+  elif [ "$rc" != 0 ]; then
+    echo "ERROR: $name failed with exit code $rc" >&2
+    exit "$rc"
+  fi
+}
+
 if [ ! -d "$REPO_ROOT/$BUILD_DIR" ]; then
   cmake -S "$REPO_ROOT" -B "$REPO_ROOT/$BUILD_DIR" -G Ninja
 fi
@@ -72,9 +96,14 @@ for bench in "$REPO_ROOT/$BUILD_DIR"/bench/bench_*; do
   echo "== $name =="
   case "$name" in
     # google-benchmark microbenches take runtime flags; the table/figure
-    # drivers read FLB_SMOKE from the environment instead.
+    # drivers read FLB_SMOKE from the environment instead. Their results
+    # are mirrored into the same BenchJson schema (bench/gbench_json.h),
+    # so they leave BENCH_*.json artifacts like the regenerators do.
     bench_montgomery | bench_mpint | bench_paillier)
-      "$bench" "${GBENCH_ARGS[@]}" | tee "$RESULTS/$name.txt" | tail -3
+      run_driver "$name" env \
+        FLB_BENCH_NAME="$name" \
+        FLB_BENCH_JSON="$RESULTS/BENCH_$name.json" \
+        "$bench" "${GBENCH_ARGS[@]}"
       ;;
     *)
       # Table/figure drivers export the observability artifacts: bench
@@ -82,12 +111,13 @@ for bench in "$REPO_ROOT/$BUILD_DIR"/bench/bench_*; do
       # simulated-time trace.
       # An empty FLB_FAULT_PLAN is ignored by the platform, so chaos mode
       # is a pure pass-through here.
-      FLB_FAULT_PLAN="$CHAOS_PLAN" \
-      FLB_BENCH_NAME="$name" \
-      FLB_BENCH_JSON="$RESULTS/BENCH_$name.json" \
-      FLB_METRICS_OUT="$RESULTS/$name.metrics.json" \
-      FLB_TRACE_OUT="$RESULTS/$name.trace.json" \
-        "$bench" | tee "$RESULTS/$name.txt" | tail -3
+      run_driver "$name" env \
+        FLB_FAULT_PLAN="$CHAOS_PLAN" \
+        FLB_BENCH_NAME="$name" \
+        FLB_BENCH_JSON="$RESULTS/BENCH_$name.json" \
+        FLB_METRICS_OUT="$RESULTS/$name.metrics.json" \
+        FLB_TRACE_OUT="$RESULTS/$name.trace.json" \
+        "$bench"
       ;;
   esac
 done

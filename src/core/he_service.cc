@@ -109,11 +109,14 @@ Result<std::unique_ptr<HeService>> HeService::Create(
     w.back() |= 0x80000000u;
     service->n_ = BigInt::FromWords(std::move(w));
   } else {
+    crypto::PaillierOptions popts;
+    popts.use_fixed_width_kernels = options.use_fixed_width_kernels;
     FLB_ASSIGN_OR_RETURN(auto keys,
                          crypto::PaillierKeyGen(options.key_bits,
-                                                service->rng_));
+                                                service->rng_, popts));
     service->n_ = keys.pub.n;
-    FLB_ASSIGN_OR_RETURN(auto ctx, crypto::PaillierContext::Create(keys));
+    FLB_ASSIGN_OR_RETURN(auto ctx,
+                         crypto::PaillierContext::Create(keys, popts));
     service->paillier_.emplace(std::move(ctx));
   }
   service->n_squared_ = BigInt::Mul(service->n_, service->n_);
@@ -702,6 +705,17 @@ void HeService::CollectMetrics(std::vector<obs::MetricValue>& out) const {
   counter("flb.he.scalar_muls", op_counts_.scalar_muls);
   counter("flb.he.values_encrypted", op_counts_.values_encrypted);
   counter("flb.he.values_decrypted", op_counts_.values_decrypted);
+  // Fixed-width kernel limb width the n^2 context dispatched to (0 = the
+  // generic path — modeled mode, odd widths, or FLB_FIXED_KERNELS=0).
+  obs::MetricValue m;
+  m.name = "flb.he.fixed_kernel_width";
+  m.labels = labels;
+  m.type = obs::MetricType::kGauge;
+  m.value = paillier_.has_value()
+                ? static_cast<double>(
+                      paillier_->eval().n2_ctx().fixed_kernel_width())
+                : 0.0;
+  out.push_back(std::move(m));
 }
 
 }  // namespace flb::core

@@ -96,6 +96,10 @@ struct HeServiceOptions {
   // and when that is also 0, to the process-global pool (FLB_HOST_THREADS).
   // Bit-identical results at any value — only wall-clock time changes.
   int host_threads = 0;
+  // Dispatch the fixed-width Montgomery kernels for this key's contexts
+  // (src/mpint/fixed_kernels.h). Results are bit-identical either way;
+  // false keeps the generic radix-2^32 limb path (the differential oracle).
+  bool use_fixed_width_kernels = true;
 };
 
 struct HeOpCounts {

@@ -16,6 +16,11 @@ uint32_t NegInverseMod2p32(uint32_t n0) {
   return static_cast<uint32_t>(0u - x);
 }
 
+// Largest width the flat-scratch fast paths keep on the stack; contexts
+// wider than this (e.g. high-degree Damgard–Jurik moduli) fall back to one
+// heap scratch per call.
+constexpr size_t kMaxStackLimbs = 256;
+
 }  // namespace
 
 int ChooseWindowBits(int exp_bits) {
@@ -26,7 +31,8 @@ int ChooseWindowBits(int exp_bits) {
   return 6;
 }
 
-Result<MontgomeryContext> MontgomeryContext::Create(const BigInt& modulus) {
+Result<MontgomeryContext> MontgomeryContext::Create(const BigInt& modulus,
+                                                    bool use_fixed_kernels) {
   if (modulus < BigInt(3)) {
     return Status::InvalidArgument("Montgomery modulus must be >= 3");
   }
@@ -40,12 +46,26 @@ Result<MontgomeryContext> MontgomeryContext::Create(const BigInt& modulus) {
   const BigInt r = BigInt::PowerOfTwo(static_cast<int>(ctx.s_) * mpint::kLimbBits);
   ctx.r_mod_n_ = r % modulus;
   ctx.r2_mod_n_ = BigInt::Mul(ctx.r_mod_n_, ctx.r_mod_n_) % modulus;
+  ctx.r_words_ = ctx.r_mod_n_.ToFixedWords(ctx.s_);
+  ctx.r2_words_ = ctx.r2_mod_n_.ToFixedWords(ctx.s_);
+  ctx.one_words_ = BigInt(1).ToFixedWords(ctx.s_);
+  if (use_fixed_kernels && mpint::fixed::KernelsEnabled()) {
+    // One table lookup per key: every MontMul/ModPow on this context then
+    // runs the compile-time-width kernel. Unsupported widths keep the
+    // generic path (kernel_ stays null).
+    ctx.kernel_ = mpint::fixed::FindKernel(ctx.s_);
+    if (ctx.kernel_ != nullptr) {
+      const uint64_t n64 = static_cast<uint64_t>(modulus.word(0)) |
+                           (static_cast<uint64_t>(modulus.word(1)) << 32);
+      ctx.n0_inv64_ = mpint::fixed::NegInverseMod2p64(n64);
+    }
+  }
   return ctx;
 }
 
-void MontgomeryContext::MontMulWords(const uint32_t* a, const uint32_t* b,
-                                     uint32_t* out) const {
-  mont_mul_count_.fetch_add(1, std::memory_order_relaxed);
+void MontgomeryContext::MontMulWordsGeneric(const uint32_t* a,
+                                            const uint32_t* b,
+                                            uint32_t* out) const {
   const size_t s = s_;
   const std::vector<uint32_t>& n = n_.words();
   // t has s+2 limbs; CIOS interleaves multiplication and reduction so the
@@ -109,6 +129,45 @@ void MontgomeryContext::MontMulWords(const uint32_t* a, const uint32_t* b,
   }
 }
 
+void MontgomeryContext::MontMulWords(const uint32_t* a, const uint32_t* b,
+                                     uint32_t* out) const {
+  mont_mul_count_.fetch_add(1, std::memory_order_relaxed);
+  if (kernel_ != nullptr) {
+    kernel_->mont_mul(out, a, b, n_.words().data(), n0_inv64_);
+  } else {
+    MontMulWordsGeneric(a, b, out);
+  }
+}
+
+void MontgomeryContext::MontSqrWords(const uint32_t* a, uint32_t* out) const {
+  mont_mul_count_.fetch_add(1, std::memory_order_relaxed);
+  if (kernel_ != nullptr) {
+    kernel_->mont_sqr(out, a, n_.words().data(), n0_inv64_);
+  } else {
+    MontMulWordsGeneric(a, a, out);
+  }
+}
+
+void MontgomeryContext::ModMulWords(const uint32_t* a, const uint32_t* b,
+                                    uint32_t* out) const {
+  // ToMont(a), ToMont(b), MontMul, FromMont — the exact op sequence (and
+  // MontMul count) of ModMul, minus the per-step BigInt boxing.
+  uint32_t stack[2 * kMaxStackLimbs];
+  std::vector<uint32_t> heap;
+  uint32_t* ta;
+  if (s_ <= kMaxStackLimbs) {
+    ta = stack;
+  } else {
+    heap.resize(2 * s_);
+    ta = heap.data();
+  }
+  uint32_t* tb = ta + s_;
+  MontMulWords(a, r2_words_.data(), ta);
+  MontMulWords(b, r2_words_.data(), tb);
+  MontMulWords(ta, tb, ta);
+  MontMulWords(ta, one_words_.data(), out);
+}
+
 BigInt MontgomeryContext::MontMul(const BigInt& a, const BigInt& b) const {
   FLB_DCHECK(a < n_ && b < n_, "MontMul operands must be < n");
   const std::vector<uint32_t> aw = a.ToFixedWords(s_);
@@ -145,6 +204,74 @@ BigInt MontgomeryContext::ModMul(const BigInt& a, const BigInt& b) const {
   return FromMont(MontMul(ToMont(a), ToMont(b)));
 }
 
+BigInt MontgomeryContext::ModPowFixed(const BigInt& base, const BigInt& exp,
+                                      int exp_bits, int w) const {
+  const size_t s = s_;
+  const uint32_t* nw = n_.words().data();
+  const mpint::fixed::KernelOps* k = kernel_;
+  // The whole exponentiation runs on flat buffers; the counter is bumped
+  // once at the end so the hot loop carries no atomic traffic.
+  uint64_t muls = 0;
+  const auto mul = [&](uint32_t* z, const uint32_t* x, const uint32_t* y) {
+    k->mont_mul(z, x, y, nw, n0_inv64_);
+    ++muls;
+  };
+  const auto sqr = [&](uint32_t* z, const uint32_t* x) {
+    k->mont_sqr(z, x, nw, n0_inv64_);
+    ++muls;
+  };
+
+  std::vector<uint32_t> buf(2 * s);
+  uint32_t* mb = buf.data();       // base in Montgomery form
+  uint32_t* acc = buf.data() + s;  // accumulator
+  const std::vector<uint32_t> bw = base.ToFixedWords(s);
+  mul(mb, bw.data(), r2_words_.data());  // ToMont(base)
+
+  if (w == 1) {
+    // Plain left-to-right square-and-multiply.
+    std::copy(mb, mb + s, acc);
+    for (int i = exp_bits - 2; i >= 0; --i) {
+      sqr(acc, acc);
+      if (exp.GetBit(i)) mul(acc, acc, mb);
+    }
+  } else {
+    // Sliding window: odd powers mb^1, mb^3, ..., mb^(2^w - 1) as rows of
+    // one flat table.
+    const size_t table_size = size_t{1} << (w - 1);
+    std::vector<uint32_t> table(table_size * s);
+    std::copy(mb, mb + s, table.data());
+    std::vector<uint32_t> mb2(s);
+    sqr(mb2.data(), mb);
+    for (size_t i = 1; i < table_size; ++i) {
+      mul(table.data() + i * s, table.data() + (i - 1) * s, mb2.data());
+    }
+
+    std::copy(r_words_.begin(), r_words_.end(), acc);  // Montgomery form of 1
+    int i = exp_bits - 1;
+    while (i >= 0) {
+      if (!exp.GetBit(i)) {
+        sqr(acc, acc);
+        --i;
+        continue;
+      }
+      // Widest window [i .. j] ending in a set bit, at most w bits.
+      int j = std::max(i - w + 1, 0);
+      while (!exp.GetBit(j)) ++j;
+      uint32_t window_value = 0;
+      for (int b = i; b >= j; --b) {
+        window_value = (window_value << 1) | (exp.GetBit(b) ? 1u : 0u);
+      }
+      for (int b = i; b >= j; --b) sqr(acc, acc);
+      mul(acc, acc, table.data() + (window_value >> 1) * s);
+      i = j - 1;
+    }
+  }
+
+  mul(acc, acc, one_words_.data());  // FromMont
+  mont_mul_count_.fetch_add(muls, std::memory_order_relaxed);
+  return BigInt::FromWords(std::vector<uint32_t>(acc, acc + s));
+}
+
 BigInt MontgomeryContext::ModPow(const BigInt& base, const BigInt& exp,
                                  int window_bits) const {
   if (exp.IsZero()) return BigInt(1) % n_;
@@ -152,6 +279,8 @@ BigInt MontgomeryContext::ModPow(const BigInt& base, const BigInt& exp,
   const int exp_bits = exp.BitLength();
   const int w =
       window_bits > 0 ? std::min(window_bits, 8) : ChooseWindowBits(exp_bits);
+
+  if (kernel_ != nullptr) return ModPowFixed(b, exp, exp_bits, w);
 
   const BigInt mb = ToMont(b);
   if (w == 1) {

@@ -6,6 +6,7 @@
 #include "src/common/check.h"
 #include "src/common/thread_pool.h"
 #include "src/crypto/prime.h"
+#include "src/mpint/limb_matrix.h"
 
 namespace flb::crypto {
 
@@ -89,9 +90,11 @@ Result<PaillierContext> PaillierContext::CreatePublic(
     return Status::InvalidArgument("inconsistent Paillier public key");
   }
   PaillierContext ctx;
+  ctx.use_fixed_width_ = options.use_fixed_width_kernels;
   FLB_ASSIGN_OR_RETURN(ctx.eval_,
                        PaillierEval::Create(pub, /*priv=*/nullptr,
-                                            /*crt=*/false));
+                                            /*crt=*/false,
+                                            ctx.use_fixed_width_));
   ctx.secure_obfuscation_ = options.secure_obfuscation;
   ctx.pool_size_ = std::max(1, options.obfuscation_pool_size);
   ctx.pool_ = std::make_shared<ObfuscationPool>(
@@ -106,7 +109,8 @@ Result<PaillierContext> PaillierContext::Create(
   ctx.use_crt_ = options.use_crt_decryption;
   FLB_ASSIGN_OR_RETURN(
       ctx.eval_,
-      PaillierEval::Create(ctx.pub_, &keys.priv, ctx.use_crt_));
+      PaillierEval::Create(ctx.pub_, &keys.priv, ctx.use_crt_,
+                           ctx.use_fixed_width_));
   ctx.priv_ = std::move(keys.priv);
   return ctx;
 }
@@ -166,12 +170,15 @@ Result<BigInt> PaillierContext::DecryptCrt(const BigInt& c) const {
   FLB_ASSIGN_OR_RETURN(BigInt lq, LFunction(xq, q));
   const BigInt mp = BigInt::Mul(lp, eval_->hp()) % p;
   const BigInt mq = BigInt::Mul(lq, eval_->hq()) % q;
-  // m = mp + p * ((mq - mp) * p^{-1} mod q)
+  // m = mp + p * ((mq - mp) * p^{-1} mod q). The difference is only used
+  // mod q, and mp can reach p - 1 > q + mq when p > q, so reduce mp mod q
+  // before the guarded subtraction.
+  const BigInt mp_mod_q = mp % q;
   BigInt diff;
-  if (mq >= mp) {
-    diff = BigInt::Sub(mq, mp);
+  if (mq >= mp_mod_q) {
+    diff = BigInt::Sub(mq, mp_mod_q);
   } else {
-    diff = BigInt::Sub(BigInt::Add(mq, q), mp);
+    diff = BigInt::Sub(BigInt::Add(mq, q), mp_mod_q);
   }
   const BigInt t = BigInt::Mul(diff, eval_->p_inv_mod_q()) % q;
   return BigInt::Add(mp, BigInt::Mul(p, t));
@@ -245,6 +252,14 @@ BigInt PaillierContext::ScalarMulUncounted(const BigInt& c,
 // bytes. Op counters are bumped once per batch on success (a failed batch
 // counts nothing), keeping counts independent of which elements ran before
 // the error was discovered.
+//
+// Layout: batch bodies run over mpint::LimbMatrix — one contiguous
+// structure-of-arrays limb buffer per operand — so each ThreadPool worker
+// streams flat fixed-width rows through the Montgomery kernels instead of
+// chasing per-element BigInt heap blocks. Inputs are packed once before the
+// fan-out, outputs unpacked once after the join; element values are
+// unchanged (the kernels produce the canonical representatives the BigInt
+// path produces).
 
 Result<std::vector<BigInt>> PaillierContext::EncryptBatch(
     const std::vector<BigInt>& ms, Rng& rng, common::ThreadPool* pool) const {
@@ -275,29 +290,38 @@ Result<std::vector<BigInt>> PaillierContext::EncryptBatch(
   // Pool path: k base obfuscators (the only full powms, parallel), then a
   // serial squaring-refresh walk fixes obfuscator i deterministically.
   if (count == 0) return out;
+  const size_t w = n2.num_limbs();
   const size_t k = std::min(static_cast<size_t>(pool_size_), count);
-  std::vector<BigInt> base(k);
+  mpint::LimbMatrix base(k, w);
   FLB_RETURN_IF_ERROR(common::ParallelForEachStatus(
       tp, k, [&](size_t j) -> Status {
         Rng er = Rng::ForStream(seed, static_cast<uint64_t>(j));
         const BigInt r = DrawUnit(pub_.n, er);
-        base[j] = n2.ToMont(n2.ModPow(r, pub_.n));
+        base.SetRow(j, n2.ToMont(n2.ModPow(r, pub_.n)));
         return Status::OK();
       }));
-  std::vector<BigInt> rn_mont(count);
+  // Obfuscator stream as one contiguous SoA buffer: row i is obfuscator i
+  // (Montgomery domain), refreshed in place by one flat Montgomery
+  // squaring ((r^n)^2 = (r^2)^n).
+  mpint::LimbMatrix rn_mont(count, w);
   for (size_t i = 0; i < count; ++i) {
-    BigInt& slot = base[i % k];
-    rn_mont[i] = slot;
-    slot = n2.MontMul(slot, slot);  // (r^n)^2 = (r^2)^n
+    uint32_t* slot = base.row(i % k);
+    std::copy(slot, slot + w, rn_mont.row(i));
+    n2.MontSqrWords(slot, slot);
   }
+  mpint::LimbMatrix cipher(count, w);
   FLB_RETURN_IF_ERROR(common::ParallelForEachStatus(
       tp, count, [&](size_t i) -> Status {
         if (ms[i] >= pub_.n) {
           return Status::OutOfRange("Paillier plaintext must be < n");
         }
-        out[i] = ApplyObfuscatorMont(GPowM(ms[i]), rn_mont[i]);
+        // MontMul(gm, obf*R) = gm * obf mod n^2: the Montgomery factors
+        // cancel, so applying the obfuscator costs a single flat MontMul.
+        const std::vector<uint32_t> gw = GPowM(ms[i]).ToFixedWords(w);
+        n2.MontMulWords(gw.data(), rn_mont.row(i), cipher.row(i));
         return Status::OK();
       }));
+  out = cipher.Unpack();
   op_counts_.encrypts.fetch_add(count, std::memory_order_relaxed);
   return out;
 }
@@ -308,18 +332,21 @@ Result<std::vector<BigInt>> PaillierContext::DecryptBatch(
     return Status::FailedPrecondition("Paillier context has no private key");
   }
   common::ThreadPool& tp = pool != nullptr ? *pool : common::ThreadPool::Global();
-  std::vector<BigInt> out(cs.size());
+  // Plaintexts land in a contiguous SoA buffer at the modulus width (the
+  // exponentiations themselves are per-element, CRT-leg-structured).
+  mpint::LimbMatrix plain(cs.size(), eval_->n_ctx().num_limbs());
   FLB_RETURN_IF_ERROR(common::ParallelForEachStatus(
       tp, cs.size(), [&](size_t i) -> Status {
         if (cs[i] >= pub_.n_squared) {
           return Status::OutOfRange("Paillier ciphertext must be < n^2");
         }
-        FLB_ASSIGN_OR_RETURN(out[i],
+        FLB_ASSIGN_OR_RETURN(BigInt m,
                              use_crt_ ? DecryptCrt(cs[i]) : DecryptPlain(cs[i]));
+        plain.SetRow(i, m);
         return Status::OK();
       }));
   op_counts_.decrypts.fetch_add(cs.size(), std::memory_order_relaxed);
-  return out;
+  return plain.Unpack();
 }
 
 Result<std::vector<BigInt>> PaillierContext::AddBatch(
@@ -329,18 +356,23 @@ Result<std::vector<BigInt>> PaillierContext::AddBatch(
     return Status::InvalidArgument("AddBatch: size mismatch");
   }
   common::ThreadPool& tp = pool != nullptr ? *pool : common::ThreadPool::Global();
-  std::vector<BigInt> out(c1.size());
   const MontgomeryContext& n2 = eval_->n2_ctx();
+  const size_t w = n2.num_limbs();
+  // Both operand streams packed once, then each worker multiplies flat
+  // contiguous rows (range checks still run against the original values).
+  const mpint::LimbMatrix a = mpint::LimbMatrix::Pack(c1, w);
+  const mpint::LimbMatrix b = mpint::LimbMatrix::Pack(c2, w);
+  mpint::LimbMatrix o(c1.size(), w);
   FLB_RETURN_IF_ERROR(common::ParallelForEachStatus(
       tp, c1.size(), [&](size_t i) -> Status {
         if (c1[i] >= pub_.n_squared || c2[i] >= pub_.n_squared) {
           return Status::OutOfRange("Paillier ciphertext must be < n^2");
         }
-        out[i] = n2.ModMul(c1[i], c2[i]);
+        n2.ModMulWords(a.row(i), b.row(i), o.row(i));
         return Status::OK();
       }));
   op_counts_.adds.fetch_add(c1.size(), std::memory_order_relaxed);
-  return out;
+  return o.Unpack();
 }
 
 Result<std::vector<BigInt>> PaillierContext::AddPlainBatch(
@@ -350,8 +382,10 @@ Result<std::vector<BigInt>> PaillierContext::AddPlainBatch(
     return Status::InvalidArgument("AddPlainBatch: size mismatch");
   }
   common::ThreadPool& tp = pool != nullptr ? *pool : common::ThreadPool::Global();
-  std::vector<BigInt> out(cs.size());
   const MontgomeryContext& n2 = eval_->n2_ctx();
+  const size_t w = n2.num_limbs();
+  const mpint::LimbMatrix a = mpint::LimbMatrix::Pack(cs, w);
+  mpint::LimbMatrix o(cs.size(), w);
   FLB_RETURN_IF_ERROR(common::ParallelForEachStatus(
       tp, cs.size(), [&](size_t i) -> Status {
         if (cs[i] >= pub_.n_squared) {
@@ -360,11 +394,12 @@ Result<std::vector<BigInt>> PaillierContext::AddPlainBatch(
         if (ks[i] >= pub_.n) {
           return Status::OutOfRange("Paillier plaintext must be < n");
         }
-        out[i] = n2.ModMul(cs[i], GPowM(ks[i]));
+        const std::vector<uint32_t> gw = GPowM(ks[i]).ToFixedWords(w);
+        n2.ModMulWords(a.row(i), gw.data(), o.row(i));
         return Status::OK();
       }));
   op_counts_.adds.fetch_add(cs.size(), std::memory_order_relaxed);
-  return out;
+  return o.Unpack();
 }
 
 Result<std::vector<BigInt>> PaillierContext::ScalarMulBatch(
@@ -374,17 +409,19 @@ Result<std::vector<BigInt>> PaillierContext::ScalarMulBatch(
     return Status::InvalidArgument("ScalarMulBatch: size mismatch");
   }
   common::ThreadPool& tp = pool != nullptr ? *pool : common::ThreadPool::Global();
-  std::vector<BigInt> out(cs.size());
+  // Exponentiations are per-element; the results land in one contiguous
+  // SoA buffer instead of per-element BigInt heap blocks.
+  mpint::LimbMatrix o(cs.size(), eval_->n2_ctx().num_limbs());
   FLB_RETURN_IF_ERROR(common::ParallelForEachStatus(
       tp, cs.size(), [&](size_t i) -> Status {
         if (cs[i] >= pub_.n_squared) {
           return Status::OutOfRange("Paillier ciphertext must be < n^2");
         }
-        out[i] = ScalarMulUncounted(cs[i], ks[i]);
+        o.SetRow(i, ScalarMulUncounted(cs[i], ks[i]));
         return Status::OK();
       }));
   op_counts_.scalar_muls.fetch_add(cs.size(), std::memory_order_relaxed);
-  return out;
+  return o.Unpack();
 }
 
 }  // namespace flb::crypto

@@ -85,6 +85,12 @@ struct PaillierOptions {
   // Pool fill seed: fixed by default so equal keys + equal call sequences
   // produce equal ciphertext streams.
   uint64_t obfuscation_seed = 0xF1B0057E20230401ULL;
+  // Dispatch the fixed-width Montgomery kernels for this key's contexts
+  // when the limb widths are instantiated (src/mpint/fixed_kernels.h).
+  // Ciphertexts, plaintexts, and op counts are bit-identical either way —
+  // false keeps the generic radix-2^32 path (the differential oracle).
+  // FLB_FIXED_KERNELS=0 force-disables process-wide.
+  bool use_fixed_width_kernels = true;
 };
 
 // Generates a Paillier key pair with |n| == key_bits (p and q are
@@ -194,6 +200,7 @@ class PaillierContext {
   std::optional<PaillierPrivateKey> priv_;
   bool use_crt_ = true;
   bool secure_obfuscation_ = false;
+  bool use_fixed_width_ = true;
   int pool_size_ = 16;
 
   std::shared_ptr<const PaillierEval> eval_;

@@ -27,10 +27,13 @@ Result<BigInt> LFunction(const BigInt& x, const BigInt& d) {
 }  // namespace
 
 Result<std::shared_ptr<const PaillierEval>> PaillierEval::Create(
-    const PaillierPublicKey& pub, const PaillierPrivateKey* priv, bool crt) {
+    const PaillierPublicKey& pub, const PaillierPrivateKey* priv, bool crt,
+    bool use_fixed_width) {
   auto eval = std::shared_ptr<PaillierEval>(new PaillierEval());
-  FLB_ASSIGN_OR_RETURN(auto n2, MontgomeryContext::Create(pub.n_squared));
-  FLB_ASSIGN_OR_RETURN(auto n_ctx, MontgomeryContext::Create(pub.n));
+  FLB_ASSIGN_OR_RETURN(auto n2,
+                       MontgomeryContext::Create(pub.n_squared, use_fixed_width));
+  FLB_ASSIGN_OR_RETURN(auto n_ctx,
+                       MontgomeryContext::Create(pub.n, use_fixed_width));
   eval->n2_ctx_ = std::make_shared<MontgomeryContext>(std::move(n2));
   eval->n_ctx_ = std::make_shared<MontgomeryContext>(std::move(n_ctx));
   eval->half_n_ = BigInt::ShiftRight(pub.n, 1);
@@ -53,8 +56,10 @@ Result<std::shared_ptr<const PaillierEval>> PaillierEval::Create(
     if (crt) {
       const BigInt p2 = BigInt::Mul(priv->p, priv->p);
       const BigInt q2 = BigInt::Mul(priv->q, priv->q);
-      FLB_ASSIGN_OR_RETURN(auto p2_ctx, MontgomeryContext::Create(p2));
-      FLB_ASSIGN_OR_RETURN(auto q2_ctx, MontgomeryContext::Create(q2));
+      FLB_ASSIGN_OR_RETURN(auto p2_ctx,
+                           MontgomeryContext::Create(p2, use_fixed_width));
+      FLB_ASSIGN_OR_RETURN(auto q2_ctx,
+                           MontgomeryContext::Create(q2, use_fixed_width));
       eval->p2_ctx_ = std::make_shared<MontgomeryContext>(std::move(p2_ctx));
       eval->q2_ctx_ = std::make_shared<MontgomeryContext>(std::move(q2_ctx));
 

@@ -40,9 +40,13 @@ struct PaillierPrivateKey;
 class PaillierEval {
  public:
   // Public-key precompute. When `priv` is non-null and `crt` is set the CRT
-  // decryption constants are also derived.
+  // decryption constants are also derived. `use_fixed_width` selects the
+  // fixed-width Montgomery kernels (src/mpint/fixed_kernels.h) for every
+  // per-key context whose limb width has an instantiation — the dispatch
+  // happens exactly once here, at precompute time.
   static Result<std::shared_ptr<const PaillierEval>> Create(
-      const PaillierPublicKey& pub, const PaillierPrivateKey* priv, bool crt);
+      const PaillierPublicKey& pub, const PaillierPrivateKey* priv, bool crt,
+      bool use_fixed_width = true);
 
   const MontgomeryContext& n2_ctx() const { return *n2_ctx_; }
   const MontgomeryContext& n_ctx() const { return *n_ctx_; }
@@ -67,6 +71,12 @@ class PaillierEval {
   // fast path never calls this). Thread-safe, ~|m| MontMuls.
   BigInt FixedBaseGPow(const BigInt& m) const;
   bool has_fixed_base() const { return !g_pow2_mont_.empty(); }
+
+  // True when the n^2 context dispatched to a fixed-width kernel (the hot
+  // path for every homomorphic op). Exposed for metrics and tests.
+  bool uses_fixed_width_kernels() const {
+    return n2_ctx_->fixed_kernel_width() != 0;
+  }
 
  private:
   PaillierEval() = default;

@@ -1,0 +1,36 @@
+#include "src/mpint/limb_matrix.h"
+
+#include <algorithm>
+
+namespace flb::mpint {
+
+LimbMatrix::LimbMatrix(size_t rows, size_t width)
+    : rows_(rows), width_(width), limbs_(rows * width, 0) {}
+
+LimbMatrix LimbMatrix::Pack(const std::vector<BigInt>& values, size_t width) {
+  LimbMatrix m(values.size(), width);
+  for (size_t i = 0; i < values.size(); ++i) m.SetRow(i, values[i]);
+  return m;
+}
+
+void LimbMatrix::SetRow(size_t i, const BigInt& value) {
+  uint32_t* dst = row(i);
+  const std::vector<uint32_t>& words = value.words();
+  const size_t copy = std::min(width_, words.size());
+  std::copy(words.begin(), words.begin() + copy, dst);
+  std::fill(dst + copy, dst + width_, 0u);
+}
+
+BigInt LimbMatrix::ToBigInt(size_t i) const {
+  const uint32_t* src = row(i);
+  return BigInt::FromWords(std::vector<uint32_t>(src, src + width_));
+}
+
+std::vector<BigInt> LimbMatrix::Unpack() const {
+  std::vector<BigInt> out;
+  out.reserve(rows_);
+  for (size_t i = 0; i < rows_; ++i) out.push_back(ToBigInt(i));
+  return out;
+}
+
+}  // namespace flb::mpint

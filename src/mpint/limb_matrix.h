@@ -1,0 +1,61 @@
+// LimbMatrix: a structure-of-arrays batch of fixed-width big integers.
+//
+// The ThreadPool batch bodies (PR 4) iterate element-wise over
+// vector<BigInt>, where each element is its own heap allocation — pointer
+// chasing on every limb access. A LimbMatrix stores `rows` values of
+// exactly `width` little-endian 32-bit limbs each in ONE contiguous
+// buffer, so a batch body streams row i as a flat uint32_t* straight into
+// the fixed-width kernels (row i starts at offset i*width; rows are
+// adjacent, giving the hardware prefetcher a linear walk).
+//
+// This is the batch layout crypto::PaillierContext's Encrypt/Decrypt/Add/
+// ScalarMul-Batch paths pack into before fanning out and unpack from after
+// joining; values are padded (or truncated — callers validate range first)
+// to the fixed width the same way BigInt::ToFixedWords does.
+
+#ifndef FLB_MPINT_LIMB_MATRIX_H_
+#define FLB_MPINT_LIMB_MATRIX_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/mpint/bigint.h"
+
+namespace flb::mpint {
+
+class LimbMatrix {
+ public:
+  LimbMatrix() = default;
+  // rows * width zero limbs.
+  LimbMatrix(size_t rows, size_t width);
+
+  // Packs values[i] into row i, each padded/truncated to `width` limbs.
+  static LimbMatrix Pack(const std::vector<BigInt>& values, size_t width);
+
+  size_t rows() const { return rows_; }
+  size_t width() const { return width_; }
+
+  uint32_t* row(size_t i) { return limbs_.data() + i * width_; }
+  const uint32_t* row(size_t i) const { return limbs_.data() + i * width_; }
+
+  // Overwrites row i with `value` at the fixed width.
+  void SetRow(size_t i, const BigInt& value);
+  // Row i as a normalized BigInt.
+  BigInt ToBigInt(size_t i) const;
+  // All rows as normalized BigInts.
+  std::vector<BigInt> Unpack() const;
+
+  // The whole buffer (rows * width limbs, row-major) — for serializers and
+  // tests that want the raw stream.
+  const std::vector<uint32_t>& limbs() const { return limbs_; }
+
+ private:
+  size_t rows_ = 0;
+  size_t width_ = 0;
+  std::vector<uint32_t> limbs_;
+};
+
+}  // namespace flb::mpint
+
+#endif  // FLB_MPINT_LIMB_MATRIX_H_
