@@ -18,8 +18,11 @@
 #include "src/common/thread_pool.h"
 #include "src/common/timer.h"
 #include "src/core/platform.h"
+#include "src/obs/host_profiler.h"
 #include "src/obs/json_util.h"
 #include "src/obs/metrics.h"
+#include "src/obs/obs_server.h"
+#include "src/obs/run_status.h"
 #include "src/obs/trace.h"
 
 namespace flb::bench {
@@ -181,6 +184,7 @@ class BenchJson {
 inline void BeginSection(const std::string& title) {
   PrintHeader(title);
   BenchJson::Global().set_section(title);
+  obs::RunStatus::Global().SetSection(title);
   obs::MetricsRegistry::Global().ResetAll();
 }
 
@@ -200,11 +204,26 @@ class ObsExporter {
     if (bench_name != nullptr) BenchJson::Global().set_bench(bench_name);
     BenchJson::Global().set_host_threads(
         common::ThreadPool::Global().num_threads());
+    // Live inspection: start the scrape server / wall profiler as early as
+    // env configuration allows, and name the bench in /status.
+    obs::ObsServer::EnsureGlobalFromEnv();
+    obs::HostProfiler::EnableFromEnv();
+    obs::RunStatus::Global().SetBench(bench_name != nullptr ? bench_name
+                                                            : "bench");
   }
 
   ~ObsExporter() {
     BenchJson::Global().set_wall_ms(timer_.ElapsedSeconds() * 1e3);
+    // Trace-cap losses become a bench row so summary.json surfaces them
+    // alongside the numbers they may have truncated.
+    BenchJson::Global().Record(
+        "obs", "flb.obs.trace.dropped_events",
+        static_cast<double>(obs::TraceRecorder::Global().dropped_events()),
+        "count");
     Export();
+    // FLB_OBS_LINGER: hold the process (phase "linger") so a scraper can
+    // take final /metrics + /trace snapshots after all sections ran.
+    obs::ObsServer::LingerFromEnv();
   }
 
   static void Export() {

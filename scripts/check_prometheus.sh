@@ -1,0 +1,116 @@
+#!/usr/bin/env bash
+# Validates a Prometheus text-exposition snapshot (as served by the
+# ObsServer /metrics endpoint) without needing promtool:
+#   * every non-comment line matches the sample grammar
+#     name{label="value",...} <number>
+#   * metric names and label names are legal ([a-zA-Z_:][a-zA-Z0-9_:]*,
+#     labels without ':')
+#   * every sample's base name has a preceding "# TYPE <name> <kind>" line
+#   * every histogram has a "+Inf" bucket plus _sum and _count, the +Inf
+#     bucket count equals _count, and each bucket series is cumulative
+#     (counts never decrease as `le` grows)
+# Usage: ./scripts/check_prometheus.sh <metrics.txt> [more.txt ...]
+set -euo pipefail
+
+[ "$#" -ge 1 ] || { echo "usage: $0 <metrics.txt> [...]" >&2; exit 2; }
+
+fail=0
+for f in "$@"; do
+  if [ ! -s "$f" ]; then
+    echo "FAIL empty or missing: $f" >&2
+    fail=1
+    continue
+  fi
+  if ! awk '
+    function base_name(n) {
+      sub(/_(bucket|sum|count)$/, "", n)
+      return n
+    }
+    function err(msg) {
+      printf "FAIL %s:%d: %s: %s\n", FILENAME, FNR, msg, $0 > "/dev/stderr"
+      bad = 1
+    }
+    /^#/ {
+      if ($1 == "#" && $2 == "TYPE") {
+        if ($3 !~ /^[a-zA-Z_:][a-zA-Z0-9_:]*$/) err("bad TYPE name")
+        if ($4 !~ /^(counter|gauge|histogram|summary|untyped)$/)
+          err("bad TYPE kind")
+        typed[$3] = $4
+      }
+      next
+    }
+    /^[[:space:]]*$/ { next }
+    {
+      # Sample line: name[{labels}] value
+      if (!match($0, /^[a-zA-Z_:][a-zA-Z0-9_:]*/)) { err("bad metric name"); next }
+      name = substr($0, 1, RLENGTH)
+      rest = substr($0, RLENGTH + 1)
+      le = ""
+      labels = ""
+      if (substr(rest, 1, 1) == "{") {
+        close_idx = index(rest, "}")
+        if (close_idx == 0) { err("unterminated label set"); next }
+        labels = substr(rest, 2, close_idx - 2)
+        rest = substr(rest, close_idx + 1)
+        # Validate each label: name="value" with only escaped specials.
+        nlab = split(labels, parts, /",/)
+        for (i = 1; i <= nlab; i++) {
+          p = parts[i]
+          if (i < nlab) p = p "\""
+          if (p !~ /^[a-zA-Z_][a-zA-Z0-9_]*="([^"\\]|\\\\|\\"|\\n)*"$/)
+            err("bad label pair: " p)
+          if (p ~ /^le="/) { le = substr(p, 5, length(p) - 5) }
+        }
+      }
+      if (rest !~ /^ (-?[0-9]+(\.[0-9]+)?([eE][+-]?[0-9]+)?|\+Inf|-Inf|NaN)$/)
+        err("bad sample value:" rest)
+      value = substr(rest, 2)
+      bn = base_name(name)
+      if (!(name in typed) && !(bn in typed)) err("no # TYPE for " name)
+      seen_samples++
+      # Histogram bookkeeping.
+      if (typed[bn] == "histogram") {
+        if (name == bn "_count") hist_count[bn] = value
+        else if (name == bn "_sum") hist_sum[bn] = 1
+        else if (name == bn "_bucket") {
+          # Series identity excludes the le label: cumulative monotonicity
+          # holds across le values of one labelled series.
+          lbl = labels
+          sub(/(^|,)le="([^"\\]|\\\\|\\"|\\n)*"/, "", lbl)
+          series = bn "|" lbl
+          if (le == "") err("histogram bucket without le")
+          if (le == "+Inf") hist_inf[bn "|" lbl] = value
+          if (series in last_bucket && value + 0 < last_bucket[series] + 0)
+            err("non-cumulative bucket series " series)
+          last_bucket[series] = value
+          hist_has_bucket[bn] = 1
+        }
+      }
+      next
+    }
+    END {
+      if (seen_samples == 0) { print "FAIL no samples" > "/dev/stderr"; bad = 1 }
+      for (bn in typed) {
+        if (typed[bn] != "histogram") continue
+        if (!(bn in hist_has_bucket)) { err_end(bn, "no _bucket series") }
+        if (!(bn in hist_sum)) { err_end(bn, "no _sum") }
+        if (!(bn in hist_count)) { err_end(bn, "no _count") }
+        inf_found = 0
+        for (k in hist_inf) {
+          if (index(k, bn "|") == 1) inf_found = 1
+        }
+        if (!inf_found) err_end(bn, "no +Inf bucket")
+      }
+      exit bad
+    }
+    function err_end(bn, msg) {
+      printf "FAIL %s: histogram %s: %s\n", FILENAME, bn, msg > "/dev/stderr"
+      bad = 1
+    }
+  ' "$f"; then
+    fail=1
+  else
+    echo "ok  $f ($(grep -cv '^#' "$f" || true) samples)"
+  fi
+done
+exit "$fail"

@@ -2,6 +2,7 @@
 # Schema-checks the observability artifacts a run leaves behind:
 #   *.trace.json    — Chrome trace-event JSON (traceEvents with ph/pid/tid/ts)
 #   *.metrics.json  — MetricsRegistry snapshots (metrics with name/type/value)
+#   *.status.json   — ObsServer /status snapshots (phase/run/epoch/he/server)
 #   BENCH_*.json    — bench result records (bench/section/metric/value/unit)
 # Usage: ./scripts/validate_obs_json.sh [results-dir]
 set -euo pipefail
@@ -56,6 +57,41 @@ for f in "$DIR"/*.metrics.json; do
     fail=1
   else
     echo "ok  $f ($(jq '.metrics | length' "$f") metrics)"
+  fi
+done
+
+for f in "$DIR"/*.status.json; do
+  [ -e "$f" ] || continue
+  checked=$((checked + 1))
+  if ! jq -e '
+      (.phase | IN("idle", "setup", "train", "done", "linger")) and
+      (.bench | type == "string") and
+      (.section | type == "string") and
+      (.generation | type == "number") and
+      (.run.engine | type == "string") and
+      (.run.model | type == "string") and
+      (.run.key_bits | type == "number") and
+      (.run.parties | type == "number") and
+      (.run.seed | type == "number") and
+      (.epoch.epoch | type == "number") and
+      (.epoch.max_epochs | type == "number") and
+      (.epoch.loss | type == "number") and
+      (.epoch.sim_seconds | type == "number") and
+      (.he.encrypts | type == "number") and
+      (.he.values_encrypted | type == "number") and
+      (.totals.total_seconds | type == "number") and
+      (.faults.injected | type == "number") and
+      (.channel.retransmits | type == "number") and
+      (.trace.dropped_events | type == "number") and
+      (.server.requests.metrics | type == "number") and
+      (.server.requests.status | type == "number") and
+      (.server.requests.trace | type == "number") and
+      (.server.requests.healthz | type == "number")
+    ' "$f" >/dev/null; then
+    echo "FAIL status schema: $f" >&2
+    fail=1
+  else
+    echo "ok  $f (phase $(jq -r '.phase' "$f"), gen $(jq '.generation' "$f"))"
   fi
 done
 

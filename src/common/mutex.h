@@ -18,12 +18,50 @@
 #ifndef FLB_COMMON_MUTEX_H_
 #define FLB_COMMON_MUTEX_H_
 
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
+#include <cstdint>
 #include <mutex>
 
 #include "src/common/annotations.h"
 
 namespace flb::common {
+
+// Wall-clock lock-contention accounting for the host profiler plane
+// (src/obs/host_profiler). Disabled by default: the only cost on every
+// Mutex::lock is a try_lock fast path plus one relaxed load on the
+// *contended* path. When enabled, contended acquires time their wait on the
+// wall clock and record it into lock-free atomics — nothing here ever
+// touches the SimClock or charged accounting, and nothing here takes a
+// lock, so the recorder is safe to run from inside any component's critical
+// section (including MetricsRegistry's own).
+struct MutexContention {
+  // Log2-nanosecond wait buckets: bucket i counts waits with
+  // floor(log2(ns)) == i, clamped into [0, kNumBuckets). Bucket i therefore
+  // has upper bound 2^(i+1) ns; the last bucket absorbs the overflow
+  // (waits >= ~33 ms).
+  static constexpr int kNumBuckets = 25;
+
+  static inline std::atomic<bool> enabled{false};
+  static inline std::atomic<uint64_t> contended_acquires{0};
+  static inline std::atomic<uint64_t> total_wait_ns{0};
+  static inline std::atomic<uint64_t> buckets[kNumBuckets] = {};
+
+  static void Record(uint64_t wait_ns) {
+    contended_acquires.fetch_add(1, std::memory_order_relaxed);
+    total_wait_ns.fetch_add(wait_ns, std::memory_order_relaxed);
+    int b = 0;
+    while (b + 1 < kNumBuckets && (wait_ns >> (b + 1)) != 0) ++b;
+    buckets[b].fetch_add(1, std::memory_order_relaxed);
+  }
+
+  static void Reset() {
+    contended_acquires.store(0, std::memory_order_relaxed);
+    total_wait_ns.store(0, std::memory_order_relaxed);
+    for (auto& b : buckets) b.store(0, std::memory_order_relaxed);
+  }
+};
 
 class FLB_CAPABILITY("mutex") Mutex {
  public:
@@ -31,7 +69,22 @@ class FLB_CAPABILITY("mutex") Mutex {
   Mutex(const Mutex&) = delete;
   Mutex& operator=(const Mutex&) = delete;
 
-  void lock() FLB_ACQUIRE() { mu_.lock(); }
+  void lock() FLB_ACQUIRE() {
+    if (mu_.try_lock()) return;
+    if (!MutexContention::enabled.load(std::memory_order_relaxed)) {
+      mu_.lock();
+      return;
+    }
+    // Wall-clock profiling of the *wait*, never of simulated time; the
+    // sample feeds only the observability plane (flb.host.lock_* metrics).
+    // flb-lint: allow-next-line(FLB001) lock-contention wall profiling, observability-only
+    const auto start = std::chrono::steady_clock::now();
+    mu_.lock();
+    // flb-lint: allow-next-line(FLB001) lock-contention wall profiling, observability-only
+    const auto wait = std::chrono::steady_clock::now() - start;
+    MutexContention::Record(static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(wait).count()));
+  }
   void unlock() FLB_RELEASE() { mu_.unlock(); }
   bool try_lock() FLB_TRY_ACQUIRE(true) { return mu_.try_lock(); }
 

@@ -1,6 +1,7 @@
 #include "src/common/thread_pool.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
 #include <limits>
 
@@ -11,6 +12,19 @@ namespace {
 // True while this thread is executing inside a ParallelFor body; nested
 // calls must run inline (the single job slot is occupied).
 thread_local bool tls_inside_parallel_for = false;
+
+// Timestamp source for ThreadPoolObserver events. Wall-clock by design:
+// the observer plane profiles real host execution (the simulated clock has
+// no opinion about worker scheduling), and nothing derived from these
+// stamps ever feeds charged accounting.
+uint64_t MonotonicNs() {
+  // flb-lint: allow-next-line(FLB001) host profiler timestamps, observability-only
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          // flb-lint: allow-next-line(FLB001) host profiler timestamps, observability-only
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
 
 }  // namespace
 
@@ -71,7 +85,18 @@ void ThreadPool::ParallelFor(int64_t n,
   stat_fors_.fetch_add(1, std::memory_order_relaxed);
   if (num_threads_ == 1 || n == 1 || tls_inside_parallel_for) {
     stat_tasks_.fetch_add(1, std::memory_order_relaxed);
+    ThreadPoolObserver* const obs = observer();
+    if (obs == nullptr) {
+      fn(0, n);
+      return;
+    }
+    ThreadPoolObserver::TaskEvent event;
+    event.worker = 0;
+    event.chunk_end = n;
+    event.start_ns = MonotonicNs();
     fn(0, n);
+    event.end_ns = MonotonicNs();
+    obs->OnTask(event);
     return;
   }
 
@@ -122,11 +147,19 @@ void ThreadPool::ParallelForEach(int64_t n,
 void ThreadPool::WorkerLoop(int participant) {
   uint64_t seen = 0;
   for (;;) {
+    ThreadPoolObserver* obs = observer();
+    const uint64_t idle_start = obs != nullptr ? MonotonicNs() : 0;
     {
       MutexLock lock(mu_);
       while (!stop_ && epoch_ == seen) work_cv_.wait(lock);
       if (stop_) return;
       seen = epoch_;
+    }
+    // Re-read: an observer installed while this worker slept still sees
+    // subsequent windows; one installed mid-wait misses only this gap.
+    obs = observer();
+    if (obs != nullptr && idle_start != 0) {
+      obs->OnIdle(participant, idle_start, MonotonicNs());
     }
     tls_inside_parallel_for = true;
     RunParticipant(participant);
@@ -144,16 +177,42 @@ void ThreadPool::RunParticipant(int participant) {
   const auto& fn = *job_fn_;
   const int64_t n = job_n_;
   const int64_t grain = job_grain_;
-  const auto run_chunk = [&](int64_t c) {
+  ThreadPoolObserver* const obs = observer();
+  // Unclaimed chunks across all shards — only sampled while an observer is
+  // installed (num_threads relaxed loads per task). Approximate by nature:
+  // other workers keep claiming while we sum.
+  const auto queue_depth = [&]() {
+    int64_t depth = 0;
+    for (const Shard& shard : shards_) {
+      const int64_t next = shard.next.load(std::memory_order_relaxed);
+      if (next < shard.end) depth += shard.end - next;
+    }
+    return depth;
+  };
+  const auto run_chunk = [&](int64_t c, bool stolen) {
     const int64_t begin = c * grain;
-    fn(begin, std::min(n, begin + grain));
+    const int64_t end = std::min(n, begin + grain);
+    if (obs == nullptr) {
+      fn(begin, end);
+    } else {
+      ThreadPoolObserver::TaskEvent event;
+      event.worker = participant;
+      event.chunk_begin = begin;
+      event.chunk_end = end;
+      event.stolen = stolen;
+      event.queue_depth = queue_depth();
+      event.start_ns = MonotonicNs();
+      fn(begin, end);
+      event.end_ns = MonotonicNs();
+      obs->OnTask(event);
+    }
     stat_tasks_.fetch_add(1, std::memory_order_relaxed);
   };
   Shard& own = shards_[static_cast<size_t>(participant)];
   for (;;) {
     const int64_t c = own.next.fetch_add(1, std::memory_order_relaxed);
     if (c >= own.end) break;
-    run_chunk(c);
+    run_chunk(c, /*stolen=*/false);
   }
   // Own shard drained: steal from the others, round-robin from the right.
   for (int off = 1; off < num_threads_; ++off) {
@@ -162,7 +221,7 @@ void ThreadPool::RunParticipant(int participant) {
     for (;;) {
       const int64_t c = victim.next.fetch_add(1, std::memory_order_relaxed);
       if (c >= victim.end) break;
-      run_chunk(c);
+      run_chunk(c, /*stolen=*/true);
       stat_steals_.fetch_add(1, std::memory_order_relaxed);
     }
   }

@@ -27,6 +27,32 @@
 
 namespace flb::common {
 
+// Wall-clock observer for the host profiler plane: when installed (see
+// ThreadPool::SetObserver), every pool gives it per-worker task / steal /
+// idle windows stamped in monotonic nanoseconds. Callbacks run on the
+// worker threads and must be lock-light and non-blocking; they observe
+// execution, they never influence it — the deterministic chunk schedule and
+// every result are bit-identical with or without an observer.
+class ThreadPoolObserver {
+ public:
+  virtual ~ThreadPoolObserver() = default;
+
+  struct TaskEvent {
+    int worker = 0;           // participant index (0 = the calling thread)
+    uint64_t start_ns = 0;    // monotonic, arbitrary process-wide base
+    uint64_t end_ns = 0;
+    int64_t chunk_begin = 0;  // element range [chunk_begin, chunk_end)
+    int64_t chunk_end = 0;
+    bool stolen = false;      // taken from another participant's shard
+    int64_t queue_depth = 0;  // unclaimed chunks when this task started
+  };
+  virtual void OnTask(const TaskEvent& event) = 0;
+
+  // One idle window per worker per job gap (the wait between ParallelFor
+  // epochs on that worker's condition variable).
+  virtual void OnIdle(int worker, uint64_t start_ns, uint64_t end_ns) = 0;
+};
+
 class ThreadPool {
  public:
   // num_threads <= 0 resolves FLB_HOST_THREADS, then hardware_concurrency.
@@ -55,6 +81,17 @@ class ThreadPool {
     uint64_t steals = 0;         // chunks taken from another worker's shard
   };
   StatsSnapshot stats() const;
+
+  // Installs (or clears, with nullptr) the process-wide observer all pools
+  // report to. The pointer must outlive every pool use; installation is
+  // atomic, so it may happen while pools are running — workers pick it up
+  // at their next task/idle boundary.
+  static void SetObserver(ThreadPoolObserver* observer) {
+    observer_.store(observer, std::memory_order_release);
+  }
+  static ThreadPoolObserver* observer() {
+    return observer_.load(std::memory_order_acquire);
+  }
 
   // Invokes fn(begin, end) over a disjoint cover of [0, n); blocks until all
   // elements ran. The calling thread participates. fn must not throw and
@@ -110,6 +147,8 @@ class ThreadPool {
   std::atomic<uint64_t> stat_fors_{0};
   std::atomic<uint64_t> stat_tasks_{0};
   std::atomic<uint64_t> stat_steals_{0};
+
+  static inline std::atomic<ThreadPoolObserver*> observer_{nullptr};
 };
 
 // Runs fn(i) for every i in [0, n) on the pool. Each chunk stops at its own

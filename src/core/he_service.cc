@@ -237,8 +237,8 @@ Result<EncVec> HeService::EncryptValues(const std::vector<double>& values) {
                          paillier_->EncryptBatch(plains, rng_, host_pool_));
     ChargeCpu("he.encrypt", plains.size(), EncryptLimbOps(options_.key_bits));
   }
-  op_counts_.encrypts += static_cast<uint64_t>(n_cipher);
-  op_counts_.values_encrypted += values.size();
+  op_cells_.encrypts.fetch_add(static_cast<uint64_t>(n_cipher), std::memory_order_relaxed);
+  op_cells_.values_encrypted.fetch_add(values.size(), std::memory_order_relaxed);
   return out;
 }
 
@@ -272,7 +272,7 @@ Result<EncVec> HeService::AddCipher(const EncVec& a, const EncVec& b) {
                          paillier_->AddBatch(a.data, b.data, host_pool_));
     ChargeCpu("he.add", a.data.size(), AddLimbOps(options_.key_bits));
   }
-  op_counts_.hom_adds += a.data.size();
+  op_cells_.hom_adds.fetch_add(a.data.size(), std::memory_order_relaxed);
   return out;
 }
 
@@ -315,7 +315,7 @@ Result<EncVec> HeService::AddPlainValues(const EncVec& c,
     ChargeCpu("he.add_plain", plains.size(),
               AddPlainLimbOps(options_.key_bits));
   }
-  op_counts_.hom_adds += plains.size();
+  op_cells_.hom_adds.fetch_add(plains.size(), std::memory_order_relaxed);
   return out;
 }
 
@@ -334,8 +334,8 @@ Result<std::vector<double>> HeService::DecryptValues(const EncVec& c) {
     FLB_ASSIGN_OR_RETURN(plains, paillier_->DecryptBatch(c.data, host_pool_));
     ChargeCpu("he.decrypt", c.data.size(), DecryptLimbOps(options_.key_bits));
   }
-  op_counts_.decrypts += c.data.size();
-  op_counts_.values_decrypted += c.count;
+  op_cells_.decrypts.fetch_add(c.data.size(), std::memory_order_relaxed);
+  op_cells_.values_decrypted.fetch_add(c.count, std::memory_order_relaxed);
   ChargeSpan(clock_, CostKind::kEncoding, c.count * 4e-9,
              obs::TraceRecorder::Global().RegisterTrack("he", "encode"),
              "he.decode", "encode",
@@ -387,8 +387,8 @@ Result<EncVec> HeService::EncryptFixedPoint(const std::vector<double>& values) {
     ChargeCpu("he.fp_encrypt", plains.size(),
               EncryptLimbOps(options_.key_bits));
   }
-  op_counts_.encrypts += static_cast<uint64_t>(n_cipher);
-  op_counts_.values_encrypted += values.size();
+  op_cells_.encrypts.fetch_add(static_cast<uint64_t>(n_cipher), std::memory_order_relaxed);
+  op_cells_.values_encrypted.fetch_add(values.size(), std::memory_order_relaxed);
   return out;
 }
 
@@ -417,7 +417,7 @@ Result<EncVec> HeService::AddFixedPoint(const EncVec& a, const EncVec& b) {
                          paillier_->AddBatch(a.data, b.data, host_pool_));
     ChargeCpu("he.fp_add", a.data.size(), AddLimbOps(options_.key_bits));
   }
-  op_counts_.hom_adds += a.data.size();
+  op_cells_.hom_adds.fetch_add(a.data.size(), std::memory_order_relaxed);
   return out;
 }
 
@@ -455,7 +455,7 @@ Result<EncVec> HeService::ScalarMulFixedPoint(
     ChargeCpu("he.fp_scalar_mul", c.data.size(),
               ScalarMulLimbOps(options_.key_bits, EffectiveScalarBits()));
   }
-  op_counts_.scalar_muls += c.data.size();
+  op_cells_.scalar_muls.fetch_add(c.data.size(), std::memory_order_relaxed);
   return out;
 }
 
@@ -498,7 +498,7 @@ Result<EncVec> HeService::WeightedSums(
         out.data.emplace_back();
       } else {
         FLB_ASSIGN_OR_RETURN(BigInt zero, paillier_->Encrypt(BigInt(), rng_));
-        ++op_counts_.encrypts;
+        op_cells_.encrypts.fetch_add(1, std::memory_order_relaxed);
         out.data.push_back(std::move(zero));
       }
       continue;
@@ -521,7 +521,7 @@ Result<EncVec> HeService::WeightedSums(
   ChargeBatch("he.fp_fold", static_cast<int64_t>(adds),
               AddLimbOps(options_.key_bits), 2 * adds * CiphertextWords() * 4,
               adds * CiphertextWords() * 4);
-  op_counts_.hom_adds += adds;
+  op_cells_.hom_adds.fetch_add(adds, std::memory_order_relaxed);
   return out;
 }
 
@@ -546,7 +546,7 @@ Result<EncVec> HeService::SelectiveSums(
         out.data.emplace_back();
       } else {
         FLB_ASSIGN_OR_RETURN(BigInt zero, paillier_->Encrypt(BigInt(), rng_));
-        ++op_counts_.encrypts;
+        op_cells_.encrypts.fetch_add(1, std::memory_order_relaxed);
         out.data.push_back(std::move(zero));
       }
       continue;
@@ -571,7 +571,7 @@ Result<EncVec> HeService::SelectiveSums(
   ChargeBatch("he.selective_sum", static_cast<int64_t>(adds),
               AddLimbOps(options_.key_bits), 2 * adds * CiphertextWords() * 4,
               adds * CiphertextWords() * 4);
-  op_counts_.hom_adds += adds;
+  op_cells_.hom_adds.fetch_add(adds, std::memory_order_relaxed);
   return out;
 }
 
@@ -592,8 +592,8 @@ Result<std::vector<double>> HeService::DecryptFixedPoint(const EncVec& c) {
     ChargeCpu("he.fp_decrypt", c.data.size(),
               DecryptLimbOps(options_.key_bits));
   }
-  op_counts_.decrypts += c.data.size();
-  op_counts_.values_decrypted += c.count;
+  op_cells_.decrypts.fetch_add(c.data.size(), std::memory_order_relaxed);
+  op_cells_.values_decrypted.fetch_add(c.count, std::memory_order_relaxed);
 
   std::vector<double> out;
   out.reserve(c.count);
@@ -684,8 +684,8 @@ Result<EncVec> HeService::CompressForTransmission(const EncVec& c) {
   ChargeBatch("he.cipher_compress", static_cast<int64_t>(scalar_muls),
               (static_cast<uint64_t>(sb) + 6) * ghe::MontMulLimbOps(s2w),
               2 * scalar_muls * s2w * 4, out.data.size() * s2w * 4);
-  op_counts_.hom_adds += adds + addplains;
-  op_counts_.scalar_muls += scalar_muls;
+  op_cells_.hom_adds.fetch_add(adds + addplains, std::memory_order_relaxed);
+  op_cells_.scalar_muls.fetch_add(scalar_muls, std::memory_order_relaxed);
   return out;
 }
 
@@ -699,12 +699,12 @@ void HeService::CollectMetrics(std::vector<obs::MetricValue>& out) const {
     m.value = static_cast<double>(value);
     out.push_back(std::move(m));
   };
-  counter("flb.he.encrypts", op_counts_.encrypts);
-  counter("flb.he.decrypts", op_counts_.decrypts);
-  counter("flb.he.hom_adds", op_counts_.hom_adds);
-  counter("flb.he.scalar_muls", op_counts_.scalar_muls);
-  counter("flb.he.values_encrypted", op_counts_.values_encrypted);
-  counter("flb.he.values_decrypted", op_counts_.values_decrypted);
+  counter("flb.he.encrypts", op_cells_.encrypts.load(std::memory_order_relaxed));
+  counter("flb.he.decrypts", op_cells_.decrypts.load(std::memory_order_relaxed));
+  counter("flb.he.hom_adds", op_cells_.hom_adds.load(std::memory_order_relaxed));
+  counter("flb.he.scalar_muls", op_cells_.scalar_muls.load(std::memory_order_relaxed));
+  counter("flb.he.values_encrypted", op_cells_.values_encrypted.load(std::memory_order_relaxed));
+  counter("flb.he.values_decrypted", op_cells_.values_decrypted.load(std::memory_order_relaxed));
   // Fixed-width kernel limb width the n^2 context dispatched to (0 = the
   // generic path — modeled mode, odd widths, or FLB_FIXED_KERNELS=0).
   obs::MetricValue m;

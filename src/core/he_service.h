@@ -30,6 +30,7 @@
 #ifndef FLB_CORE_HE_SERVICE_H_
 #define FLB_CORE_HE_SERVICE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -175,8 +176,31 @@ class HeService : public obs::MetricsSource {
   // Wire size of an EncVec in bytes (what Network::Send will carry).
   size_t WireBytes(const EncVec& c) const;
 
-  const HeOpCounts& op_counts() const { return op_counts_; }
-  void ResetOpCounts() { op_counts_ = HeOpCounts{}; }
+  // Snapshot of the live counters. The trainer thread does all the
+  // counting; the metrics scrape thread (obs::ObsServer) reads
+  // concurrently, so the cells are relaxed atomics — each counter is
+  // exact, cross-counter consistency only at batch boundaries.
+  HeOpCounts op_counts() const {
+    HeOpCounts counts;
+    counts.encrypts = op_cells_.encrypts.load(std::memory_order_relaxed);
+    counts.decrypts = op_cells_.decrypts.load(std::memory_order_relaxed);
+    counts.hom_adds = op_cells_.hom_adds.load(std::memory_order_relaxed);
+    counts.scalar_muls =
+        op_cells_.scalar_muls.load(std::memory_order_relaxed);
+    counts.values_encrypted =
+        op_cells_.values_encrypted.load(std::memory_order_relaxed);
+    counts.values_decrypted =
+        op_cells_.values_decrypted.load(std::memory_order_relaxed);
+    return counts;
+  }
+  void ResetOpCounts() {
+    op_cells_.encrypts.store(0, std::memory_order_relaxed);
+    op_cells_.decrypts.store(0, std::memory_order_relaxed);
+    op_cells_.hom_adds.store(0, std::memory_order_relaxed);
+    op_cells_.scalar_muls.store(0, std::memory_order_relaxed);
+    op_cells_.values_encrypted.store(0, std::memory_order_relaxed);
+    op_cells_.values_decrypted.store(0, std::memory_order_relaxed);
+  }
 
   // obs::MetricsSource: HeOpCounts exposed through the unified registry.
   void CollectMetrics(std::vector<obs::MetricValue>& out) const override;
@@ -229,7 +253,16 @@ class HeService : public obs::MetricsSource {
   BigInt n_squared_;
   Rng rng_;
 
-  HeOpCounts op_counts_;
+  // Live op counters (see op_counts() for the threading contract).
+  struct OpCells {
+    std::atomic<uint64_t> encrypts{0};
+    std::atomic<uint64_t> decrypts{0};
+    std::atomic<uint64_t> hom_adds{0};
+    std::atomic<uint64_t> scalar_muls{0};
+    std::atomic<uint64_t> values_encrypted{0};
+    std::atomic<uint64_t> values_decrypted{0};
+  };
+  OpCells op_cells_;
 
   // Registers the op counts with the global MetricsRegistry for the
   // service's lifetime (declared last: registration after the counts exist).

@@ -7,7 +7,10 @@
 #include "src/fl/hetero_lr.h"
 #include "src/fl/homo_lr.h"
 #include "src/fl/partition.h"
+#include "src/obs/host_profiler.h"
 #include "src/obs/metrics.h"
+#include "src/obs/obs_server.h"
+#include "src/obs/run_status.h"
 #include "src/obs/trace.h"
 
 namespace flb::core {
@@ -33,6 +36,12 @@ Result<RunReport> Platform::Run(const PlatformConfig& config) {
     return Status::InvalidArgument("Platform: num_parties must be >= 1");
   }
   const EngineTraits traits = TraitsFor(config.engine);
+
+  // Live inspection plane: env-gated HTTP server (or forced by obs_port)
+  // plus the wall profiler. Both are pure observers — same-seed runs are
+  // bit-identical with them on or off.
+  obs::ObsServer::EnsureGlobalFromEnv(config.obs_port);
+  obs::HostProfiler::EnableFromEnv();
 
   // One coherent timeline per run: grid drivers call Run many times, each
   // with a fresh SimClock starting at 0, so stale events from earlier runs
@@ -77,6 +86,14 @@ Result<RunReport> Platform::Run(const PlatformConfig& config) {
   const obs::Track run_track = recorder.RegisterTrack("platform", "run");
   const double setup_start = clock->Now();
 
+  obs::RunInfo run_info;
+  run_info.engine = EngineName(config.engine);
+  run_info.model = ModelName(config.model);
+  run_info.key_bits = config.key_bits;
+  run_info.parties = parties;
+  run_info.seed = config.seed;
+  obs::RunStatus::Global().BeginRun(run_info);
+
   HeServiceOptions he_opts;
   he_opts.engine = config.engine;
   he_opts.key_bits = config.key_bits;
@@ -110,6 +127,7 @@ Result<RunReport> Platform::Run(const PlatformConfig& config) {
                    obs::Arg("parties", parties)});
   }
   const double train_start = clock->Now();
+  obs::RunStatus::Global().SetPhase("train");
 
   RunReport report;
   switch (config.model) {
@@ -179,6 +197,25 @@ Result<RunReport> Platform::Run(const PlatformConfig& config) {
   report.robustness = report.train.robustness;
   if (injector != nullptr) report.fault_stats = injector->stats();
   if (reliable != nullptr) report.channel_stats = reliable->stats();
+
+  {
+    // Final /status snapshot, pushed by value on the run thread (the HE op
+    // struct is only safe to read here; see run_status.h).
+    obs::RunTotals totals;
+    totals.total_seconds = report.total_seconds;
+    totals.he_seconds = report.he_seconds;
+    totals.comm_seconds = report.comm_seconds;
+    totals.comm_bytes = report.comm_bytes;
+    totals.comm_messages = report.comm_messages;
+    obs::HeOpsStatus he_status;
+    he_status.encrypts = report.he_ops.encrypts;
+    he_status.decrypts = report.he_ops.decrypts;
+    he_status.hom_adds = report.he_ops.hom_adds;
+    he_status.scalar_muls = report.he_ops.scalar_muls;
+    he_status.values_encrypted = report.he_ops.values_encrypted;
+    he_status.values_decrypted = report.he_ops.values_decrypted;
+    obs::RunStatus::Global().EndRun(totals, he_status);
+  }
 
   // Per-run report gauges: the last completed run for each (engine, model,
   // key) cell of a grid driver stays visible in the metrics snapshot.

@@ -69,6 +69,10 @@ struct PlatformConfig {
   // ReliableChannel (framing + ack/retransmit).
   std::string fault_plan;
   net::ReliableOptions reliable;
+  // Live-inspection HTTP server (obs::ObsServer). 0 = start only when
+  // FLB_OBS_PORT is set in the environment; > 0 forces that port. The
+  // server starts once per process and never changes run results.
+  int obs_port = 0;
 };
 
 struct RunReport {

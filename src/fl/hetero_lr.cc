@@ -159,7 +159,7 @@ Result<TrainResult> HeteroLrTrainer::Train() {
     record.loss = GlobalLoss(&record.accuracy);
     const ClockSnapshot after = ClockSnapshot::Take(session_.clock, &net);
     FillEpochTiming(before, after, &record);
-    TraceEpoch("hetero_lr", record);
+    TraceEpoch("hetero_lr", record, session_, config_.max_epochs);
     result.epochs.push_back(record);
     if (std::fabs(prev_loss - record.loss) < config_.tolerance) {
       result.converged = true;

@@ -307,7 +307,7 @@ Result<TrainResult> HeteroNnTrainer::Train() {
     record.loss = EvaluateLoss(&record.accuracy);
     const ClockSnapshot after = ClockSnapshot::Take(session_.clock, &net);
     FillEpochTiming(before, after, &record);
-    TraceEpoch("hetero_nn", record);
+    TraceEpoch("hetero_nn", record, session_, config_.max_epochs);
     result.epochs.push_back(record);
     if (std::fabs(prev_loss - record.loss) < config_.tolerance) {
       result.converged = true;

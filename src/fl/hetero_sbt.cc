@@ -351,7 +351,7 @@ Result<TrainResult> HeteroSbtTrainer::Train() {
     }
     const ClockSnapshot after = ClockSnapshot::Take(session_.clock, &net);
     FillEpochTiming(before, after, &record);
-    TraceEpoch("hetero_sbt", record);
+    TraceEpoch("hetero_sbt", record, session_, config_.max_epochs);
     result.epochs.push_back(record);
     if (std::fabs(prev_loss - record.loss) < config_.tolerance) {
       result.converged = true;

@@ -223,7 +223,7 @@ Result<TrainResult> HomoLrTrainer::Train() {
     record.loss = GlobalLoss(&record.accuracy);
     const ClockSnapshot after = ClockSnapshot::Take(clock, &net);
     FillEpochTiming(before, after, &record);
-    TraceEpoch("homo_lr", record);
+    TraceEpoch("homo_lr", record, session_, config_.max_epochs);
     result.epochs.push_back(record);
     robust.Checkpoint(epoch, weights_);
 

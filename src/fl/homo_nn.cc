@@ -291,7 +291,7 @@ Result<TrainResult> HomoNnTrainer::Train() {
     record.accuracy = acc / total;
     const ClockSnapshot after = ClockSnapshot::Take(clock, &net);
     FillEpochTiming(before, after, &record);
-    TraceEpoch("homo_nn", record);
+    TraceEpoch("homo_nn", record, session_, config_.max_epochs);
     result.epochs.push_back(record);
     robust.Checkpoint(epoch, params_vec_);
     if (std::fabs(prev_loss - record.loss) < config_.tolerance) {

@@ -9,9 +9,13 @@
 #include <string>
 
 #include "src/common/sim_clock.h"
+#include "src/core/he_service.h"
 #include "src/fl/fl_types.h"
+#include "src/net/fault.h"
 #include "src/net/network.h"
+#include "src/net/reliable_channel.h"
 #include "src/obs/metrics.h"
+#include "src/obs/run_status.h"
 #include "src/obs/trace.h"
 
 namespace flb::fl {
@@ -53,13 +57,60 @@ inline void FillEpochTiming(const ClockSnapshot& before,
 }
 
 // Records the finished epoch on the trainer's trace track (span args carry
-// the Table VI component breakdown) and in the metrics registry. Call right
-// after FillEpochTiming.
-inline void TraceEpoch(const char* trainer, const EpochRecord& record) {
+// the Table VI component breakdown), in the metrics registry, and in the
+// live RunStatus served by /status. Call right after FillEpochTiming.
+//
+// The status snapshot is taken here — on the trainer thread — because
+// HeService's op counters are plain fields only this thread may read;
+// RunStatus gets values, never pointers, so a concurrent scrape can't race
+// the trainer (see run_status.h).
+inline void TraceEpoch(const char* trainer, const EpochRecord& record,
+                       const FlSession& session, int max_epochs) {
   auto& metrics = obs::MetricsRegistry::Global();
   const std::string labels = std::string("model=") + trainer;
   metrics.Count("flb.fl.epochs", 1, labels);
   metrics.Observe("flb.fl.epoch_seconds", record.epoch_seconds, labels);
+
+  obs::EpochStatus epoch_status;
+  epoch_status.epoch = record.epoch;
+  epoch_status.max_epochs = max_epochs;
+  epoch_status.loss = record.loss;
+  epoch_status.accuracy = record.accuracy;
+  epoch_status.sim_seconds = record.sim_seconds_cum;
+  epoch_status.comm_bytes = record.comm_bytes;
+  obs::HeOpsStatus he_status;
+  if (session.he != nullptr) {
+    const core::HeOpCounts ops = session.he->op_counts();
+    he_status.encrypts = ops.encrypts;
+    he_status.decrypts = ops.decrypts;
+    he_status.hom_adds = ops.hom_adds;
+    he_status.scalar_muls = ops.scalar_muls;
+    he_status.values_encrypted = ops.values_encrypted;
+    he_status.values_decrypted = ops.values_decrypted;
+  }
+  obs::RunStatus::Global().UpdateEpoch(epoch_status, he_status);
+
+  if (session.faults != nullptr) {
+    const net::FaultStats fs = session.faults->stats();
+    obs::FaultStatus fault_status;
+    fault_status.injected = fs.TotalInjected();
+    fault_status.drops = fs.drops + fs.partition_drops + fs.crash_drops;
+    fault_status.duplicates = fs.duplicates;
+    fault_status.reorders = fs.reorders;
+    fault_status.corruptions = fs.corruptions;
+    fault_status.delays = fs.delays;
+    obs::ChannelStatus channel_status;
+    if (session.network != nullptr &&
+        session.network->reliable_channel() != nullptr) {
+      const net::ChannelStats cs =
+          session.network->reliable_channel()->stats();
+      channel_status.retransmits = cs.retransmits;
+      channel_status.timeouts = cs.timeouts;
+      channel_status.crc_failures = cs.crc_failures;
+    }
+    obs::RunStatus::Global().UpdateFaults(fault_status, channel_status);
+  }
+
   auto& rec = obs::TraceRecorder::Global();
   if (!rec.enabled()) return;
   rec.Span(rec.RegisterTrack("trainer", trainer),

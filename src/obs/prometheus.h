@@ -1,0 +1,58 @@
+// Prometheus text-exposition encoder for MetricsRegistry snapshots.
+//
+// The registry's native naming ("flb.net.reliable.retransmits", canonical
+// "k=v,k=v" label strings, sparse per-bucket histogram counts) is not valid
+// Prometheus: metric names may not contain dots, label values need quoting
+// and escaping, and histogram buckets must be *cumulative* with an explicit
+// "+Inf" bucket plus `_sum` / `_count` series. This encoder owns all of
+// those conversions so the /metrics scrape endpoint emits promtool-shaped
+// text (exposition format 0.0.4) while the JSON exporters keep the native
+// schema untouched.
+
+#ifndef FLB_OBS_PROMETHEUS_H_
+#define FLB_OBS_PROMETHEUS_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/obs/metrics.h"
+
+namespace flb::obs {
+
+// "flb.net.reliable.x" -> "flb_net_reliable_x": every character outside
+// [a-zA-Z0-9_:] becomes '_'; a leading digit gets a '_' prefix; empty
+// input becomes "_".
+std::string PrometheusName(const std::string& name);
+
+// Label *names* follow the metric-name rules minus ':'.
+std::string PrometheusLabelName(const std::string& name);
+
+// Escapes a label value for inclusion between double quotes: backslash,
+// double quote, and newline get backslash-escaped.
+std::string PrometheusLabelValue(const std::string& value);
+
+// Splits the registry's canonical "k=v,k=v" label string into pairs (a
+// segment without '=' becomes {"label", segment}).
+std::vector<std::pair<std::string, std::string>> ParseLabels(
+    const std::string& labels);
+
+// Renders "{k=\"v\",...}" from a canonical label string, appending
+// `extra_label`/`extra_value` (used for histogram "le") when non-empty.
+// Returns "" when there is nothing to render.
+std::string PrometheusLabelSet(const std::string& labels,
+                               const std::string& extra_label = "",
+                               const std::string& extra_value = "");
+
+// Formats a sample value (%.17g keeps uint64 counters < 2^53 exact).
+std::string PrometheusValue(double value);
+
+// Renders a whole snapshot (as returned by MetricsRegistry::Collect) as
+// Prometheus text exposition: one `# TYPE` line per metric name, then the
+// samples. Histograms expand to cumulative `_bucket{le=...}` series ending
+// in `+Inf`, plus `_sum` and `_count`.
+std::string RenderPrometheus(const std::vector<MetricValue>& metrics);
+
+}  // namespace flb::obs
+
+#endif  // FLB_OBS_PROMETHEUS_H_

@@ -1,0 +1,181 @@
+#include "src/obs/run_status.h"
+
+#include <cstring>
+#include <utility>
+
+#include "src/obs/json_util.h"
+#include "src/obs/trace.h"
+
+namespace flb::obs {
+
+RunStatus& RunStatus::Global() {
+  static RunStatus status;
+  return status;
+}
+
+void RunStatus::BeginRun(const RunInfo& info) {
+  {
+    common::MutexLock lock(mu_);
+    run_ = info;
+    epoch_ = EpochStatus{};
+    he_ = HeOpsStatus{};
+    faults_ = FaultStatus{};
+    channel_ = ChannelStatus{};
+    totals_ = RunTotals{};
+    phase_ = "setup";
+  }
+  generation_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void RunStatus::SetPhase(const std::string& phase) {
+  {
+    common::MutexLock lock(mu_);
+    phase_ = phase;
+  }
+  generation_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void RunStatus::SetBench(const std::string& bench) {
+  {
+    common::MutexLock lock(mu_);
+    bench_ = bench;
+  }
+  generation_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void RunStatus::SetSection(const std::string& section) {
+  {
+    common::MutexLock lock(mu_);
+    section_ = section;
+  }
+  generation_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void RunStatus::UpdateEpoch(const EpochStatus& epoch, const HeOpsStatus& he) {
+  {
+    common::MutexLock lock(mu_);
+    epoch_ = epoch;
+    he_ = he;
+    phase_ = "train";
+  }
+  generation_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void RunStatus::UpdateFaults(const FaultStatus& faults,
+                             const ChannelStatus& channel) {
+  {
+    common::MutexLock lock(mu_);
+    faults_ = faults;
+    channel_ = channel;
+  }
+  generation_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void RunStatus::EndRun(const RunTotals& totals, const HeOpsStatus& he) {
+  {
+    common::MutexLock lock(mu_);
+    totals_ = totals;
+    he_ = he;
+    phase_ = "done";
+  }
+  generation_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void RunStatus::Reset() {
+  {
+    common::MutexLock lock(mu_);
+    phase_ = "idle";
+    bench_.clear();
+    section_.clear();
+    run_ = RunInfo{};
+    epoch_ = EpochStatus{};
+    he_ = HeOpsStatus{};
+    faults_ = FaultStatus{};
+    channel_ = ChannelStatus{};
+    totals_ = RunTotals{};
+  }
+  scrapes_metrics_.store(0, std::memory_order_relaxed);
+  scrapes_status_.store(0, std::memory_order_relaxed);
+  scrapes_trace_.store(0, std::memory_order_relaxed);
+  scrapes_healthz_.store(0, std::memory_order_relaxed);
+  scrapes_other_.store(0, std::memory_order_relaxed);
+  generation_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void RunStatus::NoteScrape(const char* endpoint) {
+  if (std::strcmp(endpoint, "metrics") == 0) {
+    scrapes_metrics_.fetch_add(1, std::memory_order_relaxed);
+  } else if (std::strcmp(endpoint, "status") == 0) {
+    scrapes_status_.fetch_add(1, std::memory_order_relaxed);
+  } else if (std::strcmp(endpoint, "trace") == 0) {
+    scrapes_trace_.fetch_add(1, std::memory_order_relaxed);
+  } else if (std::strcmp(endpoint, "healthz") == 0) {
+    scrapes_healthz_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    scrapes_other_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+std::string RunStatus::phase() const {
+  common::MutexLock lock(mu_);
+  return phase_;
+}
+
+std::string RunStatus::ToJson() const {
+  // Leaf-lock discipline: read the other singleton before taking mu_.
+  const uint64_t dropped = TraceRecorder::Global().dropped_events();
+  const uint64_t generation = generation_.load(std::memory_order_relaxed);
+  const uint64_t s_metrics = scrapes_metrics_.load(std::memory_order_relaxed);
+  const uint64_t s_status = scrapes_status_.load(std::memory_order_relaxed);
+  const uint64_t s_trace = scrapes_trace_.load(std::memory_order_relaxed);
+  const uint64_t s_healthz = scrapes_healthz_.load(std::memory_order_relaxed);
+  const uint64_t s_other = scrapes_other_.load(std::memory_order_relaxed);
+
+  common::MutexLock lock(mu_);
+  std::string out = "{";
+  out += "\"phase\":" + JsonQuote(phase_);
+  out += ",\"bench\":" + JsonQuote(bench_);
+  out += ",\"section\":" + JsonQuote(section_);
+  out += ",\"generation\":" + JsonNumber(generation);
+  out += ",\"run\":{\"engine\":" + JsonQuote(run_.engine) +
+         ",\"model\":" + JsonQuote(run_.model) +
+         ",\"key_bits\":" + JsonNumber(run_.key_bits) +
+         ",\"parties\":" + JsonNumber(run_.parties) +
+         ",\"seed\":" + JsonNumber(run_.seed) + "}";
+  out += ",\"epoch\":{\"epoch\":" + JsonNumber(epoch_.epoch) +
+         ",\"max_epochs\":" + JsonNumber(epoch_.max_epochs) +
+         ",\"loss\":" + JsonNumber(epoch_.loss) +
+         ",\"accuracy\":" + JsonNumber(epoch_.accuracy) +
+         ",\"sim_seconds\":" + JsonNumber(epoch_.sim_seconds) +
+         ",\"comm_bytes\":" + JsonNumber(epoch_.comm_bytes) + "}";
+  out += ",\"he\":{\"encrypts\":" + JsonNumber(he_.encrypts) +
+         ",\"decrypts\":" + JsonNumber(he_.decrypts) +
+         ",\"hom_adds\":" + JsonNumber(he_.hom_adds) +
+         ",\"scalar_muls\":" + JsonNumber(he_.scalar_muls) +
+         ",\"values_encrypted\":" + JsonNumber(he_.values_encrypted) +
+         ",\"values_decrypted\":" + JsonNumber(he_.values_decrypted) + "}";
+  out += ",\"totals\":{\"total_seconds\":" + JsonNumber(totals_.total_seconds) +
+         ",\"he_seconds\":" + JsonNumber(totals_.he_seconds) +
+         ",\"comm_seconds\":" + JsonNumber(totals_.comm_seconds) +
+         ",\"comm_bytes\":" + JsonNumber(totals_.comm_bytes) +
+         ",\"comm_messages\":" + JsonNumber(totals_.comm_messages) + "}";
+  out += ",\"faults\":{\"injected\":" + JsonNumber(faults_.injected) +
+         ",\"drops\":" + JsonNumber(faults_.drops) +
+         ",\"duplicates\":" + JsonNumber(faults_.duplicates) +
+         ",\"reorders\":" + JsonNumber(faults_.reorders) +
+         ",\"corruptions\":" + JsonNumber(faults_.corruptions) +
+         ",\"delays\":" + JsonNumber(faults_.delays) + "}";
+  out += ",\"channel\":{\"retransmits\":" + JsonNumber(channel_.retransmits) +
+         ",\"timeouts\":" + JsonNumber(channel_.timeouts) +
+         ",\"crc_failures\":" + JsonNumber(channel_.crc_failures) + "}";
+  out += ",\"trace\":{\"dropped_events\":" + JsonNumber(dropped) + "}";
+  out += ",\"server\":{\"requests\":{\"metrics\":" + JsonNumber(s_metrics) +
+         ",\"status\":" + JsonNumber(s_status) +
+         ",\"trace\":" + JsonNumber(s_trace) +
+         ",\"healthz\":" + JsonNumber(s_healthz) +
+         ",\"other\":" + JsonNumber(s_other) + "}}";
+  out += "}";
+  return out;
+}
+
+}  // namespace flb::obs

@@ -76,12 +76,27 @@ std::string TraceRecorder::UniqueProcessName(const std::string& base) {
 
 void TraceRecorder::Push(TraceEvent event) {
   if (!enabled()) return;
-  common::MutexLock lock(mu_);
-  if (events_.size() >= max_events_) {
-    ++dropped_;
-    return;
+  bool warn_first_drop = false;
+  size_t cap = 0;
+  {
+    common::MutexLock lock(mu_);
+    if (events_.size() >= max_events_) {
+      ++dropped_;
+      warn_first_drop = !drop_warned_;
+      drop_warned_ = true;
+      cap = max_events_;
+    } else {
+      events_.push_back(std::move(event));
+    }
   }
-  events_.push_back(std::move(event));
+  // Warn exactly once per process, outside the leaf lock (fprintf may
+  // block; callers record from inside their own critical sections).
+  if (warn_first_drop) {
+    std::fprintf(stderr,
+                 "[obs] trace event cap (%zu) hit; further events dropped "
+                 "(count exported as flb.obs.trace.dropped_events)\n",
+                 cap);
+  }
 }
 
 void TraceRecorder::Span(Track track, std::string name, std::string category,
@@ -250,10 +265,17 @@ void ChargeSpan(SimClock* clock, CostKind kind, double seconds, Track track,
   }
 }
 
+void PublishDropMetrics() {
+  MetricsRegistry::Global().Set(
+      "flb.obs.trace.dropped_events",
+      static_cast<double>(TraceRecorder::Global().dropped_events()));
+}
+
 void ExportEnvConfigured() {
   static bool done = false;
   if (done) return;
   done = true;
+  PublishDropMetrics();
   if (const char* path = std::getenv("FLB_TRACE_OUT")) {
     const Status s = TraceRecorder::Global().WriteJson(path);
     if (!s.ok()) {

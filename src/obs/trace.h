@@ -145,6 +145,7 @@ class TraceRecorder {
   mutable common::Mutex mu_;
   size_t max_events_ FLB_GUARDED_BY(mu_) = 1000000;
   uint64_t dropped_ FLB_GUARDED_BY(mu_) = 0;
+  bool drop_warned_ FLB_GUARDED_BY(mu_) = false;
   std::vector<TraceEvent> events_ FLB_GUARDED_BY(mu_);
   // (process, thread) name -> track; process name -> pid.
   std::map<std::pair<std::string, std::string>, Track> tracks_
@@ -196,6 +197,13 @@ void ChargeSpan(SimClock* clock, CostKind kind, double seconds, Track track,
 // The Global() singletons register this atexit, so every binary (benches,
 // examples, the CLI) honors the env vars without wiring an exporter.
 void ExportEnvConfigured();
+
+// Publishes the global recorder's drop counter as the
+// `flb.obs.trace.dropped_events` gauge in the global registry, so metrics
+// consumers (the /metrics scrape, FLB_METRICS_OUT) see event-cap losses
+// without parsing the trace. Called by ExportEnvConfigured and by the
+// ObsServer /metrics handler just before each snapshot.
+void PublishDropMetrics();
 
 #define FLB_OBS_CONCAT_INNER(a, b) a##b
 #define FLB_OBS_CONCAT(a, b) FLB_OBS_CONCAT_INNER(a, b)

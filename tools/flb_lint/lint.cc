@@ -632,6 +632,10 @@ std::vector<AllowEntry> DefaultAllowlist() {
       // deterministic streams from it.
       {kEntropy, "src/common/rng.h"},
       {kEntropy, "src/common/rng.cc"},
+      // The host profiler IS the sanctioned wall plane: it timestamps real
+      // worker scheduling for the second (wall) trace clock domain and the
+      // flb.host.* metrics. Nothing it reads feeds charged accounting.
+      {kWallClock, "src/obs/host_profiler.cc"},
   };
 }
 
