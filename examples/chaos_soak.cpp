@@ -1,0 +1,158 @@
+// chaos_soak: one fault-injected training run, reported as a single JSON
+// line for scripts/chaos_soak.sh to assert on.
+//
+//   $ ./example_chaos_soak --model=hetero_lr --seed=5
+//         --plan='seed=7;drop=0.1;crash=host1@0.2-0.8'
+//
+// The contract under test is the resilience layer's: every run must end
+// within the simulated run deadline either converged/complete ("ok") or
+// with a typed error ("unavailable" / "deadline_exceeded") — anything else
+// (a hang is caught by the caller's `timeout`; an untyped error here) is a
+// bug. The JSON line carries a fingerprint over the training trajectory so
+// the soak script can assert same-seed bit-identity across reruns, plus
+// the resilience counters and the number of flb.resilience.* metrics the
+// run emitted.
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "src/core/platform.h"
+#include "src/obs/metrics.h"
+
+namespace {
+
+using flb::core::FlModelKind;
+
+bool ParseFlag(const char* arg, const char* name, std::string* out) {
+  const std::string prefix = std::string("--") + name + "=";
+  if (std::strncmp(arg, prefix.c_str(), prefix.size()) == 0) {
+    *out = arg + prefix.size();
+    return true;
+  }
+  return false;
+}
+
+// FNV-1a over the raw bits of the doubles that define the run outcome:
+// identical trajectories hash identically, any drift shows.
+uint64_t Mix(uint64_t h, double v) {
+  uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  for (int i = 0; i < 8; ++i) {
+    h ^= (bits >> (8 * i)) & 0xff;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string model = "homo_lr";
+  std::string plan;
+  std::string seed = "1";
+  std::string epochs = "2";
+  std::string deadline = "600";
+  for (int i = 1; i < argc; ++i) {
+    if (ParseFlag(argv[i], "model", &model) ||
+        ParseFlag(argv[i], "plan", &plan) ||
+        ParseFlag(argv[i], "seed", &seed) ||
+        ParseFlag(argv[i], "epochs", &epochs) ||
+        ParseFlag(argv[i], "deadline", &deadline)) {
+      continue;
+    }
+    std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+    return 2;
+  }
+
+  flb::core::PlatformConfig cfg;
+  cfg.engine = flb::core::EngineKind::kFlBooster;
+  if (model == "homo_lr") {
+    cfg.model = FlModelKind::kHomoLr;
+  } else if (model == "homo_nn") {
+    cfg.model = FlModelKind::kHomoNn;
+  } else if (model == "hetero_lr") {
+    cfg.model = FlModelKind::kHeteroLr;
+  } else if (model == "hetero_sbt") {
+    cfg.model = FlModelKind::kHeteroSbt;
+  } else if (model == "hetero_nn") {
+    cfg.model = FlModelKind::kHeteroNn;
+  } else {
+    std::fprintf(stderr, "unknown model: %s\n", model.c_str());
+    return 2;
+  }
+  cfg.dataset = flb::fl::DatasetSpec{flb::fl::DatasetKind::kSynthetic, 192,
+                                     12, 12, 5};
+  cfg.num_parties = 3;
+  cfg.key_bits = 256;
+  cfg.r_bits = 14;
+  cfg.modeled = true;
+  cfg.train.max_epochs = std::atoi(epochs.c_str());
+  cfg.train.batch_size = 32;
+  cfg.train.tolerance = 1e-9;
+  cfg.train.straggler_deadline_factor = 2.0;
+  cfg.seed = static_cast<uint64_t>(std::atoll(seed.c_str()));
+  cfg.fault_plan = plan;
+  cfg.run_deadline_sec = std::atof(deadline.c_str());
+  // Short per-message budgets: a dead peer should cost retries, not the
+  // whole deadline.
+  cfg.reliable.deadline_sec = 0.05;
+  cfg.reliable.max_attempts = 3;
+
+  const auto report = flb::core::Platform::Run(cfg);
+
+  const char* outcome;
+  uint64_t fingerprint = 1469598103934665603ULL;
+  size_t epochs_done = 0;
+  double total_seconds = 0;
+  flb::fl::RobustnessCounters counters;
+  flb::net::BreakerStats breaker;
+  uint64_t retransmits = 0;
+  if (report.ok()) {
+    outcome = "ok";
+    epochs_done = report->train.epochs.size();
+    total_seconds = report->total_seconds;
+    counters = report->robustness;
+    breaker = report->breaker_stats;
+    retransmits = report->channel_stats.retransmits;
+    for (const auto& e : report->train.epochs) {
+      fingerprint = Mix(fingerprint, e.loss);
+      fingerprint = Mix(fingerprint, e.sim_seconds_cum);
+    }
+    fingerprint = Mix(fingerprint, report->train.final_loss);
+    fingerprint = Mix(fingerprint, report->train.final_accuracy);
+    fingerprint = Mix(fingerprint, report->total_seconds);
+  } else if (report.status().IsDeadlineExceeded()) {
+    outcome = "deadline_exceeded";
+  } else if (report.status().IsUnavailable()) {
+    outcome = "unavailable";
+  } else {
+    // Untyped failure: the resilience contract is broken.
+    std::fprintf(stderr, "untyped failure: %s\n",
+                 report.status().ToString().c_str());
+    outcome = "error";
+  }
+
+  size_t resilience_metrics = 0;
+  for (const auto& m : flb::obs::MetricsRegistry::Global().Collect()) {
+    if (m.name.rfind("flb.resilience.", 0) == 0) ++resilience_metrics;
+  }
+
+  std::printf(
+      "{\"model\":\"%s\",\"seed\":%s,\"outcome\":\"%s\","
+      "\"epochs\":%zu,\"total_seconds\":%.17g,"
+      "\"fingerprint\":\"%016" PRIx64 "\","
+      "\"transport_dropouts\":%" PRIu64 ",\"partial_rounds\":%" PRIu64
+      ",\"skipped_rounds\":%" PRIu64 ",\"resumes\":%" PRIu64
+      ",\"quarantines\":%" PRIu64 ",\"readmits\":%" PRIu64
+      ",\"deadline_exceeded\":%" PRIu64 ",\"breaker_trips\":%" PRIu64
+      ",\"breaker_fast_fails\":%" PRIu64 ",\"retransmits\":%" PRIu64
+      ",\"resilience_metrics\":%zu}\n",
+      model.c_str(), seed.c_str(), outcome, epochs_done, total_seconds,
+      fingerprint, counters.transport_dropouts, counters.partial_rounds,
+      counters.skipped_rounds, counters.resumes, counters.quarantines,
+      counters.readmits, counters.deadline_exceeded, breaker.trips,
+      breaker.fast_fails, retransmits, resilience_metrics);
+  return std::strcmp(outcome, "error") == 0 ? 1 : 0;
+}

@@ -2,7 +2,8 @@
 # Schema-checks the observability artifacts a run leaves behind:
 #   *.trace.json    — Chrome trace-event JSON (traceEvents with ph/pid/tid/ts)
 #   *.metrics.json  — MetricsRegistry snapshots (metrics with name/type/value)
-#   *.status.json   — ObsServer /status snapshots (phase/run/epoch/he/server)
+#   *.status.json   — ObsServer /status snapshots (phase/run/epoch/he/
+#                     resilience/server)
 #   BENCH_*.json    — bench result records (bench/section/metric/value/unit)
 # Usage: ./scripts/validate_obs_json.sh [results-dir]
 set -euo pipefail
@@ -83,6 +84,14 @@ for f in "$DIR"/*.status.json; do
       (.faults.injected | type == "number") and
       (.channel.retransmits | type == "number") and
       (.trace.dropped_events | type == "number") and
+      (.resilience.quarantined | type == "number") and
+      (.resilience.quarantines | type == "number") and
+      (.resilience.readmits | type == "number") and
+      (.resilience.deadline_exceeded | type == "number") and
+      (.resilience.breaker_open | type == "number") and
+      (.resilience.breaker_half_open | type == "number") and
+      (.resilience.breaker_trips | type == "number") and
+      (.resilience.breaker_fast_fails | type == "number") and
       (.server.requests.metrics | type == "number") and
       (.server.requests.status | type == "number") and
       (.server.requests.trace | type == "number") and

@@ -1,0 +1,73 @@
+// Deadline: a simulated-time budget threaded through the platform.
+//
+// Every blocking wait and retry loop in FLBooster is charged to the
+// SimClock, so "how long is this run allowed to take" is a simulated-time
+// question. A Deadline pins an absolute expiry on a SimClock; components
+// that can stall (Network sends, ReliableChannel retry loops, HeService
+// batch calls, trainer round loops) consult it and surface a typed
+// kDeadlineExceeded instead of spinning when the budget is gone.
+//
+// A default-constructed Deadline is infinite and every check is a cheap
+// no-op, so the healthy path (no deadline configured) keeps byte-for-byte
+// the legacy accounting. Deadline is a value type over a non-owned clock:
+// Platform::Run owns one per run and hands out const pointers.
+
+#ifndef FLB_COMMON_DEADLINE_H_
+#define FLB_COMMON_DEADLINE_H_
+
+#include <limits>
+#include <string>
+
+#include "src/common/result.h"
+#include "src/common/sim_clock.h"
+
+namespace flb::common {
+
+class Deadline {
+ public:
+  // Infinite: never expires, remaining() is +inf.
+  Deadline() = default;
+
+  // Expires `budget_sec` of simulated time after the clock's current
+  // position. A null clock or non-positive budget yields an infinite
+  // deadline (0 = "unbounded" in every config knob).
+  static Deadline After(const SimClock* clock, double budget_sec) {
+    Deadline d;
+    if (clock != nullptr && budget_sec > 0) {
+      d.clock_ = clock;
+      d.expires_at_sec_ = clock->Now() + budget_sec;
+    }
+    return d;
+  }
+
+  bool infinite() const { return clock_ == nullptr; }
+
+  // Absolute simulated-time expiry (+inf when infinite).
+  double expires_at() const { return expires_at_sec_; }
+
+  // Simulated seconds left; +inf when infinite, clamped at 0 once past.
+  double remaining() const {
+    if (infinite()) return std::numeric_limits<double>::infinity();
+    const double left = expires_at_sec_ - clock_->Now();
+    return left > 0 ? left : 0.0;
+  }
+
+  bool expired() const { return !infinite() && remaining() <= 0; }
+
+  // OK while the budget lasts; typed kDeadlineExceeded once it is spent.
+  // `what` names the checkpoint for the error message.
+  Status Check(const char* what) const {
+    if (!expired()) return Status::OK();
+    return Status::DeadlineExceeded(std::string(what) +
+                                    ": run deadline exceeded at sim t=" +
+                                    std::to_string(clock_->Now()) + "s");
+  }
+
+ private:
+  const SimClock* clock_ = nullptr;
+  double expires_at_sec_ = std::numeric_limits<double>::infinity();
+};
+
+}  // namespace flb::common
+
+#endif  // FLB_COMMON_DEADLINE_H_

@@ -197,6 +197,7 @@ void HeService::ChargeCpu(const char* kind, uint64_t count,
 // ---------------------------------------------------------------------------
 
 Result<EncVec> HeService::EncryptValues(const std::vector<double>& values) {
+  FLB_RETURN_IF_ERROR(CheckDeadline("HeService::EncryptValues"));
   if (values.empty()) {
     return Status::InvalidArgument("EncryptValues: empty input");
   }
@@ -320,6 +321,7 @@ Result<EncVec> HeService::AddPlainValues(const EncVec& c,
 }
 
 Result<std::vector<double>> HeService::DecryptValues(const EncVec& c) {
+  FLB_RETURN_IF_ERROR(CheckDeadline("HeService::DecryptValues"));
   FLB_RETURN_IF_ERROR(CheckLayout(c, EncLayout::kPackedSum, "DecryptValues"));
   std::vector<BigInt> plains;
   const int64_t n_cipher = static_cast<int64_t>(c.data.size());
@@ -359,6 +361,7 @@ Result<std::vector<double>> HeService::DecryptValues(const EncVec& c) {
 // ---------------------------------------------------------------------------
 
 Result<EncVec> HeService::EncryptFixedPoint(const std::vector<double>& values) {
+  FLB_RETURN_IF_ERROR(CheckDeadline("HeService::EncryptFixedPoint"));
   if (values.empty()) {
     return Status::InvalidArgument("EncryptFixedPoint: empty input");
   }
@@ -461,6 +464,7 @@ Result<EncVec> HeService::ScalarMulFixedPoint(
 
 Result<EncVec> HeService::WeightedSums(
     const EncVec& c, const std::vector<std::vector<WeightedTerm>>& groups) {
+  FLB_RETURN_IF_ERROR(CheckDeadline("HeService::WeightedSums"));
   FLB_RETURN_IF_ERROR(CheckLayout(c, EncLayout::kFixedPoint, "WeightedSums"));
   if (c.slots_per_cipher != 1) {
     return Status::InvalidArgument("WeightedSums: input must be unpacked");
@@ -527,6 +531,7 @@ Result<EncVec> HeService::WeightedSums(
 
 Result<EncVec> HeService::SelectiveSums(
     const EncVec& c, const std::vector<std::vector<uint32_t>>& groups) {
+  FLB_RETURN_IF_ERROR(CheckDeadline("HeService::SelectiveSums"));
   // Selective sums are pure additions (no scalar multiplications), so they
   // do not route through WeightedSums.
   FLB_RETURN_IF_ERROR(CheckLayout(c, EncLayout::kFixedPoint, "SelectiveSums"));
@@ -576,6 +581,7 @@ Result<EncVec> HeService::SelectiveSums(
 }
 
 Result<std::vector<double>> HeService::DecryptFixedPoint(const EncVec& c) {
+  FLB_RETURN_IF_ERROR(CheckDeadline("HeService::DecryptFixedPoint"));
   FLB_RETURN_IF_ERROR(
       CheckLayout(c, EncLayout::kFixedPoint, "DecryptFixedPoint"));
   std::vector<BigInt> plains;

@@ -39,6 +39,7 @@
 #include "src/codec/batch_compressor.h"
 #include "src/codec/fixed_point.h"
 #include "src/codec/quantizer.h"
+#include "src/common/deadline.h"
 #include "src/common/result.h"
 #include "src/common/rng.h"
 #include "src/common/sim_clock.h"
@@ -121,6 +122,14 @@ class HeService : public obs::MetricsSource {
   static Result<std::unique_ptr<HeService>> Create(
       const HeServiceOptions& options, SimClock* clock,
       std::shared_ptr<gpusim::Device> device);
+
+  // Optional run-wide deadline: when set and expired, the batch entry
+  // points below return typed kDeadlineExceeded before doing any work, so
+  // a budget-bounded run never starts another multi-second HE batch with
+  // the budget already spent. Inert when unset (the default).
+  void set_run_deadline(const common::Deadline* deadline) {
+    run_deadline_ = deadline;
+  }
 
   const HeServiceOptions& options() const { return options_; }
   EngineKind engine() const { return options_.engine; }
@@ -225,6 +234,9 @@ class HeService : public obs::MetricsSource {
   void ChargeCpu(const char* kind, uint64_t count, uint64_t limb_ops_per_elt);
   Status CheckLayout(const EncVec& v, EncLayout expected,
                      const char* op) const;
+  Status CheckDeadline(const char* op) const {
+    return run_deadline_ == nullptr ? Status::OK() : run_deadline_->Check(op);
+  }
   int fp_compress_slot_bits() const;
   // Exponent width of a fixed-point scalar multiplication. Weights are
   // O(1) after clipping, so |round(w * 2^f)| has ~frac_bits+10 bits;
@@ -235,6 +247,7 @@ class HeService : public obs::MetricsSource {
   HeServiceOptions options_;
   EngineTraits traits_;
   SimClock* clock_;
+  const common::Deadline* run_deadline_ = nullptr;
   std::shared_ptr<gpusim::Device> device_;
   // Private pool when options_.host_threads > 0; otherwise host_pool_ points
   // at the process-global pool. Declared before ghe_ so the engine (which

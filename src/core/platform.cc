@@ -67,15 +67,38 @@ Result<RunReport> Platform::Run(const PlatformConfig& config) {
     const char* env = std::getenv("FLB_FAULT_PLAN");
     if (env != nullptr) fault_spec = env;
   }
+  // The run-wide deadline. Lives on this frame; every component holds a
+  // plain pointer and treats the default-constructed (infinite) case as
+  // free — clean runs keep bit-identical accounting.
+  const common::Deadline run_deadline =
+      common::Deadline::After(clock.get(), config.run_deadline_sec);
+  if (!run_deadline.infinite()) network.set_deadline(&run_deadline);
+
   std::unique_ptr<net::FaultInjector> injector;
   std::unique_ptr<net::ReliableChannel> reliable;
+  std::unique_ptr<net::CircuitBreaker> breaker;
   if (!fault_spec.empty()) {
     FLB_ASSIGN_OR_RETURN(net::FaultPlan plan,
                          net::FaultPlan::Parse(fault_spec));
     injector = std::make_unique<net::FaultInjector>(std::move(plan),
                                                     clock.get());
+    // Retry options: config base, overridable via FLB_NET_RETRY.
+    FLB_ASSIGN_OR_RETURN(net::ReliableOptions reliable_opts,
+                         net::ReliableOptions::FromEnv(config.reliable));
+    // Same mixing as the breaker: RTO jitter is a pure function of
+    // (run seed, link, message, attempt).
+    reliable_opts.jitter_seed ^= config.seed;
     reliable = std::make_unique<net::ReliableChannel>(&network,
-                                                      config.reliable);
+                                                      reliable_opts);
+    net::BreakerOptions breaker_opts = config.breaker;
+    // Mix the run seed into the breaker's jitter stream so same-seed runs
+    // reproduce the same open windows (config.breaker.seed still offsets
+    // the stream when a caller wants a different one).
+    breaker_opts.seed ^= config.seed;
+    breaker = std::make_unique<net::CircuitBreaker>(breaker_opts,
+                                                    clock.get());
+    reliable->set_breaker(breaker.get());
+    if (!run_deadline.infinite()) reliable->set_run_deadline(&run_deadline);
     network.set_fault_injector(injector.get());
     network.set_reliable_channel(reliable.get());
   }
@@ -108,6 +131,7 @@ Result<RunReport> Platform::Run(const PlatformConfig& config) {
   he_opts.host_threads = config.host_threads;
   FLB_ASSIGN_OR_RETURN(auto he,
                        HeService::Create(he_opts, clock.get(), device));
+  if (!run_deadline.infinite()) he->set_run_deadline(&run_deadline);
 
   FLB_ASSIGN_OR_RETURN(fl::Dataset dataset,
                        fl::GenerateDataset(config.dataset));
@@ -117,6 +141,7 @@ Result<RunReport> Platform::Run(const PlatformConfig& config) {
   session.network = &network;
   session.clock = clock.get();
   session.faults = injector.get();
+  if (!run_deadline.infinite()) session.deadline = &run_deadline;
 
   if (recorder.enabled()) {
     recorder.Span(run_track, "platform.setup", "platform", setup_start,
@@ -197,6 +222,7 @@ Result<RunReport> Platform::Run(const PlatformConfig& config) {
   report.robustness = report.train.robustness;
   if (injector != nullptr) report.fault_stats = injector->stats();
   if (reliable != nullptr) report.channel_stats = reliable->stats();
+  if (breaker != nullptr) report.breaker_stats = breaker->stats();
 
   {
     // Final /status snapshot, pushed by value on the run thread (the HE op
@@ -249,6 +275,14 @@ Result<RunReport> Platform::Run(const PlatformConfig& config) {
                 run_labels);
     metrics.Set("flb.platform.resumes",
                 static_cast<double>(report.robustness.resumes), run_labels);
+    metrics.Set("flb.resilience.breaker.trip_total",
+                static_cast<double>(report.breaker_stats.trips), run_labels);
+    metrics.Set("flb.resilience.quarantine_total",
+                static_cast<double>(report.robustness.quarantines),
+                run_labels);
+    metrics.Set("flb.resilience.deadline_exceeded_total",
+                static_cast<double>(report.robustness.deadline_exceeded),
+                run_labels);
   }
   return report;
 }

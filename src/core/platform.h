@@ -10,6 +10,7 @@
 
 #include <string>
 
+#include "src/common/deadline.h"
 #include "src/common/result.h"
 #include "src/core/engine_config.h"
 #include "src/core/he_service.h"
@@ -18,6 +19,7 @@
 #include "src/fl/hetero_nn.h"
 #include "src/fl/hetero_sbt.h"
 #include "src/fl/homo_nn.h"
+#include "src/net/circuit_breaker.h"
 #include "src/net/fault.h"
 #include "src/net/network.h"
 #include "src/net/reliable_channel.h"
@@ -69,6 +71,14 @@ struct PlatformConfig {
   // ReliableChannel (framing + ack/retransmit).
   std::string fault_plan;
   net::ReliableOptions reliable;
+  // Per-link circuit breaker over the reliable channel (active only under
+  // a fault plan, like the channel itself).
+  net::BreakerOptions breaker;
+  // Run-wide simulated-seconds budget. 0 = unbounded. When set, a
+  // common::Deadline is threaded through the network, the HE service, and
+  // the trainers; expiry surfaces as typed kDeadlineExceeded instead of a
+  // run that drags on past the budget.
+  double run_deadline_sec = 0;
   // Live-inspection HTTP server (obs::ObsServer). 0 = start only when
   // FLB_OBS_PORT is set in the environment; > 0 forces that port. The
   // server starts once per process and never changes run results.
@@ -96,6 +106,7 @@ struct RunReport {
   fl::RobustnessCounters robustness;
   net::FaultStats fault_stats;
   net::ChannelStats channel_stats;
+  net::BreakerStats breaker_stats;
 
   double SecondsPerEpoch() const {
     return train.epochs.empty() ? 0.0

@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/common/deadline.h"
 #include "src/common/sim_clock.h"
 #include "src/core/he_service.h"
 #include "src/fl/optimizer.h"
@@ -35,6 +36,17 @@ struct TrainConfig {
   // stops waiting at the gate, so the straggler's excess compute beyond
   // factor x (healthy time) is not charged to the global timeline.
   double straggler_deadline_factor = 0;
+
+  // Party-health quarantine policy (fl::PartyHealth), active only under a
+  // fault plan AND when health_quarantine_sec > 0: a party whose failure
+  // EWMA crosses the threshold is skipped for a backed-off window of
+  // simulated seconds, then readmitted on probation. All knobs inert at
+  // the defaults (quarantine window 0 = policy off).
+  double health_ewma_alpha = 0.3;
+  double health_failure_threshold = 0.5;
+  double health_quarantine_sec = 0;
+  double health_quarantine_backoff = 2.0;
+  double health_max_quarantine_sec = 10.0;
 };
 
 // Dropout / degradation bookkeeping for a run under a fault plan (all zero
@@ -47,6 +59,10 @@ struct RobustnessCounters {
   uint64_t skipped_rounds = 0;      // rounds with zero contributions
   uint64_t checkpoints = 0;         // epoch-boundary model snapshots
   uint64_t resumes = 0;             // server crash-resume restorations
+  uint64_t quarantines = 0;         // PartyHealth quarantine events
+  uint64_t quarantine_skips = 0;    // rounds a quarantined party sat out
+  uint64_t readmits = 0;            // probation readmissions
+  uint64_t deadline_exceeded = 0;   // run-deadline budget expirations seen
 
   uint64_t TotalDropouts() const {
     return straggler_dropouts + crash_dropouts + transport_dropouts;
@@ -91,6 +107,11 @@ struct FlSession {
   // liveness and straggler factors (transport faults are injected inside
   // Network and handled by the ReliableChannel without trainer help).
   net::FaultInjector* faults = nullptr;
+  // Set when the platform bounds the run with a simulated-time budget:
+  // trainers check it at round boundaries (via RobustCoordinator) and
+  // return typed kDeadlineExceeded instead of starting work the budget
+  // cannot cover. Null = unbounded (the default).
+  const common::Deadline* deadline = nullptr;
 };
 
 }  // namespace flb::fl

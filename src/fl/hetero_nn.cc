@@ -7,6 +7,7 @@
 #include "src/common/check.h"
 #include "src/core/transport.h"
 #include "src/fl/metrics.h"
+#include "src/fl/robust.h"
 #include "src/fl/trainer_util.h"
 
 namespace flb::fl {
@@ -105,24 +106,32 @@ double HeteroNnTrainer::EvaluateLoss(double* accuracy) const {
   return MeanLogLoss(probs, partition_.labels);
 }
 
-Result<TrainResult> HeteroNnTrainer::Train() {
+std::vector<double> HeteroNnTrainer::SnapshotWeights() const {
+  std::vector<double> flat;
+  for (const auto* w : {&w_guest_bottom_, &w_host_bottom_, &w_ih_, &w_ig_,
+                        &b_i_, &w_top_}) {
+    flat.insert(flat.end(), w->begin(), w->end());
+  }
+  flat.push_back(b_top_);
+  return flat;
+}
+
+void HeteroNnTrainer::RestoreWeights(const std::vector<double>& flat) {
+  size_t offset = 0;
+  for (auto* w : {&w_guest_bottom_, &w_host_bottom_, &w_ih_, &w_ig_, &b_i_,
+                  &w_top_}) {
+    for (double& v : *w) v = offset < flat.size() ? flat[offset++] : 0.0;
+  }
+  b_top_ = offset < flat.size() ? flat[offset] : 0.0;
+}
+
+Status HeteroNnTrainer::TrainBatch(size_t begin, size_t end) {
   core::HeService& he = *session_.he;
   net::Network& net = *session_.network;
-  const size_t rows = partition_.shards[0].x.rows();
   const int k = params_.bottom_dim, k2 = params_.interactive_dim;
-  const size_t batches =
-      std::max<size_t>(1, (rows + config_.batch_size - 1) / config_.batch_size);
+  const size_t m = end - begin;
   const double lr = config_.learning_rate;
-
-  TrainResult result;
-  double prev_loss = std::numeric_limits<double>::infinity();
-  for (int epoch = 0; epoch < config_.max_epochs; ++epoch) {
-    const ClockSnapshot before = ClockSnapshot::Take(session_.clock, &net);
-    for (size_t b = 0; b < batches; ++b) {
-      const size_t begin = b * config_.batch_size;
-      const size_t end = std::min(rows, begin + config_.batch_size);
-      const size_t m = end - begin;
-
+  {
       // --- guest: ship the encrypted interactive weights ----------------------
       // (k2 x k per-value ciphertexts — small, and the host can scalar-
       // multiply them by its own plaintext activations.)
@@ -300,6 +309,62 @@ Result<TrainResult> HeteroNnTrainer::Train() {
         b_top_ -= scale * grad_b_top;
         ChargeModelCompute(session_.clock, flops + 4.0 * k2 * k);
       }
+  }
+  return Status::OK();
+}
+
+Result<TrainResult> HeteroNnTrainer::Train() {
+  net::Network& net = *session_.network;
+  const size_t rows = partition_.shards[0].x.rows();
+  const size_t batches =
+      std::max<size_t>(1, (rows + config_.batch_size - 1) / config_.batch_size);
+  RobustCoordinator robust(session_, config_, "hetero_nn");
+  // Every message in this protocol crosses a link between guest, host, and
+  // arbiter, and each round mutates weights mid-protocol; no party is
+  // droppable. Any recoverable transport failure therefore aborts the
+  // epoch and restores the last checkpoint (split-NN fast abort).
+  robust.set_critical_parties({kGuestName, HostName(1), kArbiterName});
+  robust.Checkpoint(-1, SnapshotWeights());
+
+  TrainResult result;
+  double prev_loss = std::numeric_limits<double>::infinity();
+  int epoch = 0;
+  while (epoch < config_.max_epochs) {
+    const ClockSnapshot before = ClockSnapshot::Take(session_.clock, &net);
+    bool epoch_aborted = false;
+    for (size_t b = 0; b < batches && !epoch_aborted; ++b) {
+      if (robust.active() && robust.CriticalDown()) {
+        epoch_aborted = true;
+        break;
+      }
+      FLB_RETURN_IF_ERROR(robust.CheckDeadline("HeteroNnTrainer::Train"));
+      const size_t begin = b * config_.batch_size;
+      const size_t end = std::min(rows, begin + config_.batch_size);
+      Status batch = TrainBatch(begin, end);
+      if (!batch.ok()) {
+        if (robust.active() && RobustCoordinator::Recoverable(batch)) {
+          // The round died mid-protocol: weights may be half-updated and
+          // peers hold stale in-flight messages. Roll the epoch back.
+          robust.CountTransportDropout("protocol", batch);
+          epoch_aborted = true;
+          break;
+        }
+        return batch;
+      }
+    }
+
+    if (epoch_aborted) {
+      std::vector<double> flat;
+      FLB_ASSIGN_OR_RETURN(const int resume_epoch, robust.Resume(&flat));
+      RestoreWeights(flat);
+      if (static_cast<size_t>(resume_epoch) < result.epochs.size()) {
+        result.epochs.resize(resume_epoch);
+      }
+      epoch = resume_epoch;
+      prev_loss = result.epochs.empty()
+                      ? std::numeric_limits<double>::infinity()
+                      : result.epochs.back().loss;
+      continue;
     }
 
     EpochRecord record;
@@ -309,16 +374,19 @@ Result<TrainResult> HeteroNnTrainer::Train() {
     FillEpochTiming(before, after, &record);
     TraceEpoch("hetero_nn", record, session_, config_.max_epochs);
     result.epochs.push_back(record);
+    robust.Checkpoint(epoch, SnapshotWeights());
     if (std::fabs(prev_loss - record.loss) < config_.tolerance) {
       result.converged = true;
       break;
     }
     prev_loss = record.loss;
+    epoch += 1;
   }
   if (!result.epochs.empty()) {
     result.final_loss = result.epochs.back().loss;
     result.final_accuracy = result.epochs.back().accuracy;
   }
+  result.robustness = robust.counters();
   return result;
 }
 

@@ -66,7 +66,17 @@ class HeteroNnTrainer {
   std::vector<double> BottomForward(int party, size_t begin,
                                     size_t end) const;
 
+  // One protocol round over batch rows [begin, end). Any error aborts the
+  // round mid-protocol; the weights may be half-updated, so recoverable
+  // (transport) errors must be followed by a checkpoint restore.
+  Status TrainBatch(size_t begin, size_t end);
+
   double EvaluateLoss(double* accuracy) const;
+
+  // Checkpoint payload: every parameter tensor concatenated in a fixed
+  // order (bottom weights, interactive, biases, top).
+  std::vector<double> SnapshotWeights() const;
+  void RestoreWeights(const std::vector<double>& flat);
 
   VerticalPartition partition_;
   FlSession session_;

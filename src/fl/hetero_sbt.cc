@@ -7,6 +7,7 @@
 #include "src/common/check.h"
 #include "src/core/transport.h"
 #include "src/fl/metrics.h"
+#include "src/fl/robust.h"
 #include "src/fl/trainer_util.h"
 #include "src/net/serializer.h"
 
@@ -107,32 +108,91 @@ HeteroSbtTrainer::Histogram HeteroSbtTrainer::PlainHistogram(
 }
 
 Result<SbtTree> HeteroSbtTrainer::BuildTree(const std::vector<double>& g,
-                                            const std::vector<double>& h) {
+                                            const std::vector<double>& h,
+                                            RobustCoordinator* robust) {
   const int parties = static_cast<int>(partition_.shards.size());
   core::HeService& he = *session_.he;
   net::Network& net = *session_.network;
   const size_t rows = margins_.size();
   const int bins = params_.num_bins;
 
+  // Hosts admitted to this tree. A host lost mid-tree (crash, exhausted
+  // retries, CRC loss) is excluded from the rest of the tree: its features
+  // stop producing split candidates, which is the SBT analogue of partial
+  // aggregation. A guest outage instead escalates out of BuildTree — the
+  // tree is unusable without the label holder.
+  std::vector<bool> live(parties, true);
+  bool partial = false;
+  for (int host = 1; host < parties; ++host) {
+    live[host] = robust->AdmitParty(HostName(host));
+    if (!live[host]) partial = true;
+  }
+  // Absorbs a recoverable per-host transport failure by dropping the host
+  // for the rest of the tree; escalates everything else (including any
+  // failure while the guest itself is down).
+  auto drop_host = [&](int host, const Status& status) -> Status {
+    if (!robust->active() || !RobustCoordinator::Recoverable(status)) {
+      return status;
+    }
+    if (robust->CriticalDown()) return status;
+    robust->RecordPartyOutcome(HostName(host), false, 0.0);
+    robust->CountTransportDropout(HostName(host), status);
+    live[host] = false;
+    partial = true;
+    return Status::OK();
+  };
+
   // --- guest: encrypt per-instance gradients, broadcast to hosts ------------
   core::EncVec enc_g, enc_h;
-  if (parties > 1) {
+  std::vector<bool> sent_g(parties, false), sent_h(parties, false);
+  bool any_host = false;
+  for (int host = 1; host < parties; ++host) any_host |= live[host];
+  if (any_host) {
     FLB_ASSIGN_OR_RETURN(enc_g, he.EncryptFixedPoint(g));
     FLB_ASSIGN_OR_RETURN(enc_h, he.EncryptFixedPoint(h));
     for (int host = 1; host < parties; ++host) {
-      FLB_RETURN_IF_ERROR(core::SendEncVec(&net, he, kGuestName,
-                                           HostName(host), "enc_g", enc_g));
-      FLB_RETURN_IF_ERROR(core::SendEncVec(&net, he, kGuestName,
-                                           HostName(host), "enc_h", enc_h));
+      if (!live[host]) continue;
+      Status sg = core::SendEncVec(&net, he, kGuestName, HostName(host),
+                                   "enc_g", enc_g);
+      if (!sg.ok()) {
+        FLB_RETURN_IF_ERROR(drop_host(host, sg));
+        continue;
+      }
+      sent_g[host] = true;
+      Status sh = core::SendEncVec(&net, he, kGuestName, HostName(host),
+                                   "enc_h", enc_h);
+      if (!sh.ok()) {
+        FLB_RETURN_IF_ERROR(drop_host(host, sh));
+        continue;
+      }
+      sent_h[host] = true;
     }
   }
-  // Hosts receive once per tree.
+  // Hosts receive once per tree; the delivered half of a broken pair is
+  // drained anyway so no stale ciphertext lingers in an inbox.
   std::vector<core::EncVec> host_g(parties), host_h(parties);
   for (int host = 1; host < parties; ++host) {
-    FLB_ASSIGN_OR_RETURN(host_g[host],
-                         core::RecvEncVec(&net, HostName(host), "enc_g"));
-    FLB_ASSIGN_OR_RETURN(host_h[host],
-                         core::RecvEncVec(&net, HostName(host), "enc_h"));
+    if (sent_g[host]) {
+      Result<core::EncVec> rg =
+          core::RecvEncVec(&net, HostName(host), "enc_g");
+      if (!rg.ok()) {
+        FLB_RETURN_IF_ERROR(drop_host(host, rg.status()));
+      } else {
+        host_g[host] = std::move(rg).value();
+      }
+    }
+    if (sent_h[host]) {
+      Result<core::EncVec> rh =
+          core::RecvEncVec(&net, HostName(host), "enc_h");
+      if (!rh.ok()) {
+        FLB_RETURN_IF_ERROR(drop_host(host, rh.status()));
+      } else {
+        host_h[host] = std::move(rh).value();
+      }
+    }
+    if (live[host] && sent_g[host] && sent_h[host]) {
+      robust->RecordPartyOutcome(HostName(host), true, 0.0);
+    }
   }
 
   SbtTree tree;
@@ -190,6 +250,7 @@ Result<SbtTree> HeteroSbtTrainer::BuildTree(const std::vector<double>& g,
       scan(0, guest_hist.g, guest_hist.h, partition_.shards[0].x.cols());
 
       for (int host = 1; host < parties; ++host) {
+        if (!live[host]) continue;
         const size_t cols = partition_.shards[host].x.cols();
         // Host builds per-(feature, bin) index groups over the node's
         // instances and sums the encrypted gradients.
@@ -208,15 +269,44 @@ Result<SbtTree> HeteroSbtTrainer::BuildTree(const std::vector<double>& g,
         // BC: cipher-space compression before the wire.
         FLB_ASSIGN_OR_RETURN(hg, he.CompressForTransmission(hg));
         FLB_ASSIGN_OR_RETURN(hh, he.CompressForTransmission(hh));
-        FLB_RETURN_IF_ERROR(core::SendEncVec(&net, he, HostName(host),
-                                             kGuestName, "hist_g", hg));
-        FLB_RETURN_IF_ERROR(core::SendEncVec(&net, he, HostName(host),
-                                             kGuestName, "hist_h", hh));
-        // Guest decrypts and scans.
-        FLB_ASSIGN_OR_RETURN(core::EncVec rg,
-                             core::RecvEncVec(&net, kGuestName, "hist_g"));
-        FLB_ASSIGN_OR_RETURN(core::EncVec rh,
-                             core::RecvEncVec(&net, kGuestName, "hist_h"));
+        bool ok_g = false, ok_h = false;
+        Status sg = core::SendEncVec(&net, he, HostName(host), kGuestName,
+                                     "hist_g", hg);
+        if (sg.ok()) {
+          ok_g = true;
+          Status sh = core::SendEncVec(&net, he, HostName(host), kGuestName,
+                                       "hist_h", hh);
+          if (sh.ok()) {
+            ok_h = true;
+          } else {
+            FLB_RETURN_IF_ERROR(drop_host(host, sh));
+          }
+        } else {
+          FLB_RETURN_IF_ERROR(drop_host(host, sg));
+        }
+        // Guest drains whatever arrived (a half-delivered pair must not
+        // linger in the inbox and poison a later node), decrypts and scans
+        // only complete pairs.
+        core::EncVec rg, rh;
+        bool have = false;
+        if (ok_g) {
+          Result<core::EncVec> got_g =
+              core::RecvEncVec(&net, kGuestName, "hist_g");
+          if (!got_g.ok()) {
+            FLB_RETURN_IF_ERROR(drop_host(host, got_g.status()));
+          } else if (ok_h) {
+            Result<core::EncVec> got_h =
+                core::RecvEncVec(&net, kGuestName, "hist_h");
+            if (!got_h.ok()) {
+              FLB_RETURN_IF_ERROR(drop_host(host, got_h.status()));
+            } else {
+              rg = std::move(got_g).value();
+              rh = std::move(got_h).value();
+              have = true;
+            }
+          }
+        }
+        if (!have) continue;
         FLB_ASSIGN_OR_RETURN(std::vector<double> dg, he.DecryptFixedPoint(rg));
         FLB_ASSIGN_OR_RETURN(std::vector<double> dh, he.DecryptFixedPoint(rh));
         scan(host, dg, dh, cols);
@@ -235,31 +325,59 @@ Result<SbtTree> HeteroSbtTrainer::BuildTree(const std::vector<double>& g,
       // guest sends instance ids and receives a boolean vector (the split
       // threshold never leaves the owner).
       std::vector<uint8_t> go_left(instances.size());
+      bool split_ok = true;
       if (best.party != 0) {
+        const std::string owner = HostName(best.party);
         net::Serializer req;
         req.PutU32(static_cast<uint32_t>(instances.size()));
         for (uint32_t i : instances) req.PutU32(i);
-        FLB_RETURN_IF_ERROR(net.Send(kGuestName, HostName(best.party),
-                                     "split_req", req.TakeBytes()));
-        FLB_ASSIGN_OR_RETURN(net::Message msg,
-                             net.Receive(HostName(best.party), "split_req"));
-        (void)msg;  // the host uses its own copy of `instances` below
-        net::Serializer resp;
-        for (size_t k = 0; k < instances.size(); ++k) {
-          const bool left =
-              BinOf(best.party, instances[k], best.feature) <= best.bin;
-          go_left[k] = left ? 1 : 0;
-          resp.PutU32(go_left[k]);
+        Status qs = net.Send(kGuestName, owner, "split_req", req.TakeBytes());
+        if (!qs.ok()) {
+          FLB_RETURN_IF_ERROR(drop_host(best.party, qs));
+          split_ok = false;
         }
-        FLB_RETURN_IF_ERROR(net.Send(HostName(best.party), kGuestName,
-                                     "split_resp", resp.TakeBytes()));
-        FLB_ASSIGN_OR_RETURN(net::Message resp_msg,
-                             net.Receive(kGuestName, "split_resp"));
-        (void)resp_msg;
+        if (split_ok) {
+          Result<net::Message> msg = net.Receive(owner, "split_req");
+          if (!msg.ok()) {
+            FLB_RETURN_IF_ERROR(drop_host(best.party, msg.status()));
+            split_ok = false;
+          }
+          // The host uses its own copy of `instances` below.
+        }
+        if (split_ok) {
+          net::Serializer resp;
+          for (size_t k = 0; k < instances.size(); ++k) {
+            const bool left =
+                BinOf(best.party, instances[k], best.feature) <= best.bin;
+            go_left[k] = left ? 1 : 0;
+            resp.PutU32(go_left[k]);
+          }
+          Status rs =
+              net.Send(owner, kGuestName, "split_resp", resp.TakeBytes());
+          if (!rs.ok()) {
+            FLB_RETURN_IF_ERROR(drop_host(best.party, rs));
+            split_ok = false;
+          }
+        }
+        if (split_ok) {
+          Result<net::Message> resp_msg = net.Receive(kGuestName, "split_resp");
+          if (!resp_msg.ok()) {
+            FLB_RETURN_IF_ERROR(drop_host(best.party, resp_msg.status()));
+            split_ok = false;
+          }
+        }
       } else {
         for (size_t k = 0; k < instances.size(); ++k) {
           go_left[k] = BinOf(0, instances[k], best.feature) <= best.bin ? 1 : 0;
         }
+      }
+      if (!split_ok) {
+        // The split owner vanished mid-negotiation: close the node as a
+        // leaf rather than guessing its partition.
+        tree.nodes[node_id].is_leaf = true;
+        tree.nodes[node_id].leaf_weight =
+            -g_total / (h_total + params_.reg_lambda);
+        continue;
       }
 
       std::vector<uint32_t> left_set, right_set;
@@ -304,42 +422,84 @@ Result<SbtTree> HeteroSbtTrainer::BuildTree(const std::vector<double>& g,
     tree.nodes[node_id].leaf_weight =
         -g_total / (h_total + params_.reg_lambda);
   }
+  if (partial) robust->CountPartialRound();
   return tree;
 }
 
 Result<TrainResult> HeteroSbtTrainer::Train() {
   const size_t rows = margins_.size();
   net::Network& net = *session_.network;
+  RobustCoordinator robust(session_, config_, "hetero_sbt");
+  // Only the guest (labels, margins, decryption requests) is
+  // irreplaceable; hosts degrade to excluded feature shards.
+  robust.set_critical_parties({kGuestName});
+  robust.Checkpoint(-1, margins_);
 
   TrainResult result;
   double prev_loss = std::numeric_limits<double>::infinity();
-  for (int round = 0; round < config_.max_epochs; ++round) {
+  int round = 0;
+  while (round < config_.max_epochs) {
     const ClockSnapshot before = ClockSnapshot::Take(session_.clock, &net);
+    bool round_aborted = false;
+    if (robust.active() && robust.CriticalDown()) {
+      round_aborted = true;
+    } else {
+      FLB_RETURN_IF_ERROR(robust.CheckDeadline("HeteroSbtTrainer::Train"));
 
-    // Gradients from current margins.
-    std::vector<double> g(rows), h(rows);
-    for (size_t i = 0; i < rows; ++i) {
-      const double p = Sigmoid(margins_[i]);
-      g[i] = p - partition_.labels[i];
-      h[i] = std::max(p * (1.0 - p), 1e-6);
-    }
-    ChargeModelCompute(session_.clock, 6.0 * rows);
-
-    FLB_ASSIGN_OR_RETURN(SbtTree tree, BuildTree(g, h));
-
-    // Advance margins: route every instance down the tree.
-    for (size_t i = 0; i < rows; ++i) {
-      int node = 0;
-      while (!tree.nodes[node].is_leaf) {
-        const SbtNode& n = tree.nodes[node];
-        node = BinOf(n.split_party, i, n.split_feature) <= n.split_bin
-                   ? n.left
-                   : n.right;
+      // Gradients from current margins.
+      std::vector<double> g(rows), h(rows);
+      for (size_t i = 0; i < rows; ++i) {
+        const double p = Sigmoid(margins_[i]);
+        g[i] = p - partition_.labels[i];
+        h[i] = std::max(p * (1.0 - p), 1e-6);
       }
-      margins_[i] += config_.learning_rate * tree.nodes[node].leaf_weight;
+      ChargeModelCompute(session_.clock, 6.0 * rows);
+
+      Result<SbtTree> tree = BuildTree(g, h, &robust);
+      if (!tree.ok()) {
+        if (robust.active() &&
+            RobustCoordinator::Recoverable(tree.status())) {
+          // The guest died mid-tree: discard the partial tree and roll the
+          // round back to the margin checkpoint.
+          robust.CountTransportDropout(kGuestName, tree.status());
+          round_aborted = true;
+        } else {
+          return tree.status();
+        }
+      } else {
+        // Advance margins: route every instance down the tree.
+        for (size_t i = 0; i < rows; ++i) {
+          int node = 0;
+          while (!tree.value().nodes[node].is_leaf) {
+            const SbtNode& n = tree.value().nodes[node];
+            node = BinOf(n.split_party, i, n.split_feature) <= n.split_bin
+                       ? n.left
+                       : n.right;
+          }
+          margins_[i] +=
+              config_.learning_rate * tree.value().nodes[node].leaf_weight;
+        }
+        ChargeModelCompute(session_.clock, 4.0 * rows * params_.max_depth);
+        trees_.push_back(std::move(tree).value());
+      }
     }
-    ChargeModelCompute(session_.clock, 4.0 * rows * params_.max_depth);
-    trees_.push_back(std::move(tree));
+
+    if (round_aborted) {
+      // Guest restart: wait out the downtime, restore the margin
+      // checkpoint, drop the trees built after it, re-run from there.
+      FLB_ASSIGN_OR_RETURN(const int resume_round, robust.Resume(&margins_));
+      if (static_cast<size_t>(resume_round) < result.epochs.size()) {
+        result.epochs.resize(resume_round);
+      }
+      if (static_cast<size_t>(resume_round) < trees_.size()) {
+        trees_.resize(resume_round);
+      }
+      round = resume_round;
+      prev_loss = result.epochs.empty()
+                      ? std::numeric_limits<double>::infinity()
+                      : result.epochs.back().loss;
+      continue;
+    }
 
     EpochRecord record;
     record.epoch = round;
@@ -353,16 +513,19 @@ Result<TrainResult> HeteroSbtTrainer::Train() {
     FillEpochTiming(before, after, &record);
     TraceEpoch("hetero_sbt", record, session_, config_.max_epochs);
     result.epochs.push_back(record);
+    robust.Checkpoint(round, margins_);
     if (std::fabs(prev_loss - record.loss) < config_.tolerance) {
       result.converged = true;
       break;
     }
     prev_loss = record.loss;
+    round += 1;
   }
   if (!result.epochs.empty()) {
     result.final_loss = result.epochs.back().loss;
     result.final_accuracy = result.epochs.back().accuracy;
   }
+  result.robustness = robust.counters();
   return result;
 }
 

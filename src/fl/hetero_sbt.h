@@ -36,6 +36,8 @@
 
 namespace flb::fl {
 
+class RobustCoordinator;
+
 struct SbtParams {
   int max_depth = 3;
   int num_bins = 16;
@@ -85,8 +87,15 @@ class HeteroSbtTrainer {
                            const std::vector<double>& h) const;
 
   Result<TrainResult> TrainImpl();
+  // Builds one boosting tree. `robust` (never null) supplies the
+  // degradation policy: hosts that are down, quarantined, or whose
+  // histogram exchange dies mid-tree are excluded from the rest of the
+  // tree (their features simply yield no split candidates); a guest
+  // outage surfaces as a recoverable status for the round-level
+  // checkpoint-resume path in Train().
   Result<SbtTree> BuildTree(const std::vector<double>& g,
-                            const std::vector<double>& h);
+                            const std::vector<double>& h,
+                            RobustCoordinator* robust);
 
   VerticalPartition partition_;
   FlSession session_;

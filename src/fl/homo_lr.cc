@@ -95,11 +95,12 @@ Result<TrainResult> HomoLrTrainer::Train() {
         epoch_aborted = true;
         break;
       }
+      FLB_RETURN_IF_ERROR(robust.CheckDeadline("HomoLrTrainer::Train"));
       // --- clients: local gradient -> encrypt -> upload --------------------
       size_t participants = 0;
       for (int party = 0; party < p; ++party) {
         const std::string name = PartyName(party);
-        if (robust.active() && !robust.PartyUp(name)) continue;
+        if (!robust.AdmitParty(name)) continue;
         const Dataset& shard = shards_[party];
         const size_t begin = std::min<size_t>(b * config_.batch_size,
                                               shard.rows());
@@ -110,20 +111,27 @@ Result<TrainResult> HomoLrTrainer::Train() {
             begin < end ? LocalGradient(shard, begin, end)
                         : std::vector<double>(weights_.size(), 0.0);
         FLB_ASSIGN_OR_RETURN(core::EncVec enc, he.EncryptValues(grad));
+        double response = 0.0;
         if (robust.active()) {
           const double compute = clock != nullptr ? clock->Now() - t0 : 0.0;
           const double send =
               net.TransferSeconds(he.WireBytes(enc), enc.data.size());
-          if (!robust.AdmitUpload(name, compute, send)) continue;
+          response = compute + send;
+          if (!robust.AdmitUpload(name, compute, send)) {
+            robust.RecordPartyOutcome(name, false, response);
+            continue;
+          }
         }
         Status sent = core::SendEncVec(&net, he, name, kServer, "grad", enc);
         if (!sent.ok()) {
           if (robust.active() && RobustCoordinator::Recoverable(sent)) {
+            robust.RecordPartyOutcome(name, false, response);
             robust.CountTransportDropout(name, sent);
             continue;
           }
           return sent;
         }
+        robust.RecordPartyOutcome(name, true, response);
         participants += 1;
       }
       // --- server: homomorphic aggregation ---------------------------------

@@ -157,11 +157,12 @@ Result<TrainResult> HomoNnTrainer::Train() {
         epoch_aborted = true;
         break;
       }
+      FLB_RETURN_IF_ERROR(robust.CheckDeadline("HomoNnTrainer::Train"));
       // --- clients: local steps -> encrypted deltas -> server ---------------
       size_t participants = 0;
       for (int party = 0; party < parties; ++party) {
         const std::string name = PartyName(party);
-        if (robust.active() && !robust.PartyUp(name)) continue;
+        if (!robust.AdmitParty(name)) continue;
         const Dataset& shard = shards_[party];
         const size_t begin =
             std::min<size_t>(b * config_.batch_size, shard.rows());
@@ -172,21 +173,28 @@ Result<TrainResult> HomoNnTrainer::Train() {
             begin < end ? LocalDelta(shard, begin, end, params_vec_)
                         : std::vector<double>(params_vec_.size(), 0.0);
         FLB_ASSIGN_OR_RETURN(core::EncVec enc, he.EncryptValues(delta));
+        double response = 0.0;
         if (robust.active()) {
           const double compute = clock != nullptr ? clock->Now() - t0 : 0.0;
           const double send =
               net.TransferSeconds(he.WireBytes(enc), enc.data.size());
-          if (!robust.AdmitUpload(name, compute, send)) continue;
+          response = compute + send;
+          if (!robust.AdmitUpload(name, compute, send)) {
+            robust.RecordPartyOutcome(name, false, response);
+            continue;
+          }
         }
         Status sent =
             core::SendEncVec(&net, he, name, kServerName, "delta", enc);
         if (!sent.ok()) {
           if (robust.active() && RobustCoordinator::Recoverable(sent)) {
+            robust.RecordPartyOutcome(name, false, response);
             robust.CountTransportDropout(name, sent);
             continue;
           }
           return sent;
         }
+        robust.RecordPartyOutcome(name, true, response);
         participants += 1;
       }
       // --- server: homomorphic FedAvg ---------------------------------------

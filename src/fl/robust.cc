@@ -7,18 +7,40 @@
 #include "src/fl/trainer_util.h"
 #include "src/net/fault.h"
 #include "src/obs/metrics.h"
+#include "src/obs/run_status.h"
 #include "src/obs/trace.h"
 
 namespace flb::fl {
 
+namespace {
+PartyHealthOptions HealthOptions(const TrainConfig& config) {
+  PartyHealthOptions options;
+  options.ewma_alpha = config.health_ewma_alpha;
+  options.failure_threshold = config.health_failure_threshold;
+  options.quarantine_sec = config.health_quarantine_sec;
+  options.backoff = config.health_quarantine_backoff;
+  options.max_quarantine_sec = config.health_max_quarantine_sec;
+  return options;
+}
+}  // namespace
+
 RobustCoordinator::RobustCoordinator(const FlSession& session,
                                      const TrainConfig& config,
                                      std::string trainer)
-    : session_(session), config_(config), trainer_(std::move(trainer)) {
+    : session_(session),
+      config_(config),
+      trainer_(std::move(trainer)),
+      critical_parties_({kServerName}),
+      health_(HealthOptions(config), session.clock) {
   const char* dir = std::getenv("FLB_CHECKPOINT_DIR");
   if (dir != nullptr && dir[0] != '\0') {
     checkpoint_path_ = std::string(dir) + "/" + trainer_ + ".ckpt";
   }
+}
+
+void RobustCoordinator::set_critical_parties(
+    std::vector<std::string> parties) {
+  critical_parties_ = std::move(parties);
 }
 
 bool RobustCoordinator::IsUp(const std::string& party) const {
@@ -32,7 +54,53 @@ bool RobustCoordinator::PartyUp(const std::string& party) {
   return false;
 }
 
+bool RobustCoordinator::AdmitParty(const std::string& party) {
+  if (!PartyUp(party)) return false;
+  if (!active() || !health_.enabled()) return true;
+  if (health_.Quarantined(party)) {
+    counters_.quarantine_skips += 1;
+    RecordEvent("quarantine_skip", party);
+    return false;
+  }
+  // Quarantined() may have just readmitted the party on probation; fold
+  // the transition into the run counters either way.
+  if (health_.readmits() > counters_.readmits) {
+    counters_.readmits = health_.readmits();
+    RecordEvent("readmit", party);
+  }
+  return true;
+}
+
+void RobustCoordinator::RecordPartyOutcome(const std::string& party, bool ok,
+                                           double response_sec) {
+  if (!active() || !health_.enabled()) return;
+  if (ok) {
+    health_.RecordSuccess(party, response_sec);
+    return;
+  }
+  if (health_.RecordFailure(party)) {
+    counters_.quarantines = health_.quarantines();
+    RecordEvent("quarantine", party);
+  }
+}
+
+Status RobustCoordinator::CheckDeadline(const char* what) {
+  if (session_.deadline == nullptr) return Status::OK();
+  Status status = session_.deadline->Check(what);
+  if (status.ok()) return status;
+  counters_.deadline_exceeded += 1;
+  RecordEvent("deadline_exceeded", kServerName);
+  return status;
+}
+
 bool RobustCoordinator::ServerDown() const { return !IsUp(kServerName); }
+
+bool RobustCoordinator::CriticalDown() const {
+  for (const std::string& party : critical_parties_) {
+    if (!IsUp(party)) return true;
+  }
+  return false;
+}
 
 bool RobustCoordinator::AdmitUpload(const std::string& party,
                                     double compute_sec, double send_sec) {
@@ -99,15 +167,17 @@ Result<int> RobustCoordinator::Resume(std::vector<double>* weights) {
   if (!active()) {
     return Status::InvalidArgument("Resume: no fault plan active");
   }
-  if (session_.faults->IsCrashed(kServerName)) {
-    const double recover = session_.faults->CrashRecoverTime(kServerName);
+  for (const std::string& party : critical_parties_) {
+    if (!session_.faults->IsCrashed(party)) continue;
+    const double recover = session_.faults->CrashRecoverTime(party);
     if (recover < 0) {
-      return Status::Unavailable(
-          "RobustCoordinator: server crashed permanently; cannot resume");
+      return Status::Unavailable("RobustCoordinator: critical party '" +
+                                 party +
+                                 "' crashed permanently; cannot resume");
     }
     SimClock* clock = session_.clock;
     if (clock != nullptr && recover > clock->Now()) {
-      // Training stalls until the server restarts.
+      // Training stalls until the critical party restarts.
       clock->Charge(CostKind::kOther, recover - clock->Now());
     }
   }
@@ -126,14 +196,25 @@ Result<int> RobustCoordinator::Resume(std::vector<double>* weights) {
 
 void RobustCoordinator::RecordEvent(const char* kind,
                                     const std::string& party) {
-  obs::MetricsRegistry::Global().Count(
-      "flb.fl.robust.events", 1,
-      "kind=" + std::string(kind) + ",party=" + party + ",model=" + trainer_);
+  PublishStatus();
+  const std::string labels =
+      "kind=" + std::string(kind) + ",party=" + party + ",model=" + trainer_;
+  obs::MetricsRegistry::Global().Count("flb.fl.robust.events", 1, labels);
+  // The unified resilience namespace: one counter stream across the robust
+  // coordinator, party health, and the circuit breaker (which emits its
+  // own flb.resilience.breaker.* transitions).
+  obs::MetricsRegistry::Global().Count("flb.resilience.events", 1, labels);
   auto& rec = obs::TraceRecorder::Global();
   if (!rec.enabled()) return;
   const double now = session_.clock != nullptr ? session_.clock->Now() : 0.0;
   rec.Instant(rec.RegisterTrack("robust", trainer_), kind, "robust", now,
               {obs::Arg("party", party)});
+}
+
+void RobustCoordinator::PublishStatus() {
+  obs::RunStatus::Global().UpdateQuarantine(
+      health_.QuarantinedCount(), counters_.quarantines, counters_.readmits,
+      counters_.deadline_exceeded);
 }
 
 }  // namespace flb::fl

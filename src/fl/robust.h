@@ -28,11 +28,13 @@
 #define FLB_FL_ROBUST_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "src/common/result.h"
 #include "src/fl/fl_types.h"
+#include "src/fl/party_health.h"
 
 namespace flb::fl {
 
@@ -45,12 +47,33 @@ class RobustCoordinator {
   // otherwise.
   bool active() const { return session_.faults != nullptr; }
 
+  // The parties whose loss aborts the round outright (homo: the
+  // aggregation server; hetero LR: guest + arbiter; hetero NN: all three;
+  // SBT: the guest). Checkpoint/resume and CriticalDown key off this set.
+  // Default: {kServerName}.
+  void set_critical_parties(std::vector<std::string> parties);
+
   // Liveness at the current simulated time, without dropout accounting
   // (broadcast/decrypt phases re-check parties already counted at upload).
   bool IsUp(const std::string& party) const;
   // Liveness at round start; a down party counts as one crash dropout.
   bool PartyUp(const std::string& party);
+  // Round-start gate: liveness (PartyUp) plus the PartyHealth quarantine.
+  // A quarantined party is skipped for the round (quarantine_skip).
+  bool AdmitParty(const std::string& party);
+  // Outcome of one exchange with a party, feeding the health EWMAs;
+  // `response_sec` is the simulated compute+transfer time attributed to it.
+  void RecordPartyOutcome(const std::string& party, bool ok,
+                          double response_sec);
   bool ServerDown() const;
+  // Any critical party down at the current simulated time.
+  bool CriticalDown() const;
+
+  // The run-wide deadline gate (session.deadline; OK when unbounded).
+  // Trainers call this at round boundaries; expiry is counted, recorded,
+  // and surfaced as typed kDeadlineExceeded. Works with or without a
+  // fault plan — a deadline alone is enough to bound a healthy run.
+  Status CheckDeadline(const char* what);
 
   // Straggler model for one party's upload: charges the extra compute its
   // slow host adds on top of the already-charged healthy `compute_sec`
@@ -71,22 +94,26 @@ class RobustCoordinator {
   // weights). No-op when inactive.
   void Checkpoint(int epoch, const std::vector<double>& weights);
 
-  // Server crash recovery: waits out remaining downtime on the SimClock
-  // (kUnavailable if the server never recovers), restores the last
-  // checkpoint into `weights`, purges in-flight messages, and returns the
-  // first epoch to re-run.
+  // Critical-party crash recovery: waits out remaining downtime of every
+  // crashed critical party on the SimClock (kUnavailable if any never
+  // recovers), restores the last checkpoint into `weights`, purges
+  // in-flight messages, and returns the first epoch to re-run.
   Result<int> Resume(std::vector<double>* weights);
 
   const RobustnessCounters& counters() const { return counters_; }
 
  private:
   void RecordEvent(const char* kind, const std::string& party);
+  // Mirrors the quarantine/deadline counters into obs::RunStatus.
+  void PublishStatus();
 
   FlSession session_;
   TrainConfig config_;
   std::string trainer_;
   std::string checkpoint_path_;  // empty = in-memory only
   std::vector<uint8_t> last_checkpoint_;
+  std::vector<std::string> critical_parties_;
+  PartyHealth health_;
   RobustnessCounters counters_;
 };
 

@@ -10,6 +10,9 @@ namespace flb::net {
 Status Network::Send(const std::string& from, const std::string& to,
                      const std::string& topic, std::vector<uint8_t> payload,
                      size_t objects) {
+  if (deadline_ != nullptr) {
+    FLB_RETURN_IF_ERROR(deadline_->Check("Network::Send"));
+  }
   if (reliable_ != nullptr) {
     return reliable_->Send(from, to, topic, std::move(payload), objects);
   }
@@ -18,6 +21,9 @@ Status Network::Send(const std::string& from, const std::string& to,
 
 Result<Message> Network::Receive(const std::string& to,
                                  const std::string& topic) {
+  if (deadline_ != nullptr) {
+    FLB_RETURN_IF_ERROR(deadline_->Check("Network::Receive"));
+  }
   if (reliable_ != nullptr) return reliable_->Receive(to, topic);
   return ReceiveDirect(to, topic);
 }

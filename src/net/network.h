@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "src/common/annotations.h"
+#include "src/common/deadline.h"
 #include "src/common/mutex.h"
 #include "src/common/result.h"
 #include "src/common/sim_clock.h"
@@ -95,6 +96,12 @@ class Network : public obs::MetricsSource {
   void set_reliable_channel(ReliableChannel* channel) { reliable_ = channel; }
   ReliableChannel* reliable_channel() const { return reliable_; }
 
+  // Optional run-wide deadline: when set and expired, Send/Receive return
+  // typed kDeadlineExceeded before touching the wire. Inert (no accounting
+  // change) while the budget lasts.
+  void set_deadline(const common::Deadline* deadline) { deadline_ = deadline; }
+  const common::Deadline* deadline() const { return deadline_; }
+
   // Enqueues the message at `to` and charges transfer time. A small framing
   // overhead (headers) is added to the payload size; `objects` is the
   // number of serialized HE objects in the payload, each charged the link's
@@ -162,6 +169,7 @@ class Network : public obs::MetricsSource {
   SimClock* clock_;
   FaultInjector* injector_ = nullptr;
   ReliableChannel* reliable_ = nullptr;
+  const common::Deadline* deadline_ = nullptr;
   std::string instance_;
   // Leaf lock over the mutable routing state. Never held across calls into
   // the injector, the clock, or the observability singletons (registry /

@@ -1,12 +1,85 @@
 #include "src/net/reliable_channel.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <utility>
 
+#include "src/common/rng.h"
+#include "src/net/circuit_breaker.h"
 #include "src/net/serializer.h"
 #include "src/obs/trace.h"
 
 namespace flb::net {
+
+namespace {
+
+uint64_t Fnv1a(const std::string& s) {
+  uint64_t h = 1469598103934665603ULL;
+  for (const char c : s) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+Result<ReliableOptions> ReliableOptions::FromEnv(const ReliableOptions& base) {
+  ReliableOptions opts = base;
+  const char* env = std::getenv("FLB_NET_RETRY");
+  if (env == nullptr || env[0] == '\0') return opts;
+  const std::string spec(env);
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    size_t end = spec.find(',', pos);
+    if (end == std::string::npos) end = spec.size();
+    const std::string clause = spec.substr(pos, end - pos);
+    pos = end + 1;
+    if (clause.empty()) continue;
+    const size_t eq = clause.find('=');
+    if (eq == std::string::npos) {
+      return Status::InvalidArgument("FLB_NET_RETRY: clause '" + clause +
+                                     "' is not key=value");
+    }
+    const std::string key = clause.substr(0, eq);
+    const std::string value = clause.substr(eq + 1);
+    char* parse_end = nullptr;
+    const double v = std::strtod(value.c_str(), &parse_end);
+    if (parse_end == value.c_str() || *parse_end != '\0') {
+      return Status::InvalidArgument("FLB_NET_RETRY: bad value in '" + clause +
+                                     "'");
+    }
+    if (key == "max_attempts") {
+      if (v < 1) {
+        return Status::InvalidArgument("FLB_NET_RETRY: max_attempts must be "
+                                       ">= 1");
+      }
+      opts.max_attempts = static_cast<int>(v);
+    } else if (key == "rto") {
+      opts.initial_rto_sec = v;
+    } else if (key == "backoff") {
+      opts.backoff = v;
+    } else if (key == "max_rto") {
+      opts.max_rto_sec = v;
+    } else if (key == "deadline") {
+      opts.deadline_sec = v;
+    } else if (key == "ack_bytes") {
+      opts.ack_bytes = static_cast<size_t>(v);
+    } else if (key == "jitter") {
+      if (v < 0 || v > 1) {
+        return Status::InvalidArgument("FLB_NET_RETRY: jitter must be in "
+                                       "[0,1]");
+      }
+      opts.jitter_frac = v;
+    } else if (key == "seed") {
+      opts.jitter_seed = static_cast<uint64_t>(v);
+    } else {
+      return Status::InvalidArgument("FLB_NET_RETRY: unknown key '" + key +
+                                     "'");
+    }
+  }
+  return opts;
+}
 
 ReliableChannel::ReliableChannel(Network* network, ReliableOptions options)
     : network_(network), options_(options) {}
@@ -14,6 +87,16 @@ ReliableChannel::ReliableChannel(Network* network, ReliableOptions options)
 Status ReliableChannel::Send(const std::string& from, const std::string& to,
                              const std::string& topic,
                              std::vector<uint8_t> payload, size_t objects) {
+  // Budget-bounded from the first byte: an expired run deadline or an open
+  // circuit fails fast — typed, with zero wire traffic and zero charged
+  // time — before the message is even framed.
+  if (run_deadline_ != nullptr) {
+    FLB_RETURN_IF_ERROR(run_deadline_->Check("ReliableChannel::Send"));
+  }
+  if (breaker_ != nullptr && !breaker_->AllowSend(from, to)) {
+    return Status::Unavailable("ReliableChannel: circuit open for '" + topic +
+                               "' " + from + "->" + to);
+  }
   const std::string key = LinkKey(from, to, topic);
   uint64_t seq = 0;
   {
@@ -22,6 +105,16 @@ Status ReliableChannel::Send(const std::string& from, const std::string& to,
     stats_.sends += 1;
   }
   const std::vector<uint8_t> frame = EncodeFrame(seq, payload);
+
+  // The per-message budget never outlives the run budget.
+  double budget = options_.deadline_sec;
+  if (run_deadline_ != nullptr && !run_deadline_->infinite()) {
+    budget = std::min(budget, run_deadline_->remaining());
+  }
+  // Jitter stream for this message: a pure function of
+  // (jitter_seed, link, seq) — bit-reproducible, partition-independent.
+  Rng jitter_rng =
+      Rng::ForStream(options_.jitter_seed ^ Fnv1a(key), seq);
 
   SimClock* clock = network_->clock();
   double rto = options_.initial_rto_sec;
@@ -47,32 +140,42 @@ Status ReliableChannel::Send(const std::string& from, const std::string& to,
         stats_.acks += 1;
       }
       network_->ChargeControl(to, from, "__ack", options_.ack_bytes);
+      if (breaker_ != nullptr) breaker_->RecordSuccess(from, to);
       return Status::OK();
     }
     // Lost (or delivered corrupted): wait out the RTO, then retransmit.
     // The wait is real simulated time — backoff under a fault plan is
-    // visible in epoch timings and the trace.
-    if (waited + rto > options_.deadline_sec) {
-      common::MutexLock lock(mu_);
-      stats_.timeouts += 1;
+    // visible in epoch timings and the trace. Seeded jitter desynchronizes
+    // concurrent retriers without breaking reproducibility.
+    double wait = rto;
+    if (options_.jitter_frac > 0) {
+      wait *= 1.0 + options_.jitter_frac * (jitter_rng.NextDouble() - 0.5);
+    }
+    if (waited + wait > budget) {
+      {
+        common::MutexLock lock(mu_);
+        stats_.timeouts += 1;
+      }
+      if (breaker_ != nullptr) breaker_->RecordFailure(from, to);
       return Status::DeadlineExceeded(
           "ReliableChannel: '" + topic + "' " + from + "->" + to +
           " exceeded deadline after " + std::to_string(attempt + 1) +
           " attempts");
     }
-    obs::ChargeSpan(clock, CostKind::kNetwork, rto,
+    obs::ChargeSpan(clock, CostKind::kNetwork, wait,
                     obs::TraceRecorder::Global().RegisterTrack("net-reliable",
                                                                from),
                     "backoff " + topic, "reliable",
                     {obs::Arg("seq", seq), obs::Arg("attempt", attempt + 1),
-                     obs::Arg("rto_sec", rto)});
-    waited += rto;
+                     obs::Arg("rto_sec", wait)});
+    waited += wait;
     rto = std::min(rto * options_.backoff, options_.max_rto_sec);
   }
   {
     common::MutexLock lock(mu_);
     stats_.timeouts += 1;
   }
+  if (breaker_ != nullptr) breaker_->RecordFailure(from, to);
   return Status::Unavailable("ReliableChannel: '" + topic + "' " + from +
                              "->" + to + " undeliverable after " +
                              std::to_string(options_.max_attempts) +
@@ -104,6 +207,7 @@ Result<Message> ReliableChannel::Receive(const std::string& to,
       }
       obs::MetricsRegistry::Global().Count("flb.net.reliable.crc_failures", 1,
                                            "link=" + msg.from + ">" + to);
+      if (breaker_ != nullptr) breaker_->RecordFailure(msg.from, to);
       last_loss = frame.status();
       continue;
     }

@@ -34,12 +34,15 @@
 #include <vector>
 
 #include "src/common/annotations.h"
+#include "src/common/deadline.h"
 #include "src/common/mutex.h"
 #include "src/common/result.h"
 #include "src/net/network.h"
 #include "src/obs/metrics.h"
 
 namespace flb::net {
+
+class CircuitBreaker;
 
 struct ReliableOptions {
   int max_attempts = 8;            // total tries per message
@@ -48,6 +51,20 @@ struct ReliableOptions {
   double max_rto_sec = 0.5;        // RTO cap
   double deadline_sec = 5.0;       // simulated-time budget per message
   size_t ack_bytes = 32;           // ack control-message size
+  // Seeded multiplicative jitter on each backoff wait (+/- half of this
+  // fraction), so concurrent retriers on different links don't retransmit
+  // in lockstep. The jitter for (link, seq, attempt) is a pure function of
+  // jitter_seed — bit-reproducible across reruns and thread counts. 0
+  // disables it.
+  double jitter_frac = 0.1;
+  uint64_t jitter_seed = 1;
+
+  // `base` overridden by the FLB_NET_RETRY environment variable when set:
+  // comma-separated k=v pairs over the keys max_attempts, rto, backoff,
+  // max_rto, deadline, ack_bytes, jitter, seed (e.g.
+  // "max_attempts=4,rto=0.02,jitter=0.2"). InvalidArgument on unknown keys
+  // or unparseable values.
+  static Result<ReliableOptions> FromEnv(const ReliableOptions& base);
 };
 
 struct ChannelStats {
@@ -65,6 +82,19 @@ class ReliableChannel : public obs::MetricsSource {
   explicit ReliableChannel(Network* network, ReliableOptions options = {});
 
   const ReliableOptions& options() const { return options_; }
+
+  // Optional per-link circuit breaker: when set, Send consults it before
+  // touching the wire (open circuit = immediate typed kUnavailable with
+  // zero charged time) and reports every whole-send outcome to it.
+  void set_breaker(CircuitBreaker* breaker) { breaker_ = breaker; }
+  CircuitBreaker* breaker() const { return breaker_; }
+
+  // Optional run-wide deadline: when set, each send's retry budget is
+  // clamped to the remaining run budget and an expired deadline surfaces
+  // as typed kDeadlineExceeded before any attempt.
+  void set_run_deadline(const common::Deadline* deadline) {
+    run_deadline_ = deadline;
+  }
 
   // Framed, acknowledged send. kDeadlineExceeded when the retry budget runs
   // out, kUnavailable when every attempt up to the cap was swallowed (peer
@@ -101,6 +131,8 @@ class ReliableChannel : public obs::MetricsSource {
 
   Network* network_;
   ReliableOptions options_;
+  CircuitBreaker* breaker_ = nullptr;
+  const common::Deadline* run_deadline_ = nullptr;
   // Brief per-access leaf lock: never held across the Network / registry /
   // recorder calls inside the retry loop.
   mutable common::Mutex mu_;

@@ -21,6 +21,7 @@ void RunStatus::BeginRun(const RunInfo& info) {
     he_ = HeOpsStatus{};
     faults_ = FaultStatus{};
     channel_ = ChannelStatus{};
+    resilience_ = ResilienceStatus{};
     totals_ = RunTotals{};
     phase_ = "setup";
   }
@@ -71,6 +72,31 @@ void RunStatus::UpdateFaults(const FaultStatus& faults,
   generation_.fetch_add(1, std::memory_order_relaxed);
 }
 
+void RunStatus::UpdateQuarantine(uint64_t quarantined, uint64_t quarantines,
+                                 uint64_t readmits,
+                                 uint64_t deadline_exceeded) {
+  {
+    common::MutexLock lock(mu_);
+    resilience_.quarantined = quarantined;
+    resilience_.quarantines = quarantines;
+    resilience_.readmits = readmits;
+    resilience_.deadline_exceeded = deadline_exceeded;
+  }
+  generation_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void RunStatus::UpdateBreaker(uint64_t open, uint64_t half_open,
+                              uint64_t trips, uint64_t fast_fails) {
+  {
+    common::MutexLock lock(mu_);
+    resilience_.breaker_open = open;
+    resilience_.breaker_half_open = half_open;
+    resilience_.breaker_trips = trips;
+    resilience_.breaker_fast_fails = fast_fails;
+  }
+  generation_.fetch_add(1, std::memory_order_relaxed);
+}
+
 void RunStatus::EndRun(const RunTotals& totals, const HeOpsStatus& he) {
   {
     common::MutexLock lock(mu_);
@@ -92,6 +118,7 @@ void RunStatus::Reset() {
     he_ = HeOpsStatus{};
     faults_ = FaultStatus{};
     channel_ = ChannelStatus{};
+    resilience_ = ResilienceStatus{};
     totals_ = RunTotals{};
   }
   scrapes_metrics_.store(0, std::memory_order_relaxed);
@@ -168,6 +195,16 @@ std::string RunStatus::ToJson() const {
   out += ",\"channel\":{\"retransmits\":" + JsonNumber(channel_.retransmits) +
          ",\"timeouts\":" + JsonNumber(channel_.timeouts) +
          ",\"crc_failures\":" + JsonNumber(channel_.crc_failures) + "}";
+  out += ",\"resilience\":{\"quarantined\":" +
+         JsonNumber(resilience_.quarantined) +
+         ",\"quarantines\":" + JsonNumber(resilience_.quarantines) +
+         ",\"readmits\":" + JsonNumber(resilience_.readmits) +
+         ",\"deadline_exceeded\":" + JsonNumber(resilience_.deadline_exceeded) +
+         ",\"breaker_open\":" + JsonNumber(resilience_.breaker_open) +
+         ",\"breaker_half_open\":" + JsonNumber(resilience_.breaker_half_open) +
+         ",\"breaker_trips\":" + JsonNumber(resilience_.breaker_trips) +
+         ",\"breaker_fast_fails\":" +
+         JsonNumber(resilience_.breaker_fast_fails) + "}";
   out += ",\"trace\":{\"dropped_events\":" + JsonNumber(dropped) + "}";
   out += ",\"server\":{\"requests\":{\"metrics\":" + JsonNumber(s_metrics) +
          ",\"status\":" + JsonNumber(s_status) +

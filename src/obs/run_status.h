@@ -72,6 +72,21 @@ struct ChannelStatus {
   uint64_t crc_failures = 0;
 };
 
+// Degraded-mode state from the resilience layer (all zero on healthy
+// runs): party quarantine counts from the RobustCoordinator / PartyHealth
+// side, link circuit-breaker state from the net side. Two producers, two
+// field groups, one block in /status.
+struct ResilienceStatus {
+  uint64_t quarantined = 0;        // parties currently in quarantine
+  uint64_t quarantines = 0;        // quarantine events so far
+  uint64_t readmits = 0;           // probation readmissions
+  uint64_t deadline_exceeded = 0;  // budget-bounded waits that expired
+  uint64_t breaker_open = 0;       // links currently open
+  uint64_t breaker_half_open = 0;  // links probing
+  uint64_t breaker_trips = 0;
+  uint64_t breaker_fast_fails = 0;
+};
+
 // Whole-run decomposition, published once at EndRun.
 struct RunTotals {
   double total_seconds = 0.0;
@@ -94,6 +109,12 @@ class RunStatus {
   void SetSection(const std::string& section);
   void UpdateEpoch(const EpochStatus& epoch, const HeOpsStatus& he);
   void UpdateFaults(const FaultStatus& faults, const ChannelStatus& channel);
+  // Quarantine-side half of the resilience block (RobustCoordinator).
+  void UpdateQuarantine(uint64_t quarantined, uint64_t quarantines,
+                        uint64_t readmits, uint64_t deadline_exceeded);
+  // Breaker-side half of the resilience block (net::CircuitBreaker).
+  void UpdateBreaker(uint64_t open, uint64_t half_open, uint64_t trips,
+                     uint64_t fast_fails);
   void EndRun(const RunTotals& totals, const HeOpsStatus& he);
   // Back to the initial state (tests).
   void Reset();
@@ -133,6 +154,7 @@ class RunStatus {
   HeOpsStatus he_ FLB_GUARDED_BY(mu_);
   FaultStatus faults_ FLB_GUARDED_BY(mu_);
   ChannelStatus channel_ FLB_GUARDED_BY(mu_);
+  ResilienceStatus resilience_ FLB_GUARDED_BY(mu_);
   RunTotals totals_ FLB_GUARDED_BY(mu_);
 };
 

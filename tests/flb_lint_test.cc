@@ -58,7 +58,7 @@ void ExpectViolations(const std::string& fixture,
 
 TEST(FlbLintTest, RuleTableIsStable) {
   const auto& rules = Rules();
-  ASSERT_EQ(rules.size(), 5u);
+  ASSERT_EQ(rules.size(), 6u);
   EXPECT_STREQ(rules[0].id, "FLB001");
   EXPECT_STREQ(rules[0].name, "wall-clock");
   EXPECT_STREQ(rules[1].id, "FLB002");
@@ -69,6 +69,8 @@ TEST(FlbLintTest, RuleTableIsStable) {
   EXPECT_STREQ(rules[3].name, "mutex-annotation");
   EXPECT_STREQ(rules[4].id, "FLB005");
   EXPECT_STREQ(rules[4].name, "discarded-status");
+  EXPECT_STREQ(rules[5].id, "FLB006");
+  EXPECT_STREQ(rules[5].name, "unbounded-retry");
 }
 
 TEST(FlbLintTest, WallClockFixture) {
@@ -93,6 +95,12 @@ TEST(FlbLintTest, DiscardedStatusFixture) {
   ExpectViolations(fixture, {{"FLB005", 17}, {"FLB005", 18}});
   // The justified (void) discard on line 19 is counted, not reported.
   EXPECT_EQ(LintFixture(fixture).suppressed, 1u);
+}
+
+TEST(FlbLintTest, UnboundedRetryFixture) {
+  // The two bounded loops in the fixture (attempt counter, deadline
+  // predicate) must stay silent; only the budget-free spin reports.
+  ExpectViolations("unbounded_retry_violation.cc", {{"FLB006", 19}});
 }
 
 TEST(FlbLintTest, CleanFixtureHasNoViolations) {

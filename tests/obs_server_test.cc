@@ -524,5 +524,77 @@ TEST(ObsServerScrapeTest, LiveScrapesDoNotPerturbRun) {
   EXPECT_NE(status.find("\"model\":\"Homo LR\""), std::string::npos);
 }
 
+TEST(ObsServerScrapeTest, ScrapesDuringCrashResumeAreBitIdentical) {
+  // The resilience layer meets the observability plane: a chaos run whose
+  // server crashes mid-training (forcing a checkpoint resume) while scrape
+  // threads hammer every endpoint must produce the exact report of the
+  // same chaos run with no scrapers — and the resume really happened.
+  auto chaos_workload = [] {
+    auto cfg = ScrapeWorkload();
+    cfg.train.max_epochs = 6;
+    // Server down across several mid-training rounds; a short per-message
+    // retry budget makes the clients give up and ride the resume path.
+    cfg.fault_plan = "seed=3;crash=server@0.3-1.2";
+    cfg.reliable.deadline_sec = 0.05;
+    cfg.run_deadline_sec = 600.0;  // simulated; bounds the run, never hit
+    return cfg;
+  };
+  auto baseline = core::Platform::Run(chaos_workload());
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+  ASSERT_GE(baseline->robustness.resumes, 1u);
+
+  auto& recorder = TraceRecorder::Global();
+  const bool was_enabled = recorder.enabled();
+  recorder.set_enabled(true);
+  ObsServer::Options options;
+  options.port = 0;
+  auto server = ObsServer::Start(options);
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+  const int port = (*server)->port();
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> scrapes{0};
+  std::vector<std::thread> clients;
+  const char* const kTargets[] = {"/metrics", "/status", "/trace",
+                                  "/healthz"};
+  for (int c = 0; c < 4; ++c) {
+    clients.emplace_back([&, c] {
+      while (!stop.load(std::memory_order_acquire)) {
+        const std::string response =
+            HttpRequest(port, "GET", kTargets[c % 4]);
+        if (!response.empty()) scrapes.fetch_add(1);
+      }
+    });
+  }
+
+  auto observed = core::Platform::Run(chaos_workload());
+
+  for (int i = 0; i < 500 && scrapes.load() < 8; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  stop.store(true, std::memory_order_release);
+  for (auto& t : clients) t.join();
+  (*server)->Stop();
+  recorder.Clear();
+  recorder.set_enabled(was_enabled);
+
+  ASSERT_TRUE(observed.ok()) << observed.status().ToString();
+  EXPECT_GT(scrapes.load(), 0u);
+  ExpectIdenticalReports(*baseline, *observed);
+  // The chaos accounting is part of the bit-identity contract too.
+  EXPECT_EQ(baseline->robustness.resumes, observed->robustness.resumes);
+  EXPECT_EQ(baseline->robustness.checkpoints, observed->robustness.checkpoints);
+  EXPECT_EQ(baseline->robustness.transport_dropouts,
+            observed->robustness.transport_dropouts);
+  EXPECT_EQ(baseline->channel_stats.retransmits,
+            observed->channel_stats.retransmits);
+  EXPECT_EQ(baseline->breaker_stats.trips, observed->breaker_stats.trips);
+
+  // The run left the resilience block behind in /status.
+  const std::string status = RunStatus::Global().ToJson();
+  EXPECT_NE(status.find("\"resilience\":{"), std::string::npos);
+  EXPECT_NE(status.find("\"breaker_trips\":"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace flb

@@ -222,6 +222,7 @@ constexpr const char* kEntropy = "FLB002";
 constexpr const char* kUnorderedIter = "FLB003";
 constexpr const char* kMutexAnnotation = "FLB004";
 constexpr const char* kDiscardedStatus = "FLB005";
+constexpr const char* kUnboundedRetry = "FLB006";
 
 const std::set<std::string>& AnnotationMacros() {
   static const std::set<std::string> macros = {
@@ -284,6 +285,7 @@ class Linter {
     CheckUnorderedIteration(f);
     CheckMutexAnnotations(f);
     CheckDiscardedStatus(f);
+    CheckUnboundedRetry(f);
   }
 
  private:
@@ -587,6 +589,73 @@ class Linter {
     }
   }
 
+  // -- FLB006 --------------------------------------------------------------
+
+  // True when `text` names a retry/deadline budget: a loop that spins on
+  // transient failures must bound itself by one of these.
+  static bool IsBudgetIdent(const std::string& text) {
+    std::string lower(text);
+    std::transform(lower.begin(), lower.end(), lower.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    // The trigger identifiers themselves mention "deadline"; only a
+    // non-trigger deadline reference (Deadline, run_deadline, CheckDeadline,
+    // deadline->Check, ...) counts as consulting a budget.
+    if (lower.find("deadline") != std::string::npos &&
+        lower.find("exceeded") == std::string::npos) {
+      return true;
+    }
+    return lower.find("attempt") != std::string::npos ||
+           lower.find("retr") != std::string::npos ||  // retry, retries
+           lower.find("tries") != std::string::npos ||
+           lower.find("budget") != std::string::npos ||
+           lower.find("remaining") != std::string::npos ||
+           lower.find("expired") != std::string::npos ||
+           lower.find("backoff") != std::string::npos;
+  }
+
+  void CheckUnboundedRetry(const FileContext& f) {
+    const auto& t = f.tokens;
+    for (size_t i = 0; i < t.size(); ++i) {
+      if (!IsIdent(t, i)) continue;
+      size_t body_begin = 0;  // first token of the loop body
+      if ((t[i].text == "while" || t[i].text == "for") &&
+          Is(t, i + 1, "(")) {
+        body_begin = SkipBalanced(t, i + 1, "(", ")");
+      } else if (t[i].text == "do" && Is(t, i + 1, "{")) {
+        body_begin = i + 1;
+      } else {
+        continue;
+      }
+      if (body_begin >= t.size()) continue;
+      // Body = braced block when present, else the single statement.
+      size_t body_end;
+      if (Is(t, body_begin, "{")) {
+        body_end = SkipBalanced(t, body_begin, "{", "}");
+      } else {
+        body_end = body_begin;
+        while (body_end < t.size() && t[body_end].text != ";") ++body_end;
+      }
+      bool retries_transient = false;  // continue + IsUnavailable/-Deadline
+      bool has_continue = false;
+      bool has_budget = false;
+      for (size_t j = i; j < body_end && j < t.size(); ++j) {
+        if (!IsIdent(t, j)) continue;
+        const std::string& text = t[j].text;
+        if (text == "continue") has_continue = true;
+        if (text == "IsUnavailable" || text == "IsDeadlineExceeded") {
+          retries_transient = true;
+        }
+        if (IsBudgetIdent(text)) has_budget = true;
+      }
+      if (retries_transient && has_continue && !has_budget) {
+        Emit(f, t[i].line, kUnboundedRetry,
+             "loop retries on kUnavailable/kDeadlineExceeded without "
+             "consulting a budget: bound it with an attempt counter or a "
+             "common::Deadline so a dead peer cannot spin forever");
+      }
+    }
+  }
+
   const Options& opts_;
   Report* report_;
   std::set<std::string> status_fns_;
@@ -619,6 +688,10 @@ const std::vector<RuleInfo>& Rules() {
       {kDiscardedStatus, "discarded-status",
        "Status/Result<T> return values dropped without handling or an "
        "inline justification"},
+      {kUnboundedRetry, "unbounded-retry",
+       "retry loops on kUnavailable/kDeadlineExceeded that never consult "
+       "an attempt counter or common::Deadline (can spin forever on a "
+       "dead peer)"},
   };
   return rules;
 }
