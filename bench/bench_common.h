@@ -15,6 +15,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/common/env.h"
 #include "src/common/thread_pool.h"
 #include "src/common/timer.h"
 #include "src/core/platform.h"
@@ -36,7 +37,7 @@ using fl::DatasetKind;
 // size, miniature datasets. The drivers still exercise every code path;
 // only the numbers stop being meaningful.
 inline bool SmokeMode() {
-  static const bool smoke = std::getenv("FLB_SMOKE") != nullptr;
+  static const bool smoke = common::Env::Flag("FLB_SMOKE");
   return smoke;
 }
 
@@ -63,6 +64,7 @@ inline PlatformConfig WorkloadFor(FlModelKind model, DatasetKind dataset,
   cfg.dataset = fl::DefaultScaleSpec(dataset);
   switch (model) {
     case FlModelKind::kHomoLr:
+    case FlModelKind::kHomoNn:
     case FlModelKind::kHeteroLr:
       break;  // default shapes
     case FlModelKind::kHeteroSbt:
@@ -200,16 +202,15 @@ class ObsExporter {
     obs::TraceRecorder::Global();
     obs::MetricsRegistry::Global();
     BenchJson::Global();
-    const char* bench_name = std::getenv("FLB_BENCH_NAME");
-    if (bench_name != nullptr) BenchJson::Global().set_bench(bench_name);
+    const std::string bench_name = common::Env::Str("FLB_BENCH_NAME", "bench");
+    BenchJson::Global().set_bench(bench_name);
     BenchJson::Global().set_host_threads(
         common::ThreadPool::Global().num_threads());
     // Live inspection: start the scrape server / wall profiler as early as
     // env configuration allows, and name the bench in /status.
     obs::ObsServer::EnsureGlobalFromEnv();
     obs::HostProfiler::EnableFromEnv();
-    obs::RunStatus::Global().SetBench(bench_name != nullptr ? bench_name
-                                                            : "bench");
+    obs::RunStatus::Global().SetBench(bench_name);
   }
 
   ~ObsExporter() {
@@ -230,13 +231,15 @@ class ObsExporter {
     // Trace + metrics export lives in obs (atexit-registered for every
     // binary, idempotent); only the bench rows are bench-specific.
     obs::ExportEnvConfigured();
-    if (const char* path = std::getenv("FLB_BENCH_JSON")) {
+    const std::string path = common::Env::Str("FLB_BENCH_JSON");
+    if (!path.empty()) {
       const Status s = BenchJson::Global().WriteJson(path);
       if (!s.ok()) {
         std::fprintf(stderr, "bench json export failed: %s\n",
                      s.ToString().c_str());
       } else {
-        std::fprintf(stderr, "[obs] wrote bench results to %s\n", path);
+        std::fprintf(stderr, "[obs] wrote bench results to %s\n",
+                     path.c_str());
       }
     }
   }
@@ -267,6 +270,8 @@ inline std::string Short(FlModelKind model) {
       return "Hetero SBT";
     case FlModelKind::kHeteroNn:
       return "Hetero NN";
+    case FlModelKind::kHomoNn:
+      return "Homo NN";
   }
   return "?";
 }

@@ -35,6 +35,7 @@ double MeasureUtilization(EngineKind engine, FlModelKind model, int key_bits) {
   const int64_t batch = 1 << 17;
   switch (model) {
     case FlModelKind::kHomoLr:
+    case FlModelKind::kHomoNn:
       ghe.ModelPaillierEncrypt(key_bits, batch).value();
       ghe.ModelPaillierAdd(key_bits, batch).value();
       ghe.ModelPaillierDecrypt(key_bits, batch).value();

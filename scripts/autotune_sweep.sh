@@ -1,0 +1,82 @@
+#!/usr/bin/env bash
+# Auto-tuner sweep: runs the bench_table4_throughput "autotune" section
+# (tuned vs default knobs plus an exhaustive oracle sweep of the same knob
+# space, all in simulated time) and reports, per 2048-bit workload:
+#   - epoch seconds with default knobs, tuned knobs, and the oracle best
+#   - the tuned/default speedup and the % of oracle-best the tuner reached
+#   - the knob vector the tuner chose (streams/chunks/batch/bc)
+# then gates the run against bench/baselines/autotune_smoke.json.
+#
+#   ./scripts/autotune_sweep.sh [--smoke] [build-dir]
+#
+# Results land in results/BENCH_autotune_sweep.json (BenchJson schema, so
+# run_all_experiments.sh-style tooling can fold them into summary.json) and
+# results/tuner_cache.flbtune (the disk TuningCache — a second sweep skips
+# every warm-up run).
+set -euo pipefail
+
+SMOKE=0
+if [ "${1:-}" = "--smoke" ]; then
+  SMOKE=1
+  shift
+fi
+BUILD_DIR="${1:-build}"
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+RESULTS="$REPO_ROOT/results"
+BENCH="$REPO_ROOT/$BUILD_DIR/bench/bench_table4_throughput"
+OUT="$RESULTS/BENCH_autotune_sweep.json"
+
+command -v jq >/dev/null || { echo "jq not found" >&2; exit 2; }
+[ -x "$BENCH" ] || {
+  echo "bench binary not found: $BENCH (build the bench_table4_throughput" \
+       "target first)" >&2
+  exit 2
+}
+mkdir -p "$RESULTS"
+
+env_args=(
+  FLB_BENCH_NAME=table4_throughput
+  FLB_BENCH_JSON="$OUT"
+  FLB_TUNER_CACHE="$RESULTS/tuner_cache.flbtune"
+)
+[ "$SMOKE" = 1 ] && env_args+=(FLB_SMOKE=1)
+
+echo "== autotune sweep (smoke=$SMOKE) =="
+env "${env_args[@]}" "$BENCH" > "$RESULTS/autotune_sweep.txt"
+
+# One row per workload: pivot the autotune_* metrics by their label suffix.
+lookup() {  # lookup <metric-prefix> <suffix>
+  jq -r --arg m "$1,$2" \
+    '[.results[] | select(.metric == $m) | .value] | first // empty' "$OUT"
+}
+
+printf '\n%-40s %10s %10s %10s %8s %8s\n' "workload" "default_s" "tuned_s" \
+  "oracle_s" "speedup" "%oracle"
+found=0
+while IFS= read -r suffix; do
+  found=1
+  def="$(lookup autotune_epoch_seconds_default "$suffix")"
+  tuned="$(lookup autotune_epoch_seconds_tuned "$suffix")"
+  oracle="$(lookup autotune_epoch_seconds_oracle "$suffix")"
+  speedup="$(lookup autotune_speedup "$suffix")"
+  pct="$(lookup autotune_pct_of_oracle "$suffix")"
+  printf '%-40s %10.4f %10.4f %10.4f %7.2fx %7.1f%%\n' "$suffix" "$def" \
+    "$tuned" "$oracle" "$speedup" "$pct"
+  printf '  tuned knobs: streams=%.0f chunks=%.0f batch=%.0f bc=%.0f  (default: engine traits)\n' \
+    "$(lookup autotune_chosen_streams "$suffix")" \
+    "$(lookup autotune_chosen_chunks "$suffix")" \
+    "$(lookup autotune_chosen_batch "$suffix")" \
+    "$(lookup autotune_chosen_bc "$suffix")"
+done < <(jq -r '[.results[]
+                 | select(.metric | startswith("autotune_epoch_seconds_tuned,"))
+                 | .metric | sub("^autotune_epoch_seconds_tuned,"; "")]
+                | unique | .[]' "$OUT")
+
+if [ "$found" = 0 ]; then
+  echo "ERROR: no autotune_* records in $OUT — did the autotune section run?" >&2
+  exit 1
+fi
+
+echo
+"$REPO_ROOT/scripts/check_bench_regression.sh" "$OUT" \
+  "$REPO_ROOT/bench/baselines/autotune_smoke.json"

@@ -6,6 +6,10 @@
 #
 # <measured.json> is a BenchJson artifact (FLB_BENCH_JSON output of a
 # bench binary using bench/gbench_json.h); <baseline.json> holds:
+#   bench     — (optional) the bench name the baseline gates; when present,
+#               the measured run's "bench" field must match, so a baseline
+#               pointed at the wrong artifact fails instead of passing
+#               vacuously
 #   tolerance — allowed slowdown factor vs the baselined ns/iter
 #               (FLB_BENCH_TOLERANCE overrides; absolute timings are
 #               machine-dependent, so keep this generous)
@@ -31,6 +35,14 @@ command -v jq >/dev/null || { echo "jq not found" >&2; exit 2; }
 [ -f "$measured" ] || { echo "measured file not found: $measured" >&2; exit 2; }
 [ -f "$baseline" ] || { echo "baseline file not found: $baseline" >&2; exit 2; }
 
+# Parse both files up front so a malformed artifact is a loud exit 2, not a
+# silently empty loop downstream (jq failures inside process substitutions
+# do not trip `set -e`).
+jq -e type "$measured" >/dev/null \
+  || { echo "measured file is not valid JSON: $measured" >&2; exit 2; }
+jq -e type "$baseline" >/dev/null \
+  || { echo "baseline file is not valid JSON: $baseline" >&2; exit 2; }
+
 if [ "$mode" = "--update" ]; then
   tmp="$(mktemp)"
   jq --slurpfile m "$measured" '
@@ -46,8 +58,22 @@ if [ "$mode" = "--update" ]; then
   exit 0
 fi
 
+# A baseline naming a bench that the fresh run did not produce must fail
+# clearly — comparing paillier numbers against a montgomery artifact (or an
+# empty one) used to pass vacuously.
+want_bench="$(jq -r '.bench // empty' "$baseline")"
+if [ -n "$want_bench" ]; then
+  got_bench="$(jq -r '.bench // empty' "$measured")"
+  if [ "$got_bench" != "$want_bench" ]; then
+    echo "FAIL baseline gates bench \"$want_bench\" but measured run is" \
+         "\"${got_bench:-<unnamed>}\" ($measured)" >&2
+    exit 1
+  fi
+fi
+
 tolerance="${FLB_BENCH_TOLERANCE:-$(jq -r '.tolerance // 1.5' "$baseline")}"
 fail=0
+checks=0
 
 # measured value for a metric name, or empty when the run did not produce it
 lookup() {
@@ -57,6 +83,7 @@ lookup() {
 }
 
 while IFS=$'\t' read -r metric base; do
+  checks=$((checks + 1))
   value="$(lookup "$metric")"
   if [ -z "$value" ]; then
     echo "FAIL $metric: missing from $measured" >&2
@@ -72,10 +99,11 @@ while IFS=$'\t' read -r metric base; do
       "$metric" "$value" "$base" "$tolerance" >&2
     fail=1
   fi
-done < <(jq -r '.entries[] | [.metric, (.ns_per_iter | tostring)] | @tsv' \
-           "$baseline")
+done < <(jq -r '(.entries // [])[]
+                | [.metric, (.ns_per_iter | tostring)] | @tsv' "$baseline")
 
 while IFS=$'\t' read -r slow fast min_ratio; do
+  checks=$((checks + 1))
   slow_v="$(lookup "$slow")"
   fast_v="$(lookup "$fast")"
   if [ -z "$slow_v" ] || [ -z "$fast_v" ]; then
@@ -95,5 +123,13 @@ while IFS=$'\t' read -r slow fast min_ratio; do
   fi
 done < <(jq -r '(.ratios // [])[]
                 | [.slow, .fast, (.min_ratio | tostring)] | @tsv' "$baseline")
+
+# A baseline that contributed no checks at all (no entries, no ratios, or
+# every name filtered away upstream) is a misconfiguration, not a pass.
+if [ "$checks" -eq 0 ]; then
+  echo "FAIL $baseline contributed zero checks (entries and ratios both" \
+       "empty) — nothing was gated" >&2
+  fail=1
+fi
 
 exit "$fail"

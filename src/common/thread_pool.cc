@@ -2,8 +2,9 @@
 
 #include <algorithm>
 #include <chrono>
-#include <cstdlib>
 #include <limits>
+
+#include "src/common/env.h"
 
 namespace flb::common {
 
@@ -30,10 +31,9 @@ uint64_t MonotonicNs() {
 
 int ThreadPool::ThreadsFromEnv(const char* value, int fallback) {
   if (value == nullptr || *value == '\0') return fallback;
-  char* end = nullptr;
-  const long parsed = std::strtol(value, &end, 10);
-  if (end == value || *end != '\0' || parsed <= 0) return fallback;
-  return static_cast<int>(std::min<long>(parsed, 512));
+  int parsed = 0;
+  if (!Env::ParseInt(value, &parsed) || parsed <= 0) return fallback;
+  return std::min(parsed, 512);
 }
 
 int ThreadPool::DefaultThreads() {
@@ -49,7 +49,7 @@ ThreadPool& ThreadPool::Global() {
 ThreadPool::ThreadPool(int num_threads)
     : num_threads_(num_threads > 0
                        ? num_threads
-                       : ThreadsFromEnv(std::getenv("FLB_HOST_THREADS"),
+                       : ThreadsFromEnv(Env::Raw("FLB_HOST_THREADS"),
                                         DefaultThreads())),
       shards_(static_cast<size_t>(num_threads_)) {}
 

@@ -90,10 +90,18 @@ Result<std::unique_ptr<HeService>> HeService::Create(
     gcfg.words_per_thread = traits.words_per_thread;
     gcfg.streams =
         options.gpu_streams > 0 ? options.gpu_streams : traits.gpu_streams;
+    gcfg.chunks_per_stream =
+        options.ghe_chunks_per_stream > 0 ? options.ghe_chunks_per_stream : 1;
     gcfg.host_pool = service->host_pool_;
     service->ghe_ = std::make_unique<ghe::GheEngine>(service->device_, gcfg);
   }
-  if (traits.use_bc) {
+  // Compression: the engine trait unless the option overrides it. The
+  // effective flag lives in traits_ so every consumer (pack_slots,
+  // CompressForTransmission, the encrypt paths) sees one value.
+  const bool use_bc =
+      options.use_bc < 0 ? traits.use_bc : options.use_bc != 0;
+  service->traits_.use_bc = use_bc;
+  if (use_bc) {
     FLB_ASSIGN_OR_RETURN(
         auto compressor,
         codec::BatchCompressor::Create(service->quantizer_, options.key_bits));

@@ -93,6 +93,14 @@ struct HeServiceOptions {
   // Device streams for the GPU engine's chunked copy/compute overlap.
   // 0 = take the engine default (EngineTraits::gpu_streams).
   int gpu_streams = 0;
+  // Chunks per stream for the chunked schedule (GheConfig::
+  // chunks_per_stream). 0 = engine default (1).
+  int ghe_chunks_per_stream = 0;
+  // Batch-compression override: -1 = engine trait (EngineTraits::use_bc),
+  // 0 = force off, 1 = force on. A knob because compression trades HE
+  // packing work against transmitted bytes — which side wins depends on
+  // the workload's compute/network balance.
+  int use_bc = -1;
   // Host worker threads for element-parallel HE bodies. > 0 makes the
   // service own a private pool of that size; 0 defers to the engine trait,
   // and when that is also 0, to the process-global pool (FLB_HOST_THREADS).

@@ -4,6 +4,8 @@
 #include <memory>
 #include <utility>
 
+#include "src/common/env.h"
+#include "src/core/tuner.h"
 #include "src/fl/hetero_lr.h"
 #include "src/fl/homo_lr.h"
 #include "src/fl/partition.h"
@@ -32,11 +34,6 @@ std::string ModelName(FlModelKind kind) {
 }
 
 Result<RunReport> Platform::Run(const PlatformConfig& config) {
-  if (config.num_parties < 1) {
-    return Status::InvalidArgument("Platform: num_parties must be >= 1");
-  }
-  const EngineTraits traits = TraitsFor(config.engine);
-
   // Live inspection plane: env-gated HTTP server (or forced by obs_port)
   // plus the wall profiler. Both are pure observers — same-seed runs are
   // bit-identical with them on or off.
@@ -48,6 +45,26 @@ Result<RunReport> Platform::Run(const PlatformConfig& config) {
   // would overlap the new ones. The exported trace is the last run's.
   auto& recorder = obs::TraceRecorder::Global();
   if (recorder.enabled()) recorder.Clear();
+
+  if (config.auto_tune || common::Env::Flag("FLB_AUTO_TUNE")) {
+    FLB_ASSIGN_OR_RETURN(const PlatformConfig tuned,
+                         tune::AutoTuner::TunedConfig(config));
+    return RunImpl(tuned, /*probe=*/false);
+  }
+  return RunImpl(config, /*probe=*/false);
+}
+
+Result<RunReport> Platform::RunForTuning(const PlatformConfig& config) {
+  return RunImpl(config, /*probe=*/true);
+}
+
+Result<RunReport> Platform::RunImpl(const PlatformConfig& config,
+                                    const bool probe) {
+  if (config.num_parties < 1) {
+    return Status::InvalidArgument("Platform: num_parties must be >= 1");
+  }
+  const EngineTraits traits = TraitsFor(config.engine);
+  auto& recorder = obs::TraceRecorder::Global();
 
   auto clock = std::make_unique<SimClock>();
   std::shared_ptr<gpusim::Device> device;
@@ -63,9 +80,8 @@ Result<RunReport> Platform::Run(const PlatformConfig& config) {
   // fixtures can set/unset it). An active plan attaches the fault injector
   // and reroutes all traffic through a reliable channel.
   std::string fault_spec = config.fault_plan;
-  if (fault_spec.empty()) {
-    const char* env = std::getenv("FLB_FAULT_PLAN");
-    if (env != nullptr) fault_spec = env;
+  if (fault_spec.empty() && !probe) {
+    fault_spec = common::Env::Str("FLB_FAULT_PLAN");
   }
   // The run-wide deadline. Lives on this frame; every component holds a
   // plain pointer and treats the default-constructed (infinite) case as
@@ -109,13 +125,15 @@ Result<RunReport> Platform::Run(const PlatformConfig& config) {
   const obs::Track run_track = recorder.RegisterTrack("platform", "run");
   const double setup_start = clock->Now();
 
-  obs::RunInfo run_info;
-  run_info.engine = EngineName(config.engine);
-  run_info.model = ModelName(config.model);
-  run_info.key_bits = config.key_bits;
-  run_info.parties = parties;
-  run_info.seed = config.seed;
-  obs::RunStatus::Global().BeginRun(run_info);
+  if (!probe) {
+    obs::RunInfo run_info;
+    run_info.engine = EngineName(config.engine);
+    run_info.model = ModelName(config.model);
+    run_info.key_bits = config.key_bits;
+    run_info.parties = parties;
+    run_info.seed = config.seed;
+    obs::RunStatus::Global().BeginRun(run_info);
+  }
 
   HeServiceOptions he_opts;
   he_opts.engine = config.engine;
@@ -128,7 +146,10 @@ Result<RunReport> Platform::Run(const PlatformConfig& config) {
   he_opts.modeled = config.modeled;
   he_opts.seed = config.seed;
   he_opts.gpu_streams = config.gpu_streams;
+  he_opts.ghe_chunks_per_stream = config.ghe_chunks_per_stream;
+  he_opts.use_bc = config.use_bc;
   he_opts.host_threads = config.host_threads;
+  he_opts.use_fixed_width_kernels = config.use_fixed_width_kernels;
   FLB_ASSIGN_OR_RETURN(auto he,
                        HeService::Create(he_opts, clock.get(), device));
   if (!run_deadline.infinite()) he->set_run_deadline(&run_deadline);
@@ -152,7 +173,7 @@ Result<RunReport> Platform::Run(const PlatformConfig& config) {
                    obs::Arg("parties", parties)});
   }
   const double train_start = clock->Now();
-  obs::RunStatus::Global().SetPhase("train");
+  if (!probe) obs::RunStatus::Global().SetPhase("train");
 
   RunReport report;
   switch (config.model) {
@@ -223,6 +244,8 @@ Result<RunReport> Platform::Run(const PlatformConfig& config) {
   if (injector != nullptr) report.fault_stats = injector->stats();
   if (reliable != nullptr) report.channel_stats = reliable->stats();
   if (breaker != nullptr) report.breaker_stats = breaker->stats();
+
+  if (probe) return report;
 
   {
     // Final /status snapshot, pushed by value on the run thread (the HE op

@@ -3,6 +3,7 @@
 #include <cstdlib>
 #include <utility>
 
+#include "src/common/env.h"
 #include "src/fl/model_io.h"
 #include "src/fl/trainer_util.h"
 #include "src/net/fault.h"
@@ -32,9 +33,9 @@ RobustCoordinator::RobustCoordinator(const FlSession& session,
       trainer_(std::move(trainer)),
       critical_parties_({kServerName}),
       health_(HealthOptions(config), session.clock) {
-  const char* dir = std::getenv("FLB_CHECKPOINT_DIR");
-  if (dir != nullptr && dir[0] != '\0') {
-    checkpoint_path_ = std::string(dir) + "/" + trainer_ + ".ckpt";
+  const std::string dir = common::Env::Str("FLB_CHECKPOINT_DIR");
+  if (!dir.empty()) {
+    checkpoint_path_ = dir + "/" + trainer_ + ".ckpt";
   }
 }
 

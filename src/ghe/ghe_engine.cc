@@ -125,6 +125,10 @@ void GheEngine::set_streams(int streams) {
   config_.streams = std::max(1, streams);
 }
 
+void GheEngine::set_chunks_per_stream(int chunks) {
+  config_.chunks_per_stream = std::max(1, chunks);
+}
+
 common::ThreadPool& GheEngine::host_pool() const {
   return config_.host_pool != nullptr ? *config_.host_pool
                                       : common::ThreadPool::Global();
@@ -174,6 +178,10 @@ Result<gpusim::LaunchResult> GheEngine::LaunchBatch(
 
   const int streams = std::max(1, config_.streams);
   if (streams > 1 && count >= streams) {
+    const int nchunks = static_cast<int>(std::min<int64_t>(
+        count,
+        static_cast<int64_t>(streams) *
+            std::max(1, config_.chunks_per_stream)));
     // What the one-launch synchronous path would cost.
     FLB_ASSIGN_OR_RETURN(const gpusim::LaunchResult serial_est,
                          device_->EstimateLaunch(launch));
@@ -187,11 +195,11 @@ Result<gpusim::LaunchResult> GheEngine::LaunchBatch(
       // per-chunk launch latency mean small or kernel-bound batches lose
       // by splitting, so only chunk when the pipeline is strictly faster.
       std::vector<std::array<double, 3>> plan;
-      plan.reserve(static_cast<size_t>(streams));
+      plan.reserve(static_cast<size_t>(nchunks));
       int64_t done = 0;
       size_t in_done = 0, out_done = 0;
-      for (int k = 0; k < streams; ++k) {
-        const int64_t n = ChunkCount(count, streams, k);
+      for (int k = 0; k < nchunks; ++k) {
+        const int64_t n = ChunkCount(count, nchunks, k);
         if (n == 0) continue;
         const int64_t next = done + n;
         const size_t in_next = bytes_in * next / count;
@@ -255,6 +263,12 @@ Result<gpusim::LaunchResult> GheEngine::LaunchBatchAsync(
     size_t bytes_in, size_t bytes_out, double serial_seconds,
     std::function<void()> body) {
   const int streams = std::max(1, config_.streams);
+  // Mirror of LaunchBatch's chunk plan: the pricing and the execution must
+  // split the batch identically or the adaptive decision prices the wrong
+  // schedule.
+  const int nchunks = static_cast<int>(std::min<int64_t>(
+      count,
+      static_cast<int64_t>(streams) * std::max(1, config_.chunks_per_stream)));
   while (static_cast<int>(stream_ids_.size()) < streams) {
     stream_ids_.push_back(stream_ids_.empty() ? gpusim::kDefaultStream
                                               : device_->CreateStream());
@@ -263,7 +277,7 @@ Result<gpusim::LaunchResult> GheEngine::LaunchBatchAsync(
   // Per-stream staging buffers: input + output slices of the largest chunk,
   // page-rounded so successive batches reuse the same pool slots.
   auto& rm = device_->resource_manager();
-  const int64_t max_chunk = ChunkCount(count, streams, 0);
+  const int64_t max_chunk = ChunkCount(count, nchunks, 0);
   const size_t stage_bytes = RoundUpPage(
       (bytes_in + bytes_out) * static_cast<size_t>(max_chunk) /
           static_cast<size_t>(count) +
@@ -281,13 +295,13 @@ Result<gpusim::LaunchResult> GheEngine::LaunchBatchAsync(
   int chunks = 0;
   int64_t done = 0;
   size_t in_done = 0, out_done = 0;
-  for (int k = 0; k < streams; ++k) {
-    const int64_t n = ChunkCount(count, streams, k);
+  for (int k = 0; k < nchunks; ++k) {
+    const int64_t n = ChunkCount(count, nchunks, k);
     if (n == 0) continue;
     const int64_t next = done + n;
     const size_t in_next = bytes_in * next / count;
     const size_t out_next = bytes_out * next / count;
-    const gpusim::StreamId sid = stream_ids_[static_cast<size_t>(k)];
+    const gpusim::StreamId sid = stream_ids_[static_cast<size_t>(k % streams)];
 
     FLB_ASSIGN_OR_RETURN(const gpusim::CopyResult h2d,
                          device_->CopyToDeviceAsync(in_next - in_done, sid));

@@ -63,6 +63,12 @@ struct GheConfig {
   // kernel-bound batches keep the one-launch path, so enabling streams can
   // never slow a workload down. Tests disable this to force chunking.
   bool adaptive_chunking = true;
+  // Chunks issued per stream on the chunked path. 1 = one chunk per stream
+  // (each stream runs exactly one H2D → kernel → D2H pipeline). Higher
+  // values slice the batch finer, which fills pipeline bubbles on large
+  // batches at the price of more per-chunk launch/transfer latency — the
+  // chunk-size knob the auto-tuner searches.
+  int chunks_per_stream = 1;
   // Host thread pool the batch bodies run on (element-parallel, bit-exact at
   // any thread count). nullptr = the process-global pool. Host parallelism
   // only changes wall-clock time: the modeled device timeline charges the
@@ -100,6 +106,8 @@ class GheEngine {
   // Re-targets the stream count for subsequent batches (clamped to >= 1).
   // Streams are created on the device lazily, on first chunked batch.
   void set_streams(int streams);
+  // Re-targets the chunk granularity for subsequent batches (clamped >= 1).
+  void set_chunks_per_stream(int chunks);
 
   // ---- Table I: fundamental vector arithmetic -------------------------------
   // Elementwise over equal-length arrays.

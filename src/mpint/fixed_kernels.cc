@@ -2,6 +2,8 @@
 
 #include <cstdlib>
 
+#include "src/common/env.h"
+
 namespace flb::mpint::fixed {
 
 namespace {
@@ -50,10 +52,7 @@ uint64_t NegInverseMod2p64(uint64_t n0) {
 }
 
 bool KernelsEnabled() {
-  static const bool enabled = [] {
-    const char* v = std::getenv("FLB_FIXED_KERNELS");
-    return v == nullptr || v[0] != '0';
-  }();
+  static const bool enabled = common::Env::Flag("FLB_FIXED_KERNELS", true);
   return enabled;
 }
 

@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <utility>
 
+#include "src/common/env.h"
 #include "src/common/rng.h"
 #include "src/net/circuit_breaker.h"
 #include "src/net/serializer.h"
@@ -26,9 +27,8 @@ uint64_t Fnv1a(const std::string& s) {
 
 Result<ReliableOptions> ReliableOptions::FromEnv(const ReliableOptions& base) {
   ReliableOptions opts = base;
-  const char* env = std::getenv("FLB_NET_RETRY");
-  if (env == nullptr || env[0] == '\0') return opts;
-  const std::string spec(env);
+  const std::string spec = common::Env::Str("FLB_NET_RETRY");
+  if (spec.empty()) return opts;
   size_t pos = 0;
   while (pos < spec.size()) {
     size_t end = spec.find(',', pos);

@@ -7,6 +7,8 @@
 #include <string>
 #include <utility>
 
+#include "src/common/env.h"
+
 namespace flb::obs {
 
 namespace {
@@ -40,10 +42,7 @@ HostProfiler& HostProfiler::Global() {
 }
 
 void HostProfiler::EnableFromEnv() {
-  const char* v = std::getenv("FLB_HOST_PROFILE");
-  if (v != nullptr && *v != '\0' && !(v[0] == '0' && v[1] == '\0')) {
-    Global().Enable();
-  }
+  if (common::Env::Flag("FLB_HOST_PROFILE")) Global().Enable();
 }
 
 void HostProfiler::Enable() {

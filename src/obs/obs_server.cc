@@ -14,6 +14,7 @@
 #include <cstring>
 #include <utility>
 
+#include "src/common/env.h"
 #include "src/obs/host_profiler.h"
 #include "src/obs/metrics.h"
 #include "src/obs/prometheus.h"
@@ -62,9 +63,10 @@ ObsServer* ObsServer::EnsureGlobalFromEnv(int explicit_port) {
   int port = explicit_port;
   bool requested = explicit_port > 0;
   if (!requested) {
-    if (const char* v = std::getenv("FLB_OBS_PORT")) {
-      requested = *v != '\0';
-      port = std::atoi(v);
+    const char* v = common::Env::Raw("FLB_OBS_PORT");
+    if (v != nullptr && *v != '\0') {
+      requested = true;
+      port = common::Env::Int("FLB_OBS_PORT", 0, 0, 65535);
     }
   }
   if (!requested) return nullptr;
@@ -90,9 +92,7 @@ ObsServer* ObsServer::EnsureGlobalFromEnv(int explicit_port) {
 
 void ObsServer::LingerFromEnv() {
   if (Global() == nullptr) return;
-  const char* v = std::getenv("FLB_OBS_LINGER");
-  if (v == nullptr) return;
-  const int seconds = std::atoi(v);
+  const int seconds = common::Env::Int("FLB_OBS_LINGER", 0, 0, 86400);
   if (seconds <= 0) return;
   RunStatus::Global().SetPhase("linger");
   std::fprintf(stderr, "[obs] lingering %d s for final scrapes\n", seconds);

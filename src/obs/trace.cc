@@ -5,6 +5,7 @@
 #include <set>
 #include <utility>
 
+#include "src/common/env.h"
 #include "src/obs/json_util.h"
 #include "src/obs/metrics.h"
 
@@ -34,8 +35,8 @@ TraceArg Arg(std::string key, const std::string& value) {
 
 TraceRecorder::TraceRecorder() {
   // Exported traces are env-gated (see header); either variable enables.
-  enabled_ = std::getenv("FLB_TRACE_OUT") != nullptr ||
-             std::getenv("FLB_TRACE") != nullptr;
+  enabled_ = common::Env::Has("FLB_TRACE_OUT") ||
+             common::Env::Flag("FLB_TRACE");
 }
 
 TraceRecorder& TraceRecorder::Global() {
@@ -276,21 +277,24 @@ void ExportEnvConfigured() {
   if (done) return;
   done = true;
   PublishDropMetrics();
-  if (const char* path = std::getenv("FLB_TRACE_OUT")) {
-    const Status s = TraceRecorder::Global().WriteJson(path);
+  const std::string trace_path = common::Env::Str("FLB_TRACE_OUT");
+  if (!trace_path.empty()) {
+    const Status s = TraceRecorder::Global().WriteJson(trace_path);
     if (!s.ok()) {
       std::fprintf(stderr, "trace export failed: %s\n", s.ToString().c_str());
     } else {
-      std::fprintf(stderr, "[obs] wrote trace to %s\n", path);
+      std::fprintf(stderr, "[obs] wrote trace to %s\n", trace_path.c_str());
     }
   }
-  if (const char* path = std::getenv("FLB_METRICS_OUT")) {
-    const Status s = MetricsRegistry::Global().WriteJson(path);
+  const std::string metrics_path = common::Env::Str("FLB_METRICS_OUT");
+  if (!metrics_path.empty()) {
+    const Status s = MetricsRegistry::Global().WriteJson(metrics_path);
     if (!s.ok()) {
       std::fprintf(stderr, "metrics export failed: %s\n",
                    s.ToString().c_str());
     } else {
-      std::fprintf(stderr, "[obs] wrote metrics to %s\n", path);
+      std::fprintf(stderr, "[obs] wrote metrics to %s\n",
+                   metrics_path.c_str());
     }
   }
 }

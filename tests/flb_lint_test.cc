@@ -3,6 +3,7 @@
 // none; and the real src/ tree must scan clean (the acceptance invariant
 // the CI lint job enforces, here pinned as a test).
 
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -101,6 +102,79 @@ TEST(FlbLintTest, UnboundedRetryFixture) {
   // The two bounded loops in the fixture (attempt counter, deadline
   // predicate) must stay silent; only the budget-free spin reports.
   ExpectViolations("unbounded_retry_violation.cc", {{"FLB006", 19}});
+}
+
+TEST(FlbLintTest, TunerMeasurementFixture) {
+  // The anti-pattern the AutoTuner is forbidden from: wall-clocked probe
+  // measurement and entropy-seeded exploration.
+  ExpectViolations(
+      "tuner_measurement_violation.cc",
+      {{"FLB002", 8}, {"FLB001", 14}, {"FLB001", 16}, {"FLB002", 22}});
+}
+
+// The tuner's measurement path must scan clean WITHOUT any allow pragmas:
+// probes run in simulated time and the exploration pick comes from
+// Rng::ForStream, so there is nothing to justify away. Zero suppressions
+// is the point — a future allow() sneaking into the search loop fails
+// here even though the tree-wide scan would still pass.
+TEST(FlbLintTest, TunerMeasurementPathIsCleanWithoutAllowances) {
+  std::vector<FileInput> inputs;
+  for (const char* rel : {"/src/core/tuner.h", "/src/core/tuner.cc"}) {
+    const std::string path = std::string(FLB_SOURCE_ROOT) + rel;
+    std::ifstream in(path, std::ios::binary);
+    ASSERT_TRUE(in.good()) << "missing " << path;
+    std::ostringstream content;
+    content << in.rdbuf();
+    inputs.push_back({path, content.str()});
+  }
+  const Report report = LintFiles(inputs, Options());
+  for (const Violation& v : report.violations) {
+    ADD_FAILURE() << v.file << ":" << v.line << " [" << v.rule << "] "
+                  << v.message;
+  }
+  EXPECT_EQ(report.suppressed, 0u);
+  EXPECT_EQ(report.unjustified_allows, 0u);
+}
+
+// Audit: every allow pragma in the real tree carries a reason. The linter
+// only counts an unjustified allow when its violation actually fires, so a
+// bare "// flb-lint: allow(FLBnnn)" sitting on a clean line would rot
+// silently — this textual sweep catches it at introduction time.
+TEST(FlbLintTest, EveryAllowInTreeIsJustified) {
+  namespace fs = std::filesystem;
+  const std::string root(FLB_SOURCE_ROOT);
+  size_t pragmas = 0;
+  for (const char* dir : {"/src", "/tools", "/bench"}) {
+    for (const auto& entry :
+         fs::recursive_directory_iterator(root + dir)) {
+      if (!entry.is_regular_file()) continue;
+      const std::string ext = entry.path().extension().string();
+      if (ext != ".h" && ext != ".cc" && ext != ".cpp") continue;
+      std::ifstream in(entry.path(), std::ios::binary);
+      std::string line;
+      int lineno = 0;
+      while (std::getline(in, line)) {
+        ++lineno;
+        const size_t at = line.find("flb-lint: allow");
+        if (at == std::string::npos) continue;
+        ++pragmas;
+        const size_t open = line.find('(', at);
+        const size_t close =
+            open == std::string::npos ? std::string::npos
+                                      : line.find(')', open);
+        std::string reason =
+            close == std::string::npos ? "" : line.substr(close + 1);
+        const size_t first = reason.find_first_not_of(" \t");
+        reason = first == std::string::npos ? "" : reason.substr(first);
+        EXPECT_FALSE(reason.empty())
+            << entry.path().string() << ":" << lineno
+            << " bare allow without a reason: " << line;
+      }
+    }
+  }
+  // The sweep must actually see the tree's known justified allows;
+  // a zero count means the walk silently missed the sources.
+  EXPECT_GT(pragmas, 0u);
 }
 
 TEST(FlbLintTest, CleanFixtureHasNoViolations) {
