@@ -4,11 +4,15 @@
 #
 #   1. flb_lint (domain invariants FLB001-FLB005) over src/, emitting a
 #      BenchJson summary to results/BENCH_flb_lint.json
-#   2. clang thread-safety build of the flb library (-Werror=thread-safety)
-#   3. clang-tidy over src/ and tools/ via compile_commands.json
-#   4. clang-format --dry-run over tools/ and src/common/
+#   2. flb_analyze (interprocedural FLB007-FLB009: lock-order deadlocks,
+#      determinism taint, layering) over src/ with the checked-in
+#      exceptions + baseline files; emits results/BENCH_flb_analyze.json
+#      and results/flb_analyze.sarif (uploaded to code scanning in CI)
+#   3. clang thread-safety build of the flb library (-Werror=thread-safety)
+#   4. clang-tidy over src/ and tools/ via compile_commands.json
+#   5. clang-format --dry-run over tools/ and the whole src/ tree
 #
-# Steps 2-4 need clang/clang-tidy/clang-format; when absent they are
+# Steps 3-5 need clang/clang-tidy/clang-format; when absent they are
 # skipped with a notice (the container toolchain is gcc-only) unless
 # --require-clang is given, in which case a missing tool is a hard failure.
 #
@@ -54,7 +58,19 @@ if ! "$BUILD_DIR"/tools/flb_lint/flb_lint --root src \
   fail=1
 fi
 
-# ---- 2. clang thread-safety build ----------------------------------------
+# ---- 2. flb_analyze -------------------------------------------------------
+cmake --build "$BUILD_DIR" -j --target flb_analyze >/dev/null
+if ! "$BUILD_DIR"/tools/flb_analyze/flb_analyze --root src \
+    --exceptions tools/flb_analyze/layering_exceptions.txt \
+    --baseline tools/flb_analyze/analyze_baseline.txt \
+    --cache "$BUILD_DIR"/flb_analyze.cache \
+    --json results/BENCH_flb_analyze.json \
+    --sarif results/flb_analyze.sarif; then
+  echo "lint: flb_analyze found new (non-baselined) findings" >&2
+  fail=1
+fi
+
+# ---- 3. clang thread-safety build ----------------------------------------
 if have clang++; then
   cmake -B "$BUILD_DIR-tsa" -S . \
     -DCMAKE_CXX_COMPILER=clang++ \
@@ -67,7 +83,7 @@ else
   missing clang++ "thread-safety analysis build"
 fi
 
-# ---- 3. clang-tidy --------------------------------------------------------
+# ---- 4. clang-tidy --------------------------------------------------------
 if have clang-tidy; then
   cmake -B "$BUILD_DIR" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
   # Headers are covered through HeaderFilterRegex in .clang-tidy.
@@ -80,12 +96,12 @@ else
   missing clang-tidy "clang-tidy checks"
 fi
 
-# ---- 4. clang-format ------------------------------------------------------
+# ---- 5. clang-format ------------------------------------------------------
 if have clang-format; then
   mapfile -t fmt_sources < <(git ls-files 'tools/**/*.cc' 'tools/**/*.h' \
-    'src/common/*.cc' 'src/common/*.h')
+    'src/**/*.cc' 'src/**/*.h')
   if ! clang-format --dry-run -Werror "${fmt_sources[@]}"; then
-    echo "lint: clang-format differences in tools/ or src/common/" >&2
+    echo "lint: clang-format differences in tools/ or src/" >&2
     fail=1
   fi
 else

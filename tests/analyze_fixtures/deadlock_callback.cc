@@ -1,0 +1,28 @@
+// fixture: FLB007 leaf-lock discipline — recorder-plane calls made while
+// the component lock is held, both directly and through a helper.
+#include "src/common/mutex.h"
+
+class MetricsSink {
+ public:
+  void Count(const char* name, long delta);
+};
+
+class Cache {
+ public:
+  void Hit() {
+    common::MutexLock lock(mu_);
+    hits_ = hits_ + 1;
+    metrics_.Count("cache.hit", 1);
+  }
+  void Miss() {
+    common::MutexLock lock(mu_);
+    Note();
+  }
+
+ private:
+  void Note() { recorder_.Count("cache.miss", 1); }
+  common::Mutex mu_;
+  long hits_ = 0;
+  MetricsSink metrics_;
+  MetricsSink recorder_;
+};

@@ -1,0 +1,22 @@
+// fixture: FLB007 lock-order cycle — Credit nests mu_a_ -> mu_b_ while
+// Debit nests mu_b_ -> mu_a_; two interleaved threads deadlock.
+#include "src/common/mutex.h"
+
+class Account {
+ public:
+  void Credit() {
+    common::MutexLock a(mu_a_);
+    common::MutexLock b(mu_b_);
+    balance_ = balance_ + 1;
+  }
+  void Debit() {
+    common::MutexLock b(mu_b_);
+    common::MutexLock a(mu_a_);
+    balance_ = balance_ - 1;
+  }
+
+ private:
+  common::Mutex mu_a_;
+  common::Mutex mu_b_;
+  long balance_ = 0;
+};

@@ -1,0 +1,5 @@
+// fixture: FLB009 — a transport-layer file reaching upward into core.
+#include "src/common/status.h"
+#include "src/core/platform.h"
+
+int UpwardDependency() { return 1; }

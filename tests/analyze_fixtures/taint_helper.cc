@@ -1,0 +1,31 @@
+// fixture: FLB008 determinism taint through helpers — wall-clock flows
+// into a sim-time charge via a helper's return value, and entropy flows
+// into serialized bytes via a helper's parameter.
+#include "src/common/sim_clock.h"
+
+class Serializer {
+ public:
+  void PutDouble(double v);
+};
+class SimClock {
+ public:
+  void Charge(double seconds);
+};
+
+double ProbeSeconds() {
+  WallTimer timer;
+  return timer.ElapsedSeconds();
+}
+
+void Pack(Serializer& out, double value) { out.PutDouble(value); }
+
+void Account(SimClock* clock) {
+  double cost = ProbeSeconds();
+  clock->Charge(cost);
+}
+
+void Ship(Serializer& out) {
+  std::mt19937 gen;
+  double jitter = gen();
+  Pack(out, jitter);
+}

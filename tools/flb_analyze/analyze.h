@@ -1,0 +1,128 @@
+// flb_analyze: flow-aware, interprocedural static analysis for FLBooster.
+//
+// Where flb_lint flags banned names line-by-line, flb_analyze builds a
+// model of the whole tree — per-function lock-acquisition and call facts,
+// per-function taint atoms, and the cross-TU include graph — and runs
+// three global passes over it:
+//
+//   FLB007 lock-order     static deadlock detection: cycles in the global
+//                         lock-acquisition graph, plus calls into the
+//                         metrics/trace/clock plane made while a component
+//                         lock is held (the leaf-lock discipline)
+//   FLB008 determinism-taint
+//                         wall-clock, ambient-entropy, pointer-order, and
+//                         unordered-iteration values propagated through
+//                         assignments, returns, and call edges into
+//                         sim-time charging, serialized bytes, Rng seeding,
+//                         and RunReport fields
+//   FLB009 layering       the architecture include DAG (common -> mpint ->
+//                         crypto -> {codec,gpusim,net} -> ghe -> core ->
+//                         fl), with an explicit exceptions file for the
+//                         sanctioned back-edges
+//
+// Every finding carries a line-number-independent `key`; a reviewed
+// baseline file of keys separates accepted debt from new regressions, and
+// inline `// flb-lint: allow(FLB00x) reason` comments suppress at the
+// finding line exactly as for flb_lint. Facts are serializable per file
+// (see facts.h) and cached keyed on content hash, so a warm incremental
+// run re-parses only edited files.
+
+#ifndef FLB_TOOLS_FLB_ANALYZE_ANALYZE_H_
+#define FLB_TOOLS_FLB_ANALYZE_ANALYZE_H_
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "tools/flb_analyze/facts.h"
+#include "tools/flb_lint/lint.h"
+
+namespace flb::analyze {
+
+// The fixed rule table (FLB007..FLB009), in rule-ID order.
+const std::vector<lint::RuleInfo>& Rules();
+
+struct Finding {
+  std::string rule;  // "FLB007" | "FLB008" | "FLB009"
+  std::string file;  // normalized path
+  int line = 0;
+  std::string message;
+  // Stable identity: independent of line numbers, so the baseline survives
+  // unrelated edits. E.g. "FLB007|cycle|A::mu_+B::mu_".
+  std::string key;
+  // Human-readable witness: the interprocedural path that produced the
+  // finding, one hop per entry.
+  std::vector<std::string> witness;
+};
+
+// One sanctioned layering back-edge: includes from any file whose
+// normalized path matches `from` (exact path, or "*" for any) into layer
+// directory `to_layer` ("src/fl") are exempt from FLB009.
+struct LayerException {
+  std::string from;
+  std::string to_layer;
+  std::string reason;
+};
+
+struct Options {
+  std::vector<LayerException> layering_exceptions;
+  std::set<std::string> baseline;  // finding keys accepted as known debt
+};
+
+// Parses `<from-path-or-*> -> <to-layer> -- <reason>` lines (# comments
+// and blank lines ignored). The reason is mandatory: an exception without
+// a recorded justification is a malformed file.
+bool LoadExceptionsFile(const std::string& path,
+                        std::vector<LayerException>* out, std::string* error);
+
+// Parses a baseline file: one finding key per line, # comments ignored.
+bool LoadBaselineFile(const std::string& path, std::set<std::string>* out,
+                      std::string* error);
+
+struct Report {
+  std::vector<Finding> findings;  // new (non-baselined), sorted
+  uint64_t files_scanned = 0;
+  uint64_t functions_analyzed = 0;
+  uint64_t lock_nodes = 0;       // distinct locks in the acquisition graph
+  uint64_t lock_edges = 0;
+  uint64_t include_edges = 0;
+  uint64_t baselined = 0;        // findings matched by the baseline
+  uint64_t suppressed = 0;       // silenced by justified inline allow()
+  uint64_t unjustified_allows = 0;
+  uint64_t cache_hits = 0;       // filled by AnalyzeTree when caching
+  uint64_t cache_misses = 0;
+};
+
+// Runs all three passes over pre-extracted facts. `facts` is the whole
+// translation set; cross-file resolution (call edges, unordered-name
+// index, include layers) happens here.
+Report AnalyzeFacts(const std::vector<FileFacts>& facts, const Options& opts);
+
+// Extracts facts from in-memory files, then analyzes.
+Report AnalyzeFiles(const std::vector<lint::FileInput>& files,
+                    const Options& opts);
+
+// Walks `root` for *.h/*.cc/*.cpp (sorted order) and analyzes the tree.
+// When `cache_path` is non-empty, per-file facts are loaded from / saved
+// to it, keyed on content hash (see cache.h). Returns false with `error`
+// set on IO failure.
+bool AnalyzeTree(const std::string& root, const Options& opts,
+                 const std::string& cache_path, Report* report,
+                 std::string* error);
+
+// BenchJson summary (`flb.analyze.*` metrics), schema-compatible with
+// scripts/validate_obs_json.sh.
+std::string ReportToBenchJson(const Report& report);
+
+// SARIF 2.1.0 log with one result per finding, fingerprinted by `key`
+// (uploaded to GitHub code scanning by the CI lint job).
+std::string ReportToSarif(const Report& report);
+
+// All finding keys, one per line, in sorted order — the exact content a
+// baseline file accepting the current findings should have.
+std::string ReportToBaseline(const Report& report);
+
+}  // namespace flb::analyze
+
+#endif  // FLB_TOOLS_FLB_ANALYZE_ANALYZE_H_

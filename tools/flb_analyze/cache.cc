@@ -1,0 +1,222 @@
+#include "tools/flb_analyze/cache.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace flb::analyze {
+
+namespace {
+
+// `-` = empty list, `_` = empty element.
+std::string EncodeList(const std::vector<std::string>& items) {
+  if (items.empty()) return "-";
+  std::string out;
+  for (const std::string& item : items) {
+    if (!out.empty()) out += ',';
+    out += item.empty() ? "_" : item;
+  }
+  return out;
+}
+
+std::vector<std::string> DecodeList(const std::string& field) {
+  std::vector<std::string> items;
+  if (field == "-") return items;
+  std::string cur;
+  for (char c : field) {
+    if (c == ',') {
+      items.push_back(cur == "_" ? "" : cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  items.push_back(cur == "_" ? "" : cur);
+  return items;
+}
+
+std::vector<std::string> SplitFields(const std::string& line) {
+  std::vector<std::string> fields;
+  std::istringstream in(line);
+  std::string field;
+  while (in >> field) fields.push_back(field);
+  return fields;
+}
+
+}  // namespace
+
+std::string SerializeCache(const std::vector<FileFacts>& facts) {
+  std::ostringstream out;
+  out << "flb-analyze-cache " << kCacheVersion << "\n";
+  for (const FileFacts& file : facts) {
+    out << "file " << file.path << " " << file.content_hash << "\n";
+    for (const IncludeDecl& inc : file.includes) {
+      out << "i " << inc.target << " " << (inc.angled ? 1 : 0) << " "
+          << inc.line << "\n";
+    }
+    if (!file.unordered_decls.empty()) {
+      out << "u " << EncodeList(file.unordered_decls) << "\n";
+    }
+    for (const auto& [line, supp] : file.suppressions) {
+      std::vector<std::string> rules(supp.rules.begin(), supp.rules.end());
+      out << "x " << line << " " << EncodeList(rules) << " "
+          << (supp.justified ? 1 : 0) << "\n";
+    }
+    for (const FnFacts& fn : file.functions) {
+      out << "f " << (fn.qual_name.empty() ? "_" : fn.qual_name) << " "
+          << (fn.class_name.empty() ? "_" : fn.class_name) << " " << fn.line
+          << " " << EncodeList(fn.params) << "\n";
+      for (const LockAcq& a : fn.acquisitions) {
+        out << "a " << a.lock << " " << a.line << " " << EncodeList(a.held)
+            << "\n";
+      }
+      for (const CallSite& c : fn.calls) {
+        out << "c " << c.callee << " " << c.line << " "
+            << (c.chain.empty() ? "_" : c.chain) << " "
+            << (c.deferred ? 1 : 0) << " " << EncodeList(c.held);
+        // Per-argument atom lists, `;`-joined.
+        out << " ";
+        if (c.args.empty()) {
+          out << "-";
+        } else {
+          for (size_t j = 0; j < c.args.size(); ++j) {
+            if (j != 0) out << ";";
+            out << EncodeList(c.args[j]);
+          }
+        }
+        out << "\n";
+      }
+      for (const SinkSite& s : fn.sinks) {
+        out << "s " << s.kind << " " << s.line << " " << EncodeList(s.atoms)
+            << "\n";
+      }
+      if (!fn.return_atoms.empty()) {
+        out << "r " << EncodeList(fn.return_atoms) << "\n";
+      }
+    }
+  }
+  return out.str();
+}
+
+bool ParseCache(const std::string& text, std::map<std::string, FileFacts>* out,
+                std::string* error) {
+  std::istringstream in(text);
+  std::string line;
+  if (!std::getline(in, line)) return true;  // empty = cold cache
+  {
+    const std::vector<std::string> f = SplitFields(line);
+    if (f.size() != 2 || f[0] != "flb-analyze-cache" ||
+        f[1] != std::to_string(kCacheVersion)) {
+      return true;  // other version: cold cache, not an error
+    }
+  }
+  FileFacts* file = nullptr;
+  FnFacts* fn = nullptr;
+  int lineno = 1;
+  auto fail = [&](const char* what) {
+    if (error != nullptr) {
+      *error = "corrupt analyze cache at line " + std::to_string(lineno) +
+               ": " + what;
+    }
+    out->clear();
+    return false;
+  };
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    const std::vector<std::string> f = SplitFields(line);
+    const std::string& tag = f[0];
+    if (tag == "file") {
+      if (f.size() != 3) return fail("bad file record");
+      fn = nullptr;
+      file = &(*out)[f[1]];
+      file->path = f[1];
+      file->content_hash = std::strtoull(f[2].c_str(), nullptr, 10);
+      continue;
+    }
+    if (file == nullptr) return fail("record before any file");
+    if (tag == "i") {
+      if (f.size() != 4) return fail("bad include record");
+      file->includes.push_back(
+          IncludeDecl{f[1], f[2] == "1", std::atoi(f[3].c_str())});
+    } else if (tag == "u") {
+      if (f.size() != 2) return fail("bad unordered record");
+      file->unordered_decls = DecodeList(f[1]);
+    } else if (tag == "x") {
+      if (f.size() != 4) return fail("bad suppression record");
+      lint::Suppression supp;
+      for (const std::string& r : DecodeList(f[2])) supp.rules.insert(r);
+      supp.justified = f[3] == "1";
+      file->suppressions[std::atoi(f[1].c_str())] = std::move(supp);
+    } else if (tag == "f") {
+      if (f.size() != 5) return fail("bad function record");
+      file->functions.emplace_back();
+      fn = &file->functions.back();
+      fn->qual_name = f[1] == "_" ? "" : f[1];
+      fn->class_name = f[2] == "_" ? "" : f[2];
+      fn->line = std::atoi(f[3].c_str());
+      fn->params = DecodeList(f[4]);
+    } else if (tag == "a") {
+      if (fn == nullptr || f.size() != 4) return fail("bad acq record");
+      fn->acquisitions.push_back(
+          LockAcq{f[1], std::atoi(f[2].c_str()), DecodeList(f[3])});
+    } else if (tag == "c") {
+      if (fn == nullptr || f.size() != 7) return fail("bad call record");
+      CallSite c;
+      c.callee = f[1];
+      c.line = std::atoi(f[2].c_str());
+      c.chain = f[3] == "_" ? "" : f[3];
+      c.deferred = f[4] == "1";
+      c.held = DecodeList(f[5]);
+      if (f[6] != "-") {
+        std::string cur;
+        for (char ch : f[6]) {
+          if (ch == ';') {
+            c.args.push_back(DecodeList(cur));
+            cur.clear();
+          } else {
+            cur += ch;
+          }
+        }
+        c.args.push_back(DecodeList(cur));
+      }
+      fn->calls.push_back(std::move(c));
+    } else if (tag == "s") {
+      if (fn == nullptr || f.size() != 4) return fail("bad sink record");
+      fn->sinks.push_back(
+          SinkSite{f[1], std::atoi(f[2].c_str()), DecodeList(f[3])});
+    } else if (tag == "r") {
+      if (fn == nullptr || f.size() != 2) return fail("bad return record");
+      fn->return_atoms = DecodeList(f[1]);
+    } else {
+      return fail("unknown record tag");
+    }
+  }
+  return true;
+}
+
+bool LoadCache(const std::string& path, std::map<std::string, FileFacts>* out,
+               std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return true;  // missing cache = cold start
+  std::ostringstream text;
+  text << in.rdbuf();
+  return ParseCache(text.str(), out, error);
+}
+
+bool SaveCache(const std::string& path, const std::vector<FileFacts>& facts,
+               std::string* error) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    if (error != nullptr) *error = "cannot write analyze cache " + path;
+    return false;
+  }
+  out << SerializeCache(facts);
+  if (!out) {
+    if (error != nullptr) *error = "short write to analyze cache " + path;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace flb::analyze

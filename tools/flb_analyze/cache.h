@@ -1,0 +1,48 @@
+// Incremental facts cache for flb_analyze.
+//
+// Facts extraction (tokenize + parse + CFG + local taint fixpoint) is the
+// expensive per-file step; the global passes are cheap. The cache persists
+// every file's FileFacts in a versioned text format keyed on (normalized
+// path, FNV-1a content hash): a warm run re-extracts only files whose
+// content changed and replays the global passes over the mix of cached and
+// fresh facts. A version bump in the header line invalidates the whole
+// cache, which is how facts-format changes stay safe; CI additionally keys
+// its cache on the hash of the tool sources.
+//
+// The format is line-based: atoms, lock names, paths, and chains contain
+// no whitespace by construction (see facts.h), so fields are space-
+// separated, list elements comma-separated, `-` encodes an empty list and
+// `_` an empty element.
+
+#ifndef FLB_TOOLS_FLB_ANALYZE_CACHE_H_
+#define FLB_TOOLS_FLB_ANALYZE_CACHE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "tools/flb_analyze/facts.h"
+
+namespace flb::analyze {
+
+// Bumped whenever FileFacts or the serialization changes.
+inline constexpr int kCacheVersion = 1;
+
+// Serializes facts for all files into the cache text format.
+std::string SerializeCache(const std::vector<FileFacts>& facts);
+
+// Parses a cache produced by SerializeCache into `out`, keyed by
+// normalized path. A wrong version is not an error — the cache is simply
+// empty (cold). Returns false with `error` set only on a corrupt body.
+bool ParseCache(const std::string& text, std::map<std::string, FileFacts>* out,
+                std::string* error);
+
+// File-level wrappers. LoadCache treats a missing file as an empty cache.
+bool LoadCache(const std::string& path, std::map<std::string, FileFacts>* out,
+               std::string* error);
+bool SaveCache(const std::string& path, const std::vector<FileFacts>& facts,
+               std::string* error);
+
+}  // namespace flb::analyze
+
+#endif  // FLB_TOOLS_FLB_ANALYZE_CACHE_H_

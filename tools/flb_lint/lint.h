@@ -75,6 +75,13 @@ struct FileInput {
   std::string content;
 };
 
+// Reads every *.h / *.cc / *.cpp under `root` (recursive, deterministic
+// sorted order) into `out`. Shared by LintTree and flb_analyze's tree
+// walk. Returns false with `error` set when the root is missing or a file
+// cannot be read.
+bool ReadTree(const std::string& root, std::vector<FileInput>* out,
+              std::string* error);
+
 struct Report {
   std::vector<Violation> violations;  // sorted by (file, line, rule)
   uint64_t files_scanned = 0;
